@@ -1,0 +1,62 @@
+"""Figure 16 — optimization runtime of DPhyp, EA-All, EA-Prune and H1.
+
+Paper (log-scale y): EA-All exceeds one second at ~7 relations, EA-Prune
+at ~11, DPhyp stays below a second through 20, and H1 tracks DPhyp at an
+almost constant factor (~2.6×).  Absolute times differ (Python vs. C++);
+the growth shapes and relative factors are what this benchmark checks.
+"""
+
+import statistics
+import time
+
+import pytest
+
+from benchmarks.conftest import MAX_N, MAX_N_EA_ALL, register_report, workload
+from repro.optimizer import optimize
+
+_RESULTS = {}
+
+
+def _limit(strategy: str) -> int:
+    return MAX_N_EA_ALL if strategy == "ea-all" else MAX_N
+
+
+def _sizes(strategy: str):
+    return [n for n in range(3, _limit(strategy) + 1)]
+
+
+CASES = [
+    (strategy, n)
+    for strategy in ("dphyp", "h1", "ea-prune", "ea-all")
+    for n in _sizes(strategy)
+]
+
+
+@pytest.mark.parametrize("strategy,n", CASES, ids=[f"{s}-n{n}" for s, n in CASES])
+def test_fig16_runtime(benchmark, strategy, n):
+    queries = workload(n, count=3)
+
+    def run():
+        for query in queries:
+            optimize(query, strategy)
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+    per_query = statistics.median(benchmark.stats.stats.data) / len(queries)
+    _RESULTS[(strategy, n)] = per_query
+    _publish()
+
+
+def _publish():
+    strategies = ("dphyp", "h1", "ea-prune", "ea-all")
+    lines = [f"{'n':>3s}" + "".join(f"{s:>12s}" for s in strategies) + f"{'H1/DPhyp':>10s}"]
+    for n in range(3, MAX_N + 1):
+        cells = []
+        for strategy in strategies:
+            value = _RESULTS.get((strategy, n))
+            cells.append(f"{value * 1000:10.2f}ms" if value is not None else f"{'—':>12s}")
+        ratio = ""
+        if (("h1", n) in _RESULTS) and (("dphyp", n) in _RESULTS):
+            ratio = f"{_RESULTS[('h1', n)] / _RESULTS[('dphyp', n)]:10.2f}"
+        lines.append(f"{n:3d}" + "".join(cells) + ratio)
+    lines.append("paper: EA-All > 1 s at n≈7, EA-Prune at n≈11; H1 ≈ 2.6 × DPhyp")
+    register_report("Fig. 16 — optimization runtime [per query]", lines)

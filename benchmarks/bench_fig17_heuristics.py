@@ -1,0 +1,52 @@
+"""Figure 17 — plan cost of H1 and H2(F) relative to EA-Prune.
+
+Paper: no heuristic is optimal everywhere, but all stay far closer to the
+optimum than DPhyp; H2 with F = 1.03 is the best (≈ 7% above optimal at 13
+relations; worst observed factors 10.3 for H1 and 9.7 for H2).
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import MAX_N, register_report, workload
+from repro.optimizer import optimize
+
+SIZES = tuple(range(3, MAX_N + 1))
+FACTORS = (1.01, 1.03, 1.05, 1.1)
+
+
+def _sweep():
+    rows = []
+    for n in SIZES:
+        ratios = {"h1": []}
+        for factor in FACTORS:
+            ratios[f"h2@{factor}"] = []
+        for query in workload(n):
+            optimal = optimize(query, "ea-prune").cost
+            if optimal <= 0:
+                continue
+            ratios["h1"].append(optimize(query, "h1").cost / optimal)
+            for factor in FACTORS:
+                ratios[f"h2@{factor}"].append(
+                    optimize(query, "h2", factor=factor).cost / optimal
+                )
+        rows.append((n, {k: statistics.mean(v) for k, v in ratios.items()}))
+    return rows
+
+
+def test_fig17_heuristic_plan_quality(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    columns = ["h1"] + [f"h2@{f}" for f in FACTORS]
+    lines = [f"{'n':>3s}" + "".join(f"{c:>10s}" for c in columns)]
+    for n, means in rows:
+        lines.append(f"{n:3d}" + "".join(f"{means[c]:10.3f}" for c in columns))
+    lines.append("paper: all ≥ 1, within ~1.15 on average; H2@1.03 closest to optimal")
+    register_report("Fig. 17 — heuristic plan cost relative to EA-Prune", lines)
+
+    for n, means in rows:
+        for column in columns:
+            # heuristics can never beat the optimum ...
+            assert means[column] >= 1.0 - 1e-9
+            # ... and should stay within the paper's observed band on average
+            assert means[column] < 12.0, (n, column, means[column])

@@ -1,0 +1,45 @@
+"""Figure 18 — runtime of H2 relative to H1.
+
+Paper: the two heuristics' runtimes are almost identical (ratio within a
+few percent of 1); H2 is often marginally *faster* because more eager
+plans create key constraints that make upper groupings obsolete.
+"""
+
+import statistics
+
+import pytest
+
+from benchmarks.conftest import MAX_N, register_report, workload
+from repro.optimizer import optimize
+
+SIZES = tuple(range(3, MAX_N + 1, 2))
+_RESULTS = {}
+
+CASES = [(strategy, n) for strategy in ("h1", "h2") for n in SIZES]
+
+
+@pytest.mark.parametrize("strategy,n", CASES, ids=[f"{s}-n{n}" for s, n in CASES])
+def test_fig18_heuristic_runtime(benchmark, strategy, n):
+    queries = workload(n, count=3)
+
+    def run():
+        for query in queries:
+            optimize(query, strategy, factor=1.03)
+
+    benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
+    _RESULTS[(strategy, n)] = statistics.median(benchmark.stats.stats.data) / len(queries)
+    _publish()
+
+
+def _publish():
+    lines = [f"{'n':>3s} {'H1':>12s} {'H2':>12s} {'H2/H1':>8s}"]
+    for n in SIZES:
+        h1 = _RESULTS.get(("h1", n))
+        h2 = _RESULTS.get(("h2", n))
+        if h1 is None or h2 is None:
+            continue
+        lines.append(
+            f"{n:3d} {h1 * 1000:10.2f}ms {h2 * 1000:10.2f}ms {h2 / h1:8.2f}"
+        )
+    lines.append("paper: ratio ≈ 0.92–1.08 across all sizes")
+    register_report("Fig. 18 — runtime H2 relative to H1 [per query]", lines)

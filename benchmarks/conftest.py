@@ -1,0 +1,49 @@
+"""Shared infrastructure for the figure/table benchmarks.
+
+Environment knobs (pure-Python enumeration is slower than the authors'
+C++ implementation, so the defaults are modest; raise them to approach the
+paper's 10,000-queries-per-size setting):
+
+* ``REPRO_QUERIES``   — random queries per relation count (default 5)
+* ``REPRO_MAX_N``     — largest relation count for the sweeps (default 10)
+* ``REPRO_MAX_N_EA``  — largest n for the exhaustive EA-All (default 7)
+
+Each benchmark registers a paper-style report that is printed in the
+terminal summary, so ``pytest benchmarks/ --benchmark-only`` shows the
+regenerated figures next to pytest-benchmark's timing table.
+"""
+
+import os
+import random
+from typing import Dict, List
+
+import pytest
+
+from repro.workload import generate_query
+
+QUERIES_PER_SIZE = int(os.environ.get("REPRO_QUERIES", "5"))
+MAX_N = int(os.environ.get("REPRO_MAX_N", "10"))
+MAX_N_EA_ALL = int(os.environ.get("REPRO_MAX_N_EA", "6"))
+
+_REPORTS: Dict[str, List[str]] = {}
+
+
+def register_report(title: str, lines: List[str]) -> None:
+    """Store a report for the terminal summary (idempotent per title)."""
+    _REPORTS[title] = list(lines)
+
+
+def workload(n: int, count: int = QUERIES_PER_SIZE):
+    """Deterministic random queries of size *n* (paper Sec. 5 methodology)."""
+    return [generate_query(n, random.Random(seed * 7919 + n)) for seed in range(count)]
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper figure reproduction")
+    for title in sorted(_REPORTS):
+        terminalreporter.write_line("")
+        terminalreporter.write_line(title)
+        for line in _REPORTS[title]:
+            terminalreporter.write_line("  " + line)

@@ -1,0 +1,119 @@
+"""Quickstart: define a query, optimize it with every strategy, execute it.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.aggregates.calls import AggCall, AggKind
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra.expressions import Attr
+from repro.algebra.relation import Relation
+from repro.exec import execute
+from repro.optimizer import optimize
+from repro.plans import render_plan
+from repro.query.canonical import canonical_plan
+from repro.query.spec import JoinEdge, Query, RelationInfo
+from repro.query.tree import TreeLeaf, TreeNode
+from repro.rewrites.pushdown import OpKind
+
+
+def build_query() -> Query:
+    """A three-relation query with a left outerjoin in the middle:
+
+        SELECT s.region, count(*), sum(li.price)
+        FROM stores s
+        JOIN lineitems li ON s.store_id = li.store_id
+        LEFT JOIN returns r ON li.item_id = r.item_id
+        GROUP BY s.region
+    """
+    stores = RelationInfo(
+        "stores",
+        ("stores.store_id", "stores.region"),
+        cardinality=1_000,
+        distinct={"stores.store_id": 1_000, "stores.region": 12},
+        keys=(frozenset({"stores.store_id"}),),
+    )
+    lineitems = RelationInfo(
+        "lineitems",
+        ("lineitems.store_id", "lineitems.item_id", "lineitems.price"),
+        cardinality=1_000_000,
+        distinct={
+            "lineitems.store_id": 1_000,
+            "lineitems.item_id": 50_000,
+            "lineitems.price": 10_000,
+        },
+    )
+    returns = RelationInfo(
+        "returns",
+        ("returns.item_id", "returns.reason"),
+        cardinality=20_000,
+        distinct={"returns.item_id": 15_000, "returns.reason": 8},
+    )
+    edges = [
+        JoinEdge(
+            0, OpKind.INNER,
+            Attr("stores.store_id").eq(Attr("lineitems.store_id")), 1 / 1_000,
+        ),
+        JoinEdge(
+            1, OpKind.LEFT_OUTER,
+            Attr("lineitems.item_id").eq(Attr("returns.item_id")), 1 / 50_000,
+        ),
+    ]
+    tree = TreeNode(1, TreeNode(0, TreeLeaf(0), TreeLeaf(1)), TreeLeaf(2))
+    aggregates = AggVector(
+        [
+            AggItem("n", AggCall(AggKind.COUNT_STAR)),
+            AggItem("total", AggCall(AggKind.SUM, Attr("lineitems.price"))),
+        ]
+    )
+    return Query([stores, lineitems, returns], edges, tree, ("stores.region",), aggregates)
+
+
+def tiny_database():
+    """A micro instance so the plans can actually run."""
+    stores = Relation.from_tuples(
+        ["stores.store_id", "stores.region"],
+        [(1, "north"), (2, "north"), (3, "south")],
+    )
+    lineitems = Relation.from_tuples(
+        ["lineitems.store_id", "lineitems.item_id", "lineitems.price"],
+        [(1, 10, 5), (1, 11, 7), (2, 10, 5), (3, 12, 9), (3, 13, 2), (9, 14, 4)],
+    )
+    returns = Relation.from_tuples(
+        ["returns.item_id", "returns.reason"],
+        [(10, "damaged"), (13, "late")],
+    )
+    return {"stores": stores, "lineitems": lineitems, "returns": returns}
+
+
+def main() -> None:
+    query = build_query()
+    print("Query:", query)
+    print()
+
+    results = {}
+    for strategy in ("dphyp", "ea-all", "ea-prune", "h1", "h2"):
+        results[strategy] = optimize(query, strategy)
+    baseline = results["dphyp"].cost
+    print(f"{'strategy':10s} {'Cout':>14s} {'vs DPhyp':>10s} {'time':>9s}")
+    for strategy, result in results.items():
+        print(
+            f"{strategy:10s} {result.cost:14.1f} {result.cost / baseline:10.3f}"
+            f" {result.elapsed_seconds * 1000:7.2f}ms"
+        )
+    print()
+
+    best = results["ea-prune"]
+    print("Best plan (EA-Prune):")
+    print(render_plan(best.plan.node))
+    print()
+
+    database = tiny_database()
+    canonical = execute(canonical_plan(query), database)
+    optimized = execute(best.plan.node, database)
+    assert optimized == canonical
+    print("Executed on the micro database — optimized result matches canonical:")
+    print(optimized.pretty())
+
+
+if __name__ == "__main__":
+    main()

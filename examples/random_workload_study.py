@@ -1,0 +1,56 @@
+"""A miniature of the paper's evaluation (Figs. 15-18) on random workloads.
+
+Generates random operator trees (Sec. 5 methodology), optimizes each with
+all five plan generators and prints the plan-quality and runtime summary —
+a quick desk-size version of the full benchmark harness in benchmarks/.
+
+Run:  python examples/random_workload_study.py [queries-per-size]
+"""
+
+import random
+import statistics
+import sys
+import time
+
+from repro.optimizer import optimize
+from repro.workload import generate_query
+
+SIZES = (3, 5, 7)
+STRATEGIES = ("dphyp", "ea-prune", "h1", "h2")
+
+
+def main() -> None:
+    per_size = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    print(f"{per_size} random queries per size, strategies: {', '.join(STRATEGIES)}")
+    print()
+    header = f"{'n':>3s} " + "".join(f"{s + ' cost':>15s}" for s in STRATEGIES) + "".join(
+        f"{s + ' ms':>12s}" for s in STRATEGIES
+    )
+    print(header)
+    for n in SIZES:
+        costs = {s: [] for s in STRATEGIES}
+        times = {s: [] for s in STRATEGIES}
+        for seed in range(per_size):
+            query = generate_query(n, random.Random(seed * 7 + n))
+            for strategy in STRATEGIES:
+                start = time.perf_counter()
+                result = optimize(query, strategy)
+                times[strategy].append(time.perf_counter() - start)
+                costs[strategy].append(result.cost)
+        # normalise costs per query by the optimum (ea-prune)
+        rel = {s: [] for s in STRATEGIES}
+        for i in range(per_size):
+            optimum = costs["ea-prune"][i]
+            for s in STRATEGIES:
+                rel[s].append(costs[s][i] / optimum if optimum else 1.0)
+        row = f"{n:3d} "
+        row += "".join(f"{statistics.mean(rel[s]):15.2f}" for s in STRATEGIES)
+        row += "".join(f"{statistics.mean(times[s]) * 1000:12.2f}" for s in STRATEGIES)
+        print(row)
+    print()
+    print("cost columns are relative to the optimal (EA-Prune) plan;")
+    print("expect DPhyp ≫ 1 and H1/H2 close to 1 (paper Figs. 15/17).")
+
+
+if __name__ == "__main__":
+    main()

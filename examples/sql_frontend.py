@@ -1,0 +1,53 @@
+"""Optimize SQL text directly against the TPC-H catalog.
+
+Run:  python examples/sql_frontend.py
+"""
+
+from repro.optimizer import optimize
+from repro.plans import render_plan
+from repro.sql import Catalog, parse_query
+
+EX = """
+  SELECT ns.n_name, nc.n_name, count(*) AS cnt
+  FROM nation ns
+  JOIN supplier s ON ns.n_nationkey = s.s_nationkey
+  FULL JOIN nation nc ON ns.n_nationkey = nc.n_nationkey
+  JOIN customer c ON nc.n_nationkey = c.c_nationkey
+  GROUP BY ns.n_name, nc.n_name
+"""
+
+Q10_LIKE = """
+  SELECT c.c_custkey, c.c_name, sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+  FROM customer c
+  JOIN orders o ON c.c_custkey = o.o_custkey
+  JOIN lineitem l ON o.o_orderkey = l.l_orderkey
+  JOIN nation n ON c.c_nationkey = n.n_nationkey
+  WHERE o.o_orderdate >= 639 AND o.o_orderdate < 731 AND l.l_returnflag = 'R'
+  GROUP BY c.c_custkey, c.c_name
+"""
+
+
+def explain(title: str, sql: str, catalog: Catalog) -> None:
+    print("=" * 72)
+    print(title)
+    print(sql.strip())
+    print()
+    query = parse_query(sql, catalog)
+    for strategy in ("dphyp", "ea-prune", "h2"):
+        result = optimize(query, strategy)
+        print(f"-- {strategy}: Cout = {result.cost:,.0f} "
+              f"({result.elapsed_seconds * 1000:.2f} ms, {result.ccp_count} ccps)")
+    best = optimize(query, "ea-prune")
+    print()
+    print(render_plan(best.plan.node))
+    print()
+
+
+def main() -> None:
+    catalog = Catalog.from_tpch(scale_factor=1.0)
+    explain("Intro example (outerjoin barrier)", EX, catalog)
+    explain("Q10-like (returned items)", Q10_LIKE, catalog)
+
+
+if __name__ == "__main__":
+    main()

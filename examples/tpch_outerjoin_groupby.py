@@ -1,0 +1,57 @@
+"""The paper's introduction example: grouping through an outerjoin barrier.
+
+    select ns.n_name, nc.n_name, count(*)
+    from (nation ns join supplier s on ns.n_nationkey = s.s_nationkey)
+         full outer join
+         (nation nc join customer c on nc.n_nationkey = c.c_nationkey)
+         on ns.n_nationkey = nc.n_nationkey
+    group by ns.n_name, nc.n_name
+
+On HyPer the lazy plan ran 2140 ms vs. 1.51 ms for the eager plan — a
+factor of ~1400.  Reordering grouping with outerjoins is not valid in
+general; the paper's generalised-outerjoin equivalences (Eqv. 12 here)
+make it valid, and the DP plan generator finds the plan automatically.
+
+Run:  python examples/tpch_outerjoin_groupby.py
+"""
+
+from repro.exec import execute
+from repro.optimizer import optimize
+from repro.plans import render_plan
+from repro.query.canonical import canonical_plan
+from repro.tpch import build_ex, micro_database
+
+
+def main() -> None:
+    query = build_ex(scale_factor=1.0)
+    print("TPC-H Ex query (SF-1 statistics)")
+    print()
+
+    lazy = optimize(query, "dphyp")
+    eager = optimize(query, "ea-prune")
+
+    print("Lazy plan (DPhyp — grouping stays above the outerjoin):")
+    print(render_plan(lazy.plan.node))
+    print(f"  Cout = {lazy.cost:,.0f}")
+    print()
+    print("Eager plan (EA-Prune — grouping pushed through the barrier):")
+    print(render_plan(eager.plan.node))
+    print(f"  Cout = {eager.cost:,.0f}")
+    print()
+    ratio = eager.cost / lazy.cost
+    print(f"Relative plan cost EA/DPhyp: {ratio:.2e}")
+    print("(paper, Table 2: 6.1e-04; HyPer execution times: 2140 ms -> 1.51 ms)")
+    print()
+
+    # Execute both plans on deterministic micro data and compare.
+    database = micro_database(query)
+    canonical = execute(canonical_plan(query), database)
+    for name, result in (("lazy", lazy), ("eager", eager)):
+        output = execute(result.plan.node, database)
+        assert output == canonical, f"{name} plan diverged!"
+    print("Both plans executed on micro data; results are identical:")
+    print(canonical.pretty())
+
+
+if __name__ == "__main__":
+    main()

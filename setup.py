@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline reproduction environment lacks the ``wheel`` package, which PEP
+660 editable installs require; this shim lets ``pip install -e .`` fall back
+to ``setup.py develop``.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro — a reproduction of *Dynamic Programming: The Next Step*
+(Eich & Moerkotte, ICDE 2015).
+
+Eager aggregation in a DP-based query optimizer: the package implements
+the paper's equivalences for pushing grouping through inner joins,
+outerjoins, semijoins, antijoins and groupjoins, and the plan generators
+DPhyp / EA-All / EA-Prune / H1 / H2 that explore the enlarged search
+space.
+
+Typical entry points::
+
+    from repro.sql import Catalog, parse_query
+    from repro.optimizer import optimize
+    from repro.plans import render_plan
+    from repro.exec import execute
+
+See README.md for a guided tour and DESIGN.md for the architecture.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "algebra",
+    "aggregates",
+    "rewrites",
+    "query",
+    "hypergraph",
+    "conflict",
+    "cardinality",
+    "plans",
+    "optimizer",
+    "workload",
+    "tpch",
+    "sql",
+    "exec",
+]

@@ -1,0 +1,81 @@
+"""Command-line EXPLAIN tool: optimize SQL against the TPC-H catalog.
+
+Usage::
+
+    python -m repro "SELECT ns.n_name, count(*) FROM nation ns \
+        JOIN supplier s ON ns.n_nationkey = s.s_nationkey GROUP BY ns.n_name"
+    python -m repro --strategy h2 --factor 1.05 --scale-factor 10 "..."
+    python -m repro --compare "..."        # all five strategies side by side
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.optimizer import optimize
+from repro.plans import render_plan
+from repro.sql import Catalog, parse_query
+
+STRATEGIES = ("dphyp", "ea-all", "ea-prune", "h1", "h2")
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimize a SQL query with eager aggregation "
+        "(Eich & Moerkotte, ICDE 2015) against the TPC-H catalog.",
+    )
+    parser.add_argument("sql", help="the SELECT statement to optimize")
+    parser.add_argument(
+        "--strategy",
+        choices=STRATEGIES,
+        default="ea-prune",
+        help="plan generator (default: ea-prune)",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=1.03,
+        help="H2 eagerness tolerance factor F (default: 1.03)",
+    )
+    parser.add_argument(
+        "--scale-factor", type=float, default=1.0,
+        help="TPC-H scale factor for the catalog statistics (default: 1)",
+    )
+    parser.add_argument(
+        "--compare", action="store_true",
+        help="run every strategy and print a cost/time comparison",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_argument_parser().parse_args(argv)
+    catalog = Catalog.from_tpch(scale_factor=args.scale_factor)
+    try:
+        query = parse_query(args.sql, catalog)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.compare:
+        print(f"{'strategy':10s} {'Cout':>16s} {'time':>10s}")
+        for strategy in STRATEGIES:
+            result = optimize(query, strategy, factor=args.factor)
+            print(
+                f"{strategy:10s} {result.cost:16,.0f} "
+                f"{result.elapsed_seconds * 1000:8.2f}ms"
+            )
+        best = optimize(query, "ea-prune", factor=args.factor)
+    else:
+        best = optimize(query, args.strategy, factor=args.factor)
+        print(
+            f"strategy={best.strategy}  Cout={best.cost:,.0f}  "
+            f"time={best.elapsed_seconds * 1000:.2f}ms  ccps={best.ccp_count}"
+        )
+    print()
+    print(render_plan(best.plan.node))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

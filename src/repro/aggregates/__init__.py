@@ -1,0 +1,32 @@
+"""Aggregate functions and their algebraic properties (paper Sec. 2.1).
+
+The package provides:
+
+* :class:`~repro.aggregates.calls.AggCall` — a single aggregate function
+  application (``sum(a)``, ``count(*)``, ``avg(distinct b)``, ...) together
+  with its *duplicate sensitivity* and *decomposability* classification,
+* :class:`~repro.aggregates.vector.AggVector` — an ordered aggregation
+  vector ``F`` with splitting (Def. 1) into ``F1 ◦ F2``,
+* :mod:`~repro.aggregates.transform` — decomposition of ``F`` into inner and
+  outer stages ``F¹ / F²`` (Def. 2), the duplicate-scaling operator
+  ``F ⊗ c`` (Sec. 2.1.3), and the default vector ``F({⊥})`` evaluation used
+  by the generalised outerjoins.
+"""
+
+from repro.aggregates.calls import AggCall, AggKind, avg, count, count_star, max_, min_, sum_
+from repro.aggregates.vector import AggItem, AggVector
+from repro.aggregates import transform
+
+__all__ = [
+    "AggCall",
+    "AggKind",
+    "AggItem",
+    "AggVector",
+    "transform",
+    "sum_",
+    "count",
+    "count_star",
+    "min_",
+    "max_",
+    "avg",
+]

@@ -1,0 +1,174 @@
+"""Single aggregate-function applications and their evaluation semantics.
+
+Evaluation follows SQL-92:
+
+* ``count(*)`` counts rows (including rows where everything is NULL),
+* ``count(e)`` counts rows where *e* is not NULL (this *is* the paper's
+  ``countNN`` — SQL's ``count`` with an argument already ignores NULLs),
+* ``sum``/``min``/``max``/``avg`` ignore NULL inputs and return NULL for
+  empty (or all-NULL) input,
+* ``distinct`` deduplicates the non-NULL argument values first.
+
+Classification (paper Sec. 2.1):
+
+* *duplicate agnostic* (Yan & Larson's class D): min, max and all
+  ``distinct`` variants; everything else is *duplicate sensitive* (class C),
+* *decomposable*: min, max, sum, count, count(*), avg (via sum/countNN);
+  ``sum(distinct)``, ``count(distinct)`` and ``avg(distinct)`` are not.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional
+
+from repro.algebra.expressions import Expr
+from repro.algebra.rows import Row
+from repro.algebra.values import NULL, SqlValue, group_key, is_null
+
+
+class AggKind(enum.Enum):
+    """The SQL aggregate functions supported throughout the repository."""
+
+    COUNT_STAR = "count(*)"
+    COUNT = "count"
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class AggCall:
+    """One aggregate function applied to an argument expression."""
+
+    kind: AggKind
+    arg: Optional[Expr] = None
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind is AggKind.COUNT_STAR:
+            if self.arg is not None:
+                raise ValueError("count(*) takes no argument")
+            if self.distinct:
+                raise ValueError("count(*) cannot be distinct")
+        elif self.arg is None:
+            raise ValueError(f"{self.kind.value} requires an argument")
+
+    # -- static properties --------------------------------------------------
+    def attributes(self) -> FrozenSet[str]:
+        """Attributes referenced by the argument (``F(f)``)."""
+        if self.arg is None:
+            return frozenset()
+        return self.arg.attributes()
+
+    @property
+    def duplicate_agnostic(self) -> bool:
+        """Class-D functions: result independent of input multiplicities."""
+        if self.kind in (AggKind.MIN, AggKind.MAX):
+            return True
+        return self.distinct
+
+    @property
+    def duplicate_sensitive(self) -> bool:
+        return not self.duplicate_agnostic
+
+    @property
+    def decomposable(self) -> bool:
+        """Whether agg(X ∪ Y) can be computed from agg1(X), agg1(Y) (Def. 2)."""
+        if self.distinct and self.kind in (AggKind.SUM, AggKind.COUNT, AggKind.AVG):
+            return False
+        return True
+
+    # -- evaluation -----------------------------------------------------------
+    def evaluate(self, rows: Iterable[Row]) -> SqlValue:
+        """Apply this aggregate to a group of rows."""
+        if self.kind is AggKind.COUNT_STAR:
+            return sum(1 for _ in rows)
+        values = self._argument_values(rows)
+        if self.kind is AggKind.COUNT:
+            return len(values)
+        if not values:
+            return NULL
+        if self.kind is AggKind.SUM:
+            return sum(values)
+        if self.kind is AggKind.MIN:
+            return min(values)
+        if self.kind is AggKind.MAX:
+            return max(values)
+        if self.kind is AggKind.AVG:
+            return sum(values) / len(values)
+        raise AssertionError(f"unhandled aggregate kind {self.kind}")
+
+    def _argument_values(self, rows: Iterable[Row]) -> List[SqlValue]:
+        assert self.arg is not None
+        values = [v for v in (self.arg.eval(row) for row in rows) if not is_null(v)]
+        if self.distinct:
+            seen = set()
+            unique: List[SqlValue] = []
+            for v in values:
+                key = group_key(v)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(v)
+            return unique
+        return values
+
+    def evaluate_on_null_tuple(self) -> SqlValue:
+        """``f({⊥})`` — the aggregate applied to a single all-NULL tuple.
+
+        Needed to compute the default vectors of the generalised outerjoins
+        (Eqvs. 11/12/14/...): ``count(*)`` yields 1, ``count(e)`` yields 0,
+        sum/min/max/avg yield NULL, and ⊗-scaled counts of the form
+        ``sum(CASE WHEN e IS NULL THEN 0 ELSE c END)`` yield 0 — all of which
+        fall out of simply evaluating the call on the singleton bag {⊥}.
+        """
+        bottom = Row({a: NULL for a in self.attributes()})
+        return self.evaluate([bottom])
+
+    def __repr__(self) -> str:
+        if self.kind is AggKind.COUNT_STAR:
+            return "count(*)"
+        inner = f"distinct {self.arg!r}" if self.distinct else repr(self.arg)
+        return f"{self.kind.value}({inner})"
+
+
+# -- readable constructors ---------------------------------------------------
+
+def _as_expr(arg) -> Expr:
+    from repro.algebra.expressions import Attr
+
+    if isinstance(arg, Expr):
+        return arg
+    return Attr(str(arg))
+
+
+def sum_(arg, distinct: bool = False) -> AggCall:
+    """``sum(arg)`` / ``sum(distinct arg)``."""
+    return AggCall(AggKind.SUM, _as_expr(arg), distinct)
+
+
+def count(arg, distinct: bool = False) -> AggCall:
+    """``count(arg)`` (the paper's countNN) / ``count(distinct arg)``."""
+    return AggCall(AggKind.COUNT, _as_expr(arg), distinct)
+
+
+def count_star() -> AggCall:
+    """``count(*)``."""
+    return AggCall(AggKind.COUNT_STAR)
+
+
+def min_(arg) -> AggCall:
+    """``min(arg)``."""
+    return AggCall(AggKind.MIN, _as_expr(arg))
+
+
+def max_(arg) -> AggCall:
+    """``max(arg)``."""
+    return AggCall(AggKind.MAX, _as_expr(arg))
+
+
+def avg(arg, distinct: bool = False) -> AggCall:
+    """``avg(arg)`` / ``avg(distinct arg)``."""
+    return AggCall(AggKind.AVG, _as_expr(arg), distinct)

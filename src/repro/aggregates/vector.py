@@ -1,0 +1,125 @@
+"""Aggregation vectors ``F = (b1 : f1, ..., bk : fk)`` and splitting (Def. 1).
+
+An :class:`AggVector` is an ordered sequence of named aggregate calls.  The
+paper concatenates vectors with ``◦`` (here: :meth:`AggVector.concat`) and
+splits ``F`` into ``F1 ◦ F2`` with respect to two expressions when every
+aggregate references attributes of only one of them.  ``count(*)`` is the
+special case S1: it references no attributes and may go to either side (we
+put it on a caller-chosen preferred side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.aggregates.calls import AggCall
+from repro.algebra.rows import Row
+from repro.algebra.values import SqlValue
+
+
+@dataclass(frozen=True)
+class AggItem:
+    """A named aggregate: output attribute ``name`` holding ``call``."""
+
+    name: str
+    call: AggCall
+
+    def __repr__(self) -> str:
+        return f"{self.name}:{self.call!r}"
+
+
+class AggVector:
+    """An ordered aggregation vector."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Iterable[AggItem] = ()):
+        self.items: Tuple[AggItem, ...] = tuple(items)
+        names = [item.name for item in self.items]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate output names in aggregation vector: {names}")
+
+    # -- basic protocol ------------------------------------------------------
+    def __iter__(self) -> Iterator[AggItem]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __bool__(self) -> bool:
+        return bool(self.items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AggVector):
+            return NotImplemented
+        return self.items == other.items
+
+    def __repr__(self) -> str:
+        return "F[" + ", ".join(repr(item) for item in self.items) + "]"
+
+    # -- structure -------------------------------------------------------------
+    def names(self) -> Tuple[str, ...]:
+        """Output attribute names, in order."""
+        return tuple(item.name for item in self.items)
+
+    def attributes(self) -> FrozenSet[str]:
+        """``F(F)`` — all attributes referenced by any aggregate argument."""
+        result: FrozenSet[str] = frozenset()
+        for item in self.items:
+            result |= item.call.attributes()
+        return result
+
+    def concat(self, other: "AggVector") -> "AggVector":
+        """Vector concatenation ``F1 ◦ F2``."""
+        return AggVector(self.items + other.items)
+
+    @property
+    def all_decomposable(self) -> bool:
+        return all(item.call.decomposable for item in self.items)
+
+    @property
+    def all_duplicate_agnostic(self) -> bool:
+        return all(item.call.duplicate_agnostic for item in self.items)
+
+    # -- splitting (Def. 1) ------------------------------------------------------
+    def split(
+        self,
+        attrs1: FrozenSet[str] | set,
+        attrs2: FrozenSet[str] | set,
+        star_side: int = 1,
+    ) -> Optional[Tuple["AggVector", "AggVector"]]:
+        """Split into ``(F1, F2)`` w.r.t. attribute sets of two expressions.
+
+        Returns ``None`` when some aggregate references attributes from both
+        sides (not splittable).  ``count(*)`` — and any aggregate over a
+        constant — goes to side *star_side* (special case S1).
+        """
+        attrs1 = frozenset(attrs1)
+        attrs2 = frozenset(attrs2)
+        left: List[AggItem] = []
+        right: List[AggItem] = []
+        for item in self.items:
+            referenced = item.call.attributes()
+            if not referenced:
+                (left if star_side == 1 else right).append(item)
+            elif referenced <= attrs1:
+                left.append(item)
+            elif referenced <= attrs2:
+                right.append(item)
+            else:
+                return None
+        return AggVector(left), AggVector(right)
+
+    def splittable(self, attrs1: FrozenSet[str] | set, attrs2: FrozenSet[str] | set) -> bool:
+        """Whether :meth:`split` would succeed."""
+        return self.split(attrs1, attrs2) is not None
+
+    # -- evaluation ---------------------------------------------------------------
+    def evaluate(self, rows: List[Row]) -> Dict[str, SqlValue]:
+        """Apply every aggregate to the group *rows*."""
+        return {item.name: item.call.evaluate(rows) for item in self.items}
+
+    def evaluate_on_null_tuple(self) -> Dict[str, SqlValue]:
+        """``F({⊥})`` for default vectors of generalised outerjoins."""
+        return {item.name: item.call.evaluate_on_null_tuple() for item in self.items}

@@ -1,0 +1,43 @@
+"""Executable bag-semantics relational algebra with SQL NULL handling.
+
+This package is the substrate every other layer builds on: it defines SQL
+values (including the ``NULL`` marker and three-valued logic), scalar
+expressions, rows, relations, and the physical semantics of every operator
+used in the paper (Fig. 1): selection, projections, map, join, semijoin,
+antijoin, left/full outerjoin (with *default vectors*), groupjoin and the
+grouping operator Γ.
+"""
+
+from repro.algebra.values import NULL, Null, is_null
+from repro.algebra.rows import Row
+from repro.algebra.relation import Relation
+from repro.algebra.expressions import (
+    Attr,
+    BinOp,
+    Case,
+    Const,
+    Expr,
+    IsNull,
+    Logical,
+    Not,
+    attrs_of,
+)
+from repro.algebra import operators
+
+__all__ = [
+    "NULL",
+    "Null",
+    "is_null",
+    "Row",
+    "Relation",
+    "Expr",
+    "Attr",
+    "Const",
+    "BinOp",
+    "Logical",
+    "Not",
+    "IsNull",
+    "Case",
+    "attrs_of",
+    "operators",
+]

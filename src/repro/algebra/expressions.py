@@ -1,0 +1,248 @@
+"""Scalar expression language used by predicates, map (χ) and aggregates.
+
+The optimizer needs *structured* expressions (to reason about referenced
+attributes, NULL rejection, and to build ⊗-scaled aggregate arguments such
+as ``sum(c1 * a2)`` or ``sum(CASE WHEN a IS NULL THEN 0 ELSE c END)``), so
+predicates are small ASTs rather than opaque Python callables.
+
+Evaluation follows SQL three-valued logic via :mod:`repro.algebra.values`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Tuple
+
+from repro.algebra.rows import Row
+from repro.algebra.values import (
+    NULL,
+    SqlValue,
+    is_null,
+    sql_and,
+    sql_arith,
+    sql_compare,
+    sql_not,
+    sql_or,
+)
+
+_COMPARISONS = {"=", "<>", "<", "<=", ">", ">="}
+_ARITHMETIC = {"+", "-", "*", "/"}
+
+
+class Expr:
+    """Base class for scalar expressions."""
+
+    def eval(self, row: Row) -> SqlValue:
+        """Evaluate against *row*; predicates return True/False/None (3VL)."""
+        raise NotImplementedError
+
+    def attributes(self) -> FrozenSet[str]:
+        """The set of attribute names referenced (``F(e)`` in the paper)."""
+        raise NotImplementedError
+
+    # Convenience constructors so tests and examples read naturally.
+    def eq(self, other: "Expr") -> "BinOp":
+        return BinOp("=", self, other)
+
+    def __mul__(self, other: "Expr") -> "BinOp":
+        return BinOp("*", self, other)
+
+    def __add__(self, other: "Expr") -> "BinOp":
+        return BinOp("+", self, other)
+
+    def __sub__(self, other: "Expr") -> "BinOp":
+        return BinOp("-", self, other)
+
+    def __truediv__(self, other: "Expr") -> "BinOp":
+        return BinOp("/", self, other)
+
+
+@dataclass(frozen=True)
+class Attr(Expr):
+    """Reference to an attribute by (qualified) name."""
+
+    name: str
+
+    def eval(self, row: Row) -> SqlValue:
+        return row[self.name]
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A literal value."""
+
+    value: SqlValue
+
+    def eval(self, row: Row) -> SqlValue:
+        return self.value
+
+    def attributes(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Comparison (3VL result) or arithmetic (NULL-absorbing result)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISONS | _ARITHMETIC:
+            raise ValueError(f"unknown operator {self.op!r}")
+
+    def eval(self, row: Row) -> SqlValue:
+        lhs = self.left.eval(row)
+        rhs = self.right.eval(row)
+        if self.op in _COMPARISONS:
+            result = sql_compare(self.op, lhs, rhs)
+            return NULL if result is None else result
+        return sql_arith(self.op, lhs, rhs)
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.left.attributes() | self.right.attributes()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Logical(Expr):
+    """AND/OR over sub-predicates with 3VL semantics."""
+
+    op: str  # "and" | "or"
+    operands: Tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in ("and", "or"):
+            raise ValueError(f"unknown logical operator {self.op!r}")
+        if not self.operands:
+            raise ValueError("logical expression needs at least one operand")
+
+    def eval(self, row: Row) -> SqlValue:
+        combine = sql_and if self.op == "and" else sql_or
+        acc: Optional[bool] = None
+        first = True
+        for operand in self.operands:
+            value = operand.eval(row)
+            tri = None if is_null(value) else bool(value) if value is not None else None
+            if value is True or value is False:
+                tri = value
+            if first:
+                acc = tri
+                first = False
+            else:
+                acc = combine(acc, tri)
+        return NULL if acc is None else acc
+
+    def attributes(self) -> FrozenSet[str]:
+        result: FrozenSet[str] = frozenset()
+        for operand in self.operands:
+            result |= operand.attributes()
+        return result
+
+    def __repr__(self) -> str:
+        sep = f" {self.op} "
+        return "(" + sep.join(repr(o) for o in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """3VL negation."""
+
+    operand: Expr
+
+    def eval(self, row: Row) -> SqlValue:
+        value = self.operand.eval(row)
+        tri = None if is_null(value) else bool(value)
+        result = sql_not(tri)
+        return NULL if result is None else result
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.operand.attributes()
+
+    def __repr__(self) -> str:
+        return f"(not {self.operand!r})"
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    """SQL ``IS NULL`` — always two-valued."""
+
+    operand: Expr
+
+    def eval(self, row: Row) -> SqlValue:
+        return is_null(self.operand.eval(row))
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.operand.attributes()
+
+    def __repr__(self) -> str:
+        return f"({self.operand!r} is null)"
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    """``CASE WHEN cond THEN a ELSE b END`` (UNKNOWN condition takes ELSE)."""
+
+    condition: Expr
+    then: Expr
+    otherwise: Expr
+
+    def eval(self, row: Row) -> SqlValue:
+        cond = self.condition.eval(row)
+        if cond is True:
+            return self.then.eval(row)
+        return self.otherwise.eval(row)
+
+    def attributes(self) -> FrozenSet[str]:
+        return self.condition.attributes() | self.then.attributes() | self.otherwise.attributes()
+
+    def __repr__(self) -> str:
+        return f"(case when {self.condition!r} then {self.then!r} else {self.otherwise!r} end)"
+
+
+def attrs_of(expr: Optional[Expr]) -> FrozenSet[str]:
+    """``F(e)`` — attributes referenced by *expr* (empty for None)."""
+    if expr is None:
+        return frozenset()
+    return expr.attributes()
+
+
+def conjunction(predicates: Tuple[Expr, ...] | list) -> Expr:
+    """AND together *predicates*; a single predicate is returned unchanged."""
+    preds = tuple(predicates)
+    if not preds:
+        raise ValueError("empty conjunction")
+    if len(preds) == 1:
+        return preds[0]
+    return Logical("and", preds)
+
+
+def rejects_nulls_on(expr: Expr, attrs: FrozenSet[str] | set) -> bool:
+    """True when *expr* cannot evaluate to TRUE if all of *attrs* are NULL.
+
+    Used for the NULL-rejection side conditions of the reordering properties
+    (assoc/l-asscom/r-asscom) in :mod:`repro.conflict`.  We use a sound
+    syntactic criterion: a comparison that references at least one attribute
+    from *attrs* rejects NULLs on them; a conjunction rejects NULLs if any
+    conjunct does; a disjunction only if all disjuncts do.
+    """
+    attrs = frozenset(attrs)
+    if isinstance(expr, BinOp) and expr.op in _COMPARISONS:
+        return bool(expr.attributes() & attrs)
+    if isinstance(expr, Logical):
+        if expr.op == "and":
+            return any(rejects_nulls_on(op, attrs) for op in expr.operands)
+        return all(rejects_nulls_on(op, attrs) for op in expr.operands)
+    return False

@@ -1,0 +1,263 @@
+"""Physical semantics of every operator in the paper (Fig. 1 + Sec. 2.2).
+
+All functions are pure: they take relations and return new relations with
+bag semantics.  Join predicates are :class:`~repro.algebra.expressions.Expr`
+trees evaluated with SQL three-valued logic; a pair of rows joins only when
+the predicate evaluates to TRUE.
+
+The left and full outerjoin are *generalised* (Eqvs. (7)/(8)): tuples that
+find no join partner are padded with a **default vector** ``D`` (attribute →
+constant) instead of plain NULLs; attributes without a default stay NULL.
+This generalisation is what makes grouping/outerjoin reordering possible.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-level import cycle
+    from repro.aggregates.vector import AggVector
+
+from repro.algebra.expressions import Expr
+from repro.algebra.relation import Relation
+from repro.algebra.rows import Row, null_row_with_defaults
+from repro.algebra.values import SqlValue, group_key, sql_compare
+
+Defaults = Mapping[str, SqlValue]
+
+
+def _truthy(value: SqlValue) -> bool:
+    return value is True
+
+
+# ---------------------------------------------------------------------------
+# unary operators
+# ---------------------------------------------------------------------------
+
+def select(rel: Relation, predicate: Expr) -> Relation:
+    """σ_p(e) — keep rows where the predicate is TRUE (not UNKNOWN)."""
+    return Relation(rel.attributes, [row for row in rel if _truthy(predicate.eval(row))])
+
+
+def project(rel: Relation, attrs: Sequence[str]) -> Relation:
+    """Π_A(e) — duplicate-*preserving* projection."""
+    attrs = tuple(attrs)
+    return Relation(attrs, [row.project(attrs) for row in rel])
+
+
+def project_distinct(rel: Relation, attrs: Sequence[str]) -> Relation:
+    """Π^D_A(e) — duplicate-*removing* projection (NULL equals NULL)."""
+    attrs = tuple(attrs)
+    seen = set()
+    rows: List[Row] = []
+    for row in rel:
+        key = row.values_for(attrs)
+        if key not in seen:
+            seen.add(key)
+            rows.append(row.project(attrs))
+    return Relation(attrs, rows)
+
+
+def map_(rel: Relation, extensions: Sequence[Tuple[str, Expr]]) -> Relation:
+    """χ_{a1:e1,...}(e) — extend every row by computed attributes."""
+    new_names = [name for name, _ in extensions]
+    attrs = rel.attributes + tuple(new_names)
+    rows = [row.extended({name: expr.eval(row) for name, expr in extensions}) for row in rel]
+    return Relation(attrs, rows)
+
+
+def rename(rel: Relation, mapping: Mapping[str, str]) -> Relation:
+    """ρ — rename attributes according to *mapping* (old → new)."""
+    attrs = tuple(mapping.get(a, a) for a in rel.attributes)
+    if len(set(attrs)) != len(attrs):
+        raise ValueError(f"rename would create duplicate attributes: {attrs}")
+    rows = [Row({mapping.get(k, k): v for k, v in row.items()}) for row in rel]
+    return Relation(attrs, rows)
+
+
+def union_all(left: Relation, right: Relation) -> Relation:
+    """Bag union of two union-compatible relations."""
+    if set(left.attributes) != set(right.attributes):
+        raise ValueError("union requires identical schemas")
+    rows = list(left.rows) + [row.project(left.attributes) for row in right.rows]
+    return Relation(left.attributes, rows)
+
+
+# ---------------------------------------------------------------------------
+# grouping (Γ) — Sec. 2.2
+# ---------------------------------------------------------------------------
+
+def group_by(
+    rel: Relation,
+    group_attrs: Sequence[str],
+    vector: AggVector,
+    theta: Optional[Sequence[str]] = None,
+) -> Relation:
+    """Γ^θ_{G; F}(e) — group by *group_attrs* and apply aggregation vector.
+
+    With the default θ (all ``=``) this is SQL GROUP BY with NULL-equals-NULL
+    group keys.  A non-equality θ vector groups each distinct ``y ∈ Π^D_G(e)``
+    with all rows ``z`` satisfying ``z.G θ y.G`` (used by θ-groupjoins).
+
+    Note the paper's Γ definition: an **empty input yields an empty output**,
+    even for ``G = ∅`` (unlike SQL scalar aggregation).
+    """
+    group_attrs = tuple(group_attrs)
+    out_attrs = group_attrs + vector.names()
+    if theta is not None and len(tuple(theta)) != len(group_attrs):
+        raise ValueError("theta vector length must match the number of grouping attributes")
+    if theta is None or all(op == "=" for op in theta):
+        buckets: Dict[Tuple, List[Row]] = {}
+        order: List[Tuple] = []
+        for row in rel:
+            key = row.values_for(group_attrs)
+            if key not in buckets:
+                buckets[key] = []
+                order.append(key)
+            buckets[key].append(row)
+        rows = []
+        for key in order:
+            members = buckets[key]
+            header = members[0].project(group_attrs)
+            rows.append(header.extended(vector.evaluate(members)))
+        return Relation(out_attrs, rows)
+
+    theta = tuple(theta)
+    if len(theta) != len(group_attrs):
+        raise ValueError("theta vector length must match the number of grouping attributes")
+    anchors = project_distinct(rel, group_attrs)
+    rows = []
+    for anchor in anchors:
+        members = [row for row in rel if _theta_match(row, anchor, group_attrs, theta)]
+        rows.append(anchor.extended(vector.evaluate(members)))
+    return Relation(out_attrs, rows)
+
+
+def _theta_match(row: Row, anchor: Row, attrs: Tuple[str, ...], theta: Tuple[str, ...]) -> bool:
+    for attr, op in zip(attrs, theta):
+        if op == "=":
+            if group_key(row[attr]) != group_key(anchor[attr]):
+                return False
+        else:
+            result = sql_compare(op, row[attr], anchor[attr])
+            if result is not True:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# join family — Fig. 1
+# ---------------------------------------------------------------------------
+
+def cross(left: Relation, right: Relation) -> Relation:
+    """e1 × e2 (Eqv. 1)."""
+    attrs = left.attributes + right.attributes
+    rows = [l.concat(r) for l in left for r in right]
+    return Relation(attrs, rows)
+
+
+def join(left: Relation, right: Relation, predicate: Expr) -> Relation:
+    """e1 ⋈_p e2 — inner join (Eqv. 2)."""
+    attrs = left.attributes + right.attributes
+    rows = []
+    for l in left:
+        for r in right:
+            combined = l.concat(r)
+            if _truthy(predicate.eval(combined)):
+                rows.append(combined)
+    return Relation(attrs, rows)
+
+
+def semijoin(left: Relation, right: Relation, predicate: Expr) -> Relation:
+    """e1 ⋉_p e2 — left semijoin (Eqv. 3)."""
+    rows = []
+    for l in left:
+        if any(_truthy(predicate.eval(l.concat(r))) for r in right):
+            rows.append(l)
+    return Relation(left.attributes, rows)
+
+
+def antijoin(left: Relation, right: Relation, predicate: Expr) -> Relation:
+    """e1 ▷_p e2 — left antijoin (Eqv. 4)."""
+    rows = []
+    for l in left:
+        if not any(_truthy(predicate.eval(l.concat(r))) for r in right):
+            rows.append(l)
+    return Relation(left.attributes, rows)
+
+
+def left_outerjoin(
+    left: Relation,
+    right: Relation,
+    predicate: Expr,
+    defaults: Optional[Defaults] = None,
+) -> Relation:
+    """e1 ⟕^{D2}_p e2 — left outerjoin with default vector (Eqvs. 5/7)."""
+    defaults = defaults or {}
+    attrs = left.attributes + right.attributes
+    rows = []
+    for l in left:
+        matched = False
+        for r in right:
+            combined = l.concat(r)
+            if _truthy(predicate.eval(combined)):
+                rows.append(combined)
+                matched = True
+        if not matched:
+            rows.append(l.concat(null_row_with_defaults(right.attributes, defaults)))
+    return Relation(attrs, rows)
+
+
+def full_outerjoin(
+    left: Relation,
+    right: Relation,
+    predicate: Expr,
+    left_defaults: Optional[Defaults] = None,
+    right_defaults: Optional[Defaults] = None,
+) -> Relation:
+    """e1 ⟗^{D1;D2}_p e2 — full outerjoin with default vectors (Eqvs. 6/8).
+
+    ``left_defaults`` (``D1``) pads *left-side attributes* of right tuples
+    that find no partner; ``right_defaults`` (``D2``) pads right-side
+    attributes of unmatched left tuples — matching the paper's
+    ``e1 K^{D1;D2}_q e2`` notation.
+    """
+    left_defaults = left_defaults or {}
+    right_defaults = right_defaults or {}
+    attrs = left.attributes + right.attributes
+    rows = []
+    matched_right = [False] * len(right.rows)
+    for l in left:
+        matched = False
+        for idx, r in enumerate(right.rows):
+            combined = l.concat(r)
+            if _truthy(predicate.eval(combined)):
+                rows.append(combined)
+                matched = True
+                matched_right[idx] = True
+        if not matched:
+            rows.append(l.concat(null_row_with_defaults(right.attributes, right_defaults)))
+    for idx, r in enumerate(right.rows):
+        if not matched_right[idx]:
+            rows.append(null_row_with_defaults(left.attributes, left_defaults).concat(r))
+    return Relation(attrs, rows)
+
+
+def groupjoin(
+    left: Relation,
+    right: Relation,
+    predicate: Expr,
+    vector: AggVector,
+) -> Relation:
+    """e1 ▷◁_{p; F}(e2) — left groupjoin (Eqv. 9, von Bültzingsloewen).
+
+    Every left tuple is extended by the aggregation vector applied to the bag
+    of its join partners; left tuples without partners get the aggregates of
+    the empty bag (count(*) → 0, sum/min/max/avg → NULL).
+    """
+    attrs = left.attributes + vector.names()
+    rows = []
+    for l in left:
+        partners = [r for r in right if _truthy(predicate.eval(l.concat(r)))]
+        rows.append(l.extended(vector.evaluate(partners)))
+    return Relation(attrs, rows)

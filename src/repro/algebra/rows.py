@@ -1,0 +1,94 @@
+"""Immutable rows (tuples in the paper's terminology).
+
+A row maps qualified attribute names (``"s.nationkey"``) to SQL values.
+Rows support the operations the paper's algebra needs: concatenation
+(``t1 ◦ t2``), projection, extension by computed attributes (for χ and Γ),
+and construction of the all-NULL tuple ``⊥_A`` used to pad outerjoins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+from repro.algebra.values import NULL, SqlValue, group_key
+
+
+class Row(Mapping[str, SqlValue]):
+    """An immutable mapping from attribute names to SQL values."""
+
+    __slots__ = ("_data", "_hash")
+
+    def __init__(self, data: Mapping[str, SqlValue] | Iterable[Tuple[str, SqlValue]] = ()):
+        self._data: Dict[str, SqlValue] = dict(data)
+        self._hash: int | None = None
+
+    # -- Mapping protocol -------------------------------------------------
+    def __getitem__(self, key: str) -> SqlValue:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset((k, group_key(v)) for k, v in self._data.items()))
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        if self._data.keys() != other._data.keys():
+            return False
+        return all(group_key(v) == group_key(other._data[k]) for k, v in self._data.items())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._data.items()))
+        return f"Row({inner})"
+
+    # -- algebra helpers ---------------------------------------------------
+    def concat(self, other: "Row") -> "Row":
+        """Tuple concatenation ``self ◦ other``.
+
+        Overlapping attribute names are rejected: the algebra always works
+        on disjoint schemas (qualified names ensure this).
+        """
+        overlap = self._data.keys() & other._data.keys()
+        if overlap:
+            raise ValueError(f"cannot concatenate rows with overlapping attributes: {overlap}")
+        merged = dict(self._data)
+        merged.update(other._data)
+        return Row(merged)
+
+    def project(self, attrs: Iterable[str]) -> "Row":
+        """Keep only *attrs* (duplicate-preserving projection of one row)."""
+        return Row({a: self._data[a] for a in attrs})
+
+    def extended(self, new_attrs: Mapping[str, SqlValue]) -> "Row":
+        """Return a copy extended by *new_attrs* (the map operator χ)."""
+        overlap = self._data.keys() & new_attrs.keys()
+        if overlap:
+            raise ValueError(f"map would overwrite existing attributes: {overlap}")
+        merged = dict(self._data)
+        merged.update(new_attrs)
+        return Row(merged)
+
+    def values_for(self, attrs: Iterable[str]) -> Tuple[SqlValue, ...]:
+        """Hashable key of this row restricted to *attrs* (NULL-safe)."""
+        return tuple(group_key(self._data[a]) for a in attrs)
+
+
+def null_row(attrs: Iterable[str]) -> Row:
+    """The all-NULL tuple ``⊥_A`` over attribute set *attrs*."""
+    return Row({a: NULL for a in attrs})
+
+
+def null_row_with_defaults(attrs: Iterable[str], defaults: Mapping[str, SqlValue]) -> Row:
+    """``⊥_{A\\A(D)} ◦ [D]`` — NULL padding overridden by a default vector.
+
+    This realises the generalised outerjoins of Eqvs. (7)/(8): attributes
+    carrying a default receive the default's value, all others NULL.
+    """
+    return Row({a: defaults.get(a, NULL) for a in attrs})

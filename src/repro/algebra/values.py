@@ -1,0 +1,148 @@
+"""SQL values and three-valued logic.
+
+SQL distinguishes the *absence* of a value (``NULL``) from every real value.
+We model ``NULL`` as a singleton sentinel so that it can be stored in rows,
+compared, hashed (for grouping, where SQL treats two NULLs as equal — the
+convention of Paulley [9] adopted in Sec. 2.3 of the paper) and pretty
+printed as ``-`` like in the paper's examples.
+
+Three-valued logic (3VL) is represented with Python values:
+
+* ``True``  — SQL TRUE
+* ``False`` — SQL FALSE
+* ``None``  — SQL UNKNOWN
+
+Comparison helpers below return 3VL values; selections and join predicates
+keep a row only when the predicate evaluates to ``True``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class Null:
+    """Singleton marker for the SQL NULL value.
+
+    The paper renders NULL as ``-`` (Fig. 2, Fig. 4); ``repr`` follows suit.
+    A dedicated class (rather than Python ``None``) keeps NULL distinct from
+    "UNKNOWN" in three-valued logic and avoids accidental truthiness bugs.
+    """
+
+    _instance: Optional["Null"] = None
+
+    def __new__(cls) -> "Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "-"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        # Identity equality: NULL == NULL at the *Python* level.  SQL-level
+        # comparison semantics live in `compare`/`sql_eq`, not here.  Python
+        # equality is what grouping and duplicate elimination use, matching
+        # the "two attributes are equal if they agree in value or are both
+        # null" convention from Sec. 2.3.
+        return other is self
+
+    def __hash__(self) -> int:
+        return 0x5EED_0000
+
+
+NULL = Null()
+
+#: A SQL value as stored in rows: int/float/str/bool or NULL.
+SqlValue = Any
+
+
+def is_null(value: SqlValue) -> bool:
+    """Return True when *value* is the SQL NULL marker."""
+    return value is NULL
+
+
+def sql_eq(left: SqlValue, right: SqlValue) -> Optional[bool]:
+    """SQL ``=``: UNKNOWN when either side is NULL."""
+    if is_null(left) or is_null(right):
+        return None
+    return bool(left == right)
+
+
+def sql_compare(op: str, left: SqlValue, right: SqlValue) -> Optional[bool]:
+    """Evaluate a SQL comparison with 3VL semantics.
+
+    *op* is one of ``= <> < <= > >=``.  NULL on either side yields UNKNOWN.
+    """
+    if is_null(left) or is_null(right):
+        return None
+    if op == "=":
+        return bool(left == right)
+    if op == "<>":
+        return bool(left != right)
+    if op == "<":
+        return bool(left < right)
+    if op == "<=":
+        return bool(left <= right)
+    if op == ">":
+        return bool(left > right)
+    if op == ">=":
+        return bool(left >= right)
+    raise ValueError(f"unknown comparison operator: {op!r}")
+
+
+def sql_and(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    """3VL conjunction (FALSE dominates UNKNOWN)."""
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def sql_or(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    """3VL disjunction (TRUE dominates UNKNOWN)."""
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def sql_not(value: Optional[bool]) -> Optional[bool]:
+    """3VL negation (NOT UNKNOWN is UNKNOWN)."""
+    if value is None:
+        return None
+    return not value
+
+
+def sql_arith(op: str, left: SqlValue, right: SqlValue) -> SqlValue:
+    """Evaluate SQL arithmetic; NULL is absorbing."""
+    if is_null(left) or is_null(right):
+        return NULL
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            return NULL
+        return left / right
+    raise ValueError(f"unknown arithmetic operator: {op!r}")
+
+
+def group_key(value: SqlValue) -> SqlValue:
+    """Normalise a value for use in grouping / duplicate-elimination keys.
+
+    NULL hashes and compares equal to NULL here (Sec. 2.3 / [9]).  Real
+    values are returned unchanged.  Integral floats are normalised so that
+    ``1`` and ``1.0`` land in the same group, mirroring SQL numeric equality.
+    """
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value

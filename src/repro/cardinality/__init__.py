@@ -1,0 +1,19 @@
+"""Cardinality estimation for the cost model."""
+
+from repro.cardinality.estimate import (
+    antijoin_cardinality,
+    distinct_after,
+    grouping_cardinality,
+    join_cardinality,
+    outerjoin_cardinality,
+    semijoin_cardinality,
+)
+
+__all__ = [
+    "join_cardinality",
+    "outerjoin_cardinality",
+    "semijoin_cardinality",
+    "antijoin_cardinality",
+    "grouping_cardinality",
+    "distinct_after",
+]

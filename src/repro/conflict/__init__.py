@@ -1,0 +1,14 @@
+"""Conflict detection for reordering non-inner joins (paper ref. [7]).
+
+The plan generators of the paper operate on a hypergraph whose hyperedges
+encode reordering conflicts: each operator of the initial tree becomes one
+hyperedge ``(L-TES, R-TES)`` plus a set of *conflict rules*.  The
+:func:`~repro.conflict.detector.detect` entry point computes these from the
+initial operator tree using the associativity / l-asscom / r-asscom
+property tables of :mod:`repro.conflict.tables`.
+"""
+
+from repro.conflict.detector import AnnotatedEdge, ConflictRule, detect
+from repro.conflict.tables import assoc, l_asscom, r_asscom
+
+__all__ = ["detect", "AnnotatedEdge", "ConflictRule", "assoc", "l_asscom", "r_asscom"]

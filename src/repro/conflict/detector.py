@@ -1,0 +1,162 @@
+"""The conflict detector: initial operator tree → annotated hyperedges.
+
+Follows the CD structure of [7] (Moerkotte, Fender & Eich, SIGMOD 2013):
+for every operator ``b`` of the initial tree,
+
+* ``SES(b)`` — the relations syntactically referenced by b's predicate
+  (plus, for groupjoins, by the groupjoin's aggregation vector),
+* ``TES(b)`` — initialised to SES; groupjoin operators freeze their full
+  subtrees (see :mod:`repro.conflict.tables`),
+* conflict rules ``A → B``: derived from failed assoc / l-asscom /
+  r-asscom properties against every operator in b's subtrees.  A rule is
+  satisfied by a relation set ``S`` iff ``A ∩ S = ∅ ∨ B ⊆ S``.
+
+The resulting :class:`AnnotatedEdge` exposes the applicability test used by
+``Applicable`` in the paper's Fig. 5 and supplies the hyperedge
+``(L-TES, R-TES)`` for DPhyp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.algebra.expressions import attrs_of
+from repro.conflict.tables import assoc, l_asscom, r_asscom
+from repro.hypergraph.bitset import is_subset
+from repro.hypergraph.graph import Hyperedge, Hypergraph
+from repro.query.spec import Query
+from repro.query.tree import TreeNode, tree_leaves, tree_operators
+from repro.rewrites.pushdown import OpKind
+
+
+@dataclass(frozen=True)
+class ConflictRule:
+    """``A → B``: if S touches A, S must contain all of B (bitsets)."""
+
+    antecedent: int
+    consequent: int
+
+    def satisfied_by(self, s: int) -> bool:
+        return not (self.antecedent & s) or is_subset(self.consequent, s)
+
+
+@dataclass(frozen=True)
+class AnnotatedEdge:
+    """A join edge with its conflict annotations.
+
+    ``l_tes`` / ``r_tes`` form the DPhyp hyperedge; ``rules`` restrict the
+    csg-cmp-pairs the operator may be applied to.
+    """
+
+    edge_id: int
+    op: OpKind
+    l_tes: int
+    r_tes: int
+    rules: Tuple[ConflictRule, ...]
+
+    def applicable(self, s1: int, s2: int) -> bool:
+        """``Applicable(S1, S2, ∘)`` of the paper's Fig. 5.
+
+        Checks the TES containment for the (S1=left, S2=right) orientation
+        and all conflict rules against S1 ∪ S2.  Commutative operators may
+        additionally be tried with swapped arguments by the caller.
+        """
+        if not (is_subset(self.l_tes, s1) and is_subset(self.r_tes, s2)):
+            return False
+        s = s1 | s2
+        return all(rule.satisfied_by(s) for rule in self.rules)
+
+    def hyperedge(self) -> Hyperedge:
+        return Hyperedge(self.l_tes, self.r_tes, label=self.edge_id)
+
+
+def _ses(query: Query, node: TreeNode) -> int:
+    edge = query.edge(node.edge_id)
+    referenced = set(attrs_of(edge.predicate))
+    if edge.groupjoin_vector is not None:
+        referenced |= set(edge.groupjoin_vector.attributes())
+    base_attrs = [a for a in referenced if _is_base_attr(query, a)]
+    return query.vertices_of(base_attrs)
+
+
+def _is_base_attr(query: Query, attr: str) -> bool:
+    try:
+        query.vertex_of(attr)
+        return True
+    except KeyError:
+        return False
+
+
+def detect(query: Query) -> Tuple[List[AnnotatedEdge], Hypergraph]:
+    """Compute annotated edges and the query hypergraph from the tree."""
+    annotated: List[AnnotatedEdge] = []
+    for node in tree_operators(query.tree):
+        edge = query.edge(node.edge_id)
+        left_set = tree_leaves(node.left)
+        right_set = tree_leaves(node.right)
+        ses = _ses(query, node)
+        tes = ses
+        if edge.op is OpKind.GROUPJOIN:
+            # Freeze: the groupjoin applies exactly at its original split.
+            tes = left_set | right_set
+        # Ensure the TES touches both sides so the hyperedge is well-formed
+        # (degenerate predicates would otherwise leave a side empty).
+        if not tes & left_set:
+            tes |= left_set & -left_set
+        if not tes & right_set:
+            tes |= right_set & -right_set
+
+        rules: List[ConflictRule] = []
+        pred_b = query.edge(node.edge_id).predicate
+        for below in tree_operators(node.left):
+            edge_a = query.edge(below.edge_id)
+            a_left = tree_leaves(below.left)
+            a_right = tree_leaves(below.right)
+            a1_attrs = query.relation_attrs(a_left)
+            a2_attrs = query.relation_attrs(a_right)
+            if not assoc(edge_a.op, edge.op, edge_a.predicate, pred_b, a1_attrs, a2_attrs):
+                rules.append(ConflictRule(a_right, a_left))
+            if not l_asscom(edge_a.op, edge.op, edge_a.predicate, pred_b, a1_attrs, a2_attrs):
+                rules.append(ConflictRule(a_left, a_right))
+        for below in tree_operators(node.right):
+            edge_a = query.edge(below.edge_id)
+            a_left = tree_leaves(below.left)
+            a_right = tree_leaves(below.right)
+            a1_attrs = query.relation_attrs(a_left)
+            a2_attrs = query.relation_attrs(a_right)
+            if not assoc(edge.op, edge_a.op, pred_b, edge_a.predicate, a1_attrs, a2_attrs):
+                rules.append(ConflictRule(a_left, a_right))
+            if not r_asscom(edge.op, edge_a.op, pred_b, edge_a.predicate, a1_attrs, a2_attrs):
+                rules.append(ConflictRule(a_right, a_left))
+
+        annotated.append(
+            AnnotatedEdge(
+                edge_id=node.edge_id,
+                op=edge.op,
+                l_tes=tes & left_set,
+                r_tes=tes & right_set,
+                rules=tuple(rules),
+            )
+        )
+
+    for edge_id in query.floating_edge_ids:
+        # Cycle-closing WHERE predicates of all-inner-join queries: freely
+        # reorderable, so SES = TES and no conflict rules.
+        edge = query.edge(edge_id)
+        ses = query.vertices_of(
+            a for a in attrs_of(edge.predicate) if _is_base_attr(query, a)
+        )
+        left_bit = ses & -ses
+        annotated.append(
+            AnnotatedEdge(
+                edge_id=edge_id,
+                op=edge.op,
+                l_tes=left_bit,
+                r_tes=ses & ~left_bit,
+                rules=(),
+            )
+        )
+
+    graph = Hypergraph(len(query.relations), [a.hyperedge() for a in annotated])
+    return annotated, graph

@@ -1,0 +1,120 @@
+"""Reordering property tables: assoc, l-asscom, r-asscom.
+
+The tables follow Moerkotte, Fender & Eich, *On the correct and complete
+enumeration of the core search space* (SIGMOD 2013) — the conflict detector
+the paper builds on ([7]).  Entries marked with a NULL-rejection side
+condition in the published tables are evaluated against the actual
+predicates: our join predicates are equality comparisons referencing both
+sides, which reject NULLs on every referenced attribute set, so the
+conditions typically hold — but the check is performed, not assumed.
+
+The groupjoin (▷◁) is deliberately *frozen*: the paper only introduces
+equivalences for pushing grouping **into** a groupjoin (Eqvs. 39–41), not
+for reordering around it, so every property involving ▷◁ is ``False``.
+This is conservative and therefore correct.
+
+Property semantics (predicates: ``p_a`` between e1/e2, ``p_b`` as noted):
+
+* ``assoc(a, b)``:     ``(e1 a e2) b e3  ≡  e1 a (e2 b e3)``   (p_b on e2,e3)
+* ``l_asscom(a, b)``:  ``(e1 a e2) b e3  ≡  (e1 b e3) a e2``   (p_b on e1,e3)
+* ``r_asscom(a, b)``:  ``e1 a (e2 b e3)  ≡  e2 b (e1 a e3)``   (p_a on e1,e3)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Optional
+
+from repro.algebra.expressions import Expr, rejects_nulls_on
+from repro.rewrites.pushdown import OpKind
+
+B = OpKind.INNER
+N = OpKind.LEFT_SEMI
+T = OpKind.LEFT_ANTI
+E = OpKind.LEFT_OUTER
+K = OpKind.FULL_OUTER
+Z = OpKind.GROUPJOIN
+
+#: A NULL-rejection requirement: (which predicate, which side's attributes).
+#: ``predicate`` ∈ {"a", "b"}; ``side`` ∈ {1, 2} referring to e1 / e2.
+Condition = tuple
+
+# Unconditional entries: True / False.  Conditional entries: tuple of
+# (predicate, side) requirements that must all hold.
+_ASSOC = {
+    (B, B): True, (B, N): True, (B, T): True, (B, E): True, (B, K): False,
+    (N, B): False, (N, N): False, (N, T): False, (N, E): False, (N, K): False,
+    (T, B): False, (T, N): False, (T, T): False, (T, E): False, (T, K): False,
+    (E, B): False, (E, N): False, (E, T): False, (E, E): (("b", 2),), (E, K): False,
+    (K, B): False, (K, N): False, (K, T): False, (K, E): (("b", 2),),
+    (K, K): (("a", 2), ("b", 2)),
+}
+
+_L_ASSCOM = {
+    (B, B): True, (B, N): True, (B, T): True, (B, E): True, (B, K): False,
+    (N, B): True, (N, N): True, (N, T): True, (N, E): True, (N, K): False,
+    (T, B): True, (T, N): True, (T, T): True, (T, E): True, (T, K): False,
+    (E, B): True, (E, N): True, (E, T): True, (E, E): True, (E, K): (("a", 1), ("b", 1)),
+    (K, B): False, (K, N): False, (K, T): False,
+    (K, E): (("a", 1), ("b", 1)), (K, K): (("a", 1), ("b", 1)),
+}
+
+_R_ASSCOM = {
+    (B, B): True,
+    (K, K): (("a", 2), ("b", 2)),
+}
+
+
+def _evaluate(
+    entry,
+    pred_a: Optional[Expr],
+    pred_b: Optional[Expr],
+    side1_attrs: FrozenSet[str],
+    side2_attrs: FrozenSet[str],
+) -> bool:
+    if entry is True or entry is False:
+        return bool(entry)
+    for which, side in entry:
+        predicate = pred_a if which == "a" else pred_b
+        attrs = side1_attrs if side == 1 else side2_attrs
+        if predicate is None or not rejects_nulls_on(predicate, attrs):
+            return False
+    return True
+
+
+def assoc(
+    op_a: OpKind,
+    op_b: OpKind,
+    pred_a: Optional[Expr] = None,
+    pred_b: Optional[Expr] = None,
+    side1_attrs: FrozenSet[str] = frozenset(),
+    side2_attrs: FrozenSet[str] = frozenset(),
+) -> bool:
+    """Whether ``(e1 a e2) b e3 ≡ e1 a (e2 b e3)`` holds."""
+    entry = _ASSOC.get((op_a, op_b), False)
+    return _evaluate(entry, pred_a, pred_b, side1_attrs, side2_attrs)
+
+
+def l_asscom(
+    op_a: OpKind,
+    op_b: OpKind,
+    pred_a: Optional[Expr] = None,
+    pred_b: Optional[Expr] = None,
+    side1_attrs: FrozenSet[str] = frozenset(),
+    side2_attrs: FrozenSet[str] = frozenset(),
+) -> bool:
+    """Whether ``(e1 a e2) b e3 ≡ (e1 b e3) a e2`` holds."""
+    entry = _L_ASSCOM.get((op_a, op_b), False)
+    return _evaluate(entry, pred_a, pred_b, side1_attrs, side2_attrs)
+
+
+def r_asscom(
+    op_a: OpKind,
+    op_b: OpKind,
+    pred_a: Optional[Expr] = None,
+    pred_b: Optional[Expr] = None,
+    side1_attrs: FrozenSet[str] = frozenset(),
+    side2_attrs: FrozenSet[str] = frozenset(),
+) -> bool:
+    """Whether ``e1 a (e2 b e3) ≡ e2 b (e1 a e3)`` holds."""
+    entry = _R_ASSCOM.get((op_a, op_b), False)
+    return _evaluate(entry, pred_a, pred_b, side1_attrs, side2_attrs)

@@ -1,0 +1,5 @@
+"""Plan interpreter: evaluates plan trees against in-memory databases."""
+
+from repro.exec.interpreter import execute
+
+__all__ = ["execute"]

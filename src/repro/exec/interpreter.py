@@ -1,0 +1,83 @@
+"""Recursive plan interpreter.
+
+``execute(plan, database)`` evaluates any plan tree against a database
+(mapping relation name → :class:`~repro.algebra.relation.Relation`) using
+the operator semantics of :mod:`repro.algebra.operators`.  It is used to
+
+* run canonical (unoptimized) trees,
+* run optimizer output, and
+* cross-check the two against each other in the correctness tests.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.algebra import operators as ops
+from repro.algebra.relation import Relation
+from repro.plans.nodes import (
+    GroupByNode,
+    JoinNode,
+    MapNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+)
+from repro.rewrites.pushdown import OpKind
+
+Database = Mapping[str, Relation]
+
+
+def execute(plan: PlanNode, database: Database) -> Relation:
+    """Evaluate *plan* bottom-up and return the result relation."""
+    if isinstance(plan, ScanNode):
+        relation = database[plan.relation]
+        if set(relation.attributes) != set(plan.attributes):
+            raise ValueError(
+                f"scan of {plan.relation!r} expects attributes {plan.attributes}, "
+                f"database provides {relation.attributes}"
+            )
+        return relation
+    if isinstance(plan, SelectNode):
+        return ops.select(execute(plan.child, database), plan.predicate)
+    if isinstance(plan, JoinNode):
+        return _execute_join(plan, database)
+    if isinstance(plan, GroupByNode):
+        grouped = ops.group_by(execute(plan.child, database), plan.group_attrs, plan.vector)
+        if not plan.post:
+            return grouped
+        existing = set(grouped.attributes)
+        new_cols = [(name, expr) for name, expr in plan.post if name not in existing]
+        extended = ops.map_(grouped, new_cols) if new_cols else grouped
+        return ops.project(extended, plan.attributes)
+    if isinstance(plan, MapNode):
+        return ops.map_(execute(plan.child, database), list(plan.extensions))
+    if isinstance(plan, ProjectNode):
+        return ops.project(execute(plan.child, database), plan.attributes)
+    raise TypeError(f"unknown plan node {plan!r}")
+
+
+def _execute_join(plan: JoinNode, database: Database) -> Relation:
+    left = execute(plan.left, database)
+    right = execute(plan.right, database)
+    if plan.op is OpKind.INNER:
+        return ops.join(left, right, plan.predicate)
+    if plan.op is OpKind.LEFT_OUTER:
+        return ops.left_outerjoin(left, right, plan.predicate, defaults=dict(plan.right_defaults))
+    if plan.op is OpKind.FULL_OUTER:
+        return ops.full_outerjoin(
+            left,
+            right,
+            plan.predicate,
+            left_defaults=dict(plan.left_defaults),
+            right_defaults=dict(plan.right_defaults),
+        )
+    if plan.op is OpKind.LEFT_SEMI:
+        return ops.semijoin(left, right, plan.predicate)
+    if plan.op is OpKind.LEFT_ANTI:
+        return ops.antijoin(left, right, plan.predicate)
+    if plan.op is OpKind.GROUPJOIN:
+        assert plan.groupjoin_vector is not None
+        return ops.groupjoin(left, right, plan.predicate, plan.groupjoin_vector)
+    raise AssertionError(f"unhandled join kind {plan.op}")

@@ -1,0 +1,23 @@
+"""Query hypergraphs and the DPhyp csg-cmp-pair enumerator.
+
+Vertex sets are represented as Python integers used as bitsets, which keeps
+the enumeration loops allocation-free.  :mod:`repro.hypergraph.enumerate`
+implements ``EnumerateCsg`` / ``EnumerateCmp`` from Moerkotte & Neumann
+(VLDB 2006 / SIGMOD 2008 [6, 8]), generalised to hyperedges so that the
+conflict-detector TES sets of non-inner joins (SIGMOD 2013 [7]) plug in
+directly.
+"""
+
+from repro.hypergraph.bitset import bits_of, lowest_bit, set_of
+from repro.hypergraph.graph import Hyperedge, Hypergraph
+from repro.hypergraph.enumerate import count_ccps, enumerate_ccps
+
+__all__ = [
+    "Hyperedge",
+    "Hypergraph",
+    "enumerate_ccps",
+    "count_ccps",
+    "bits_of",
+    "set_of",
+    "lowest_bit",
+]

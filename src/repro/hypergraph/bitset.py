@@ -1,0 +1,54 @@
+"""Bitset helpers: integers as sets of vertex indices."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+def set_of(indices: Iterable[int]) -> int:
+    """Build a bitset from vertex indices."""
+    result = 0
+    for index in indices:
+        result |= 1 << index
+    return result
+
+
+def bits_of(bitset: int) -> Iterator[int]:
+    """Yield the vertex indices contained in *bitset* (ascending)."""
+    while bitset:
+        low = bitset & -bitset
+        yield low.bit_length() - 1
+        bitset ^= low
+
+
+def lowest_bit(bitset: int) -> int:
+    """Index of the smallest element; -1 for the empty set."""
+    if not bitset:
+        return -1
+    return (bitset & -bitset).bit_length() - 1
+
+
+def is_subset(small: int, big: int) -> bool:
+    """small ⊆ big."""
+    return small & ~big == 0
+
+
+def subsets(bitset: int) -> Iterator[int]:
+    """Enumerate all non-empty subsets of *bitset* (ascending order).
+
+    Uses the classic ``sub = (sub - 1) & bitset`` trick, reversed so that
+    smaller subsets come first — the order DPhyp's EnumerateCsgRec expects
+    (it must emit a csg before any of its supersets).
+    """
+    sub = bitset & -bitset if bitset else 0
+    collected = []
+    sub = bitset
+    while sub:
+        collected.append(sub)
+        sub = (sub - 1) & bitset
+    yield from reversed(collected)
+
+
+def prefix_below(index: int) -> int:
+    """``B_i`` — the set {v_0, ..., v_i} of all vertices up to *index*."""
+    return (1 << (index + 1)) - 1

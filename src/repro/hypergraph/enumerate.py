@@ -1,0 +1,114 @@
+"""The DPhyp csg-cmp-pair enumerator (Moerkotte & Neumann).
+
+``enumerate_ccps`` yields every csg-cmp-pair (Def. 3 of the paper) exactly
+once, in an order suitable for dynamic programming: both components of a
+pair are always emitted after all of their own connected subsets.  This is
+the enumeration backbone shared by *all* plan generators in the repository
+(DPhyp baseline, EA-All, EA-Prune, H1, H2) — exactly as in the paper, where
+only ``BuildPlans`` differs between algorithms.
+
+Like the published algorithm — which consults the DP table before emitting —
+the enumerator tracks which vertex sets are *buildable* (have at least one
+plan): the representative-based neighbourhood growth of hypergraph DPhyp can
+visit sets that no join of two connected parts can ever produce, and those
+must not surface as csg-cmp components.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.hypergraph.bitset import bits_of, prefix_below, subsets
+from repro.hypergraph.graph import Hypergraph
+
+
+class _Enumerator:
+    """Stateful DPhyp run over one hypergraph."""
+
+    def __init__(self, graph: Hypergraph):
+        self.graph = graph
+        # Mirrors "DPTable[S] is non-empty": singletons start buildable, and
+        # every emitted pair makes its union buildable.
+        self.buildable = {1 << v for v in range(graph.n)}
+
+    def run(self) -> Iterator[Tuple[int, int]]:
+        for i in range(self.graph.n - 1, -1, -1):
+            seed = 1 << i
+            yield from self.emit_csg(seed)
+            yield from self.enumerate_csg_rec(seed, prefix_below(i))
+
+    def enumerate_csg_rec(self, s1: int, excluded: int) -> Iterator[Tuple[int, int]]:
+        neighborhood = self.graph.neighborhood(s1, excluded)
+        if not neighborhood:
+            return
+        for subset in subsets(neighborhood):
+            grown = s1 | subset
+            if grown in self.buildable:
+                yield from self.emit_csg(grown)
+        for subset in subsets(neighborhood):
+            yield from self.enumerate_csg_rec(s1 | subset, excluded | neighborhood)
+
+    def emit_csg(self, s1: int) -> Iterator[Tuple[int, int]]:
+        min_index = (s1 & -s1).bit_length() - 1
+        excluded = s1 | prefix_below(min_index)
+        neighborhood = self.graph.neighborhood(s1, excluded)
+        for v in sorted(bits_of(neighborhood), reverse=True):
+            s2 = 1 << v
+            if self.graph.connected(s1, s2):
+                self.buildable.add(s1 | s2)
+                yield s1, s2
+            below = neighborhood & prefix_below(v)
+            yield from self.enumerate_cmp_rec(s1, s2, excluded | below)
+
+    def enumerate_cmp_rec(self, s1: int, s2: int, excluded: int) -> Iterator[Tuple[int, int]]:
+        neighborhood = self.graph.neighborhood(s2, excluded)
+        if not neighborhood:
+            return
+        for subset in subsets(neighborhood):
+            grown = s2 | subset
+            if grown in self.buildable and self.graph.connected(s1, grown):
+                self.buildable.add(s1 | grown)
+                yield s1, grown
+        for subset in subsets(neighborhood):
+            yield from self.enumerate_cmp_rec(s1, s2 | subset, excluded | neighborhood)
+
+
+def enumerate_ccps(graph: Hypergraph) -> Iterator[Tuple[int, int]]:
+    """Yield csg-cmp-pairs ``(S1, S2)`` (bitsets), each unordered pair once.
+
+    The enumeration follows the published algorithm:
+
+    * ``EnumerateCsg``: seeds every singleton {v_i} (descending i) and grows
+      connected subgraphs only with vertices of index > i,
+    * ``EmitCsg``: for each csg S1, finds complements among vertices larger
+      than min(S1) that are neighbours of S1,
+    * ``EnumerateCmpRec``: grows each complement seed into all connected
+      complements.
+    """
+    return _Enumerator(graph).run()
+
+
+def count_ccps(graph: Hypergraph) -> int:
+    """Number of csg-cmp-pairs (#ccp in the paper's complexity analysis)."""
+    return sum(1 for _ in enumerate_ccps(graph))
+
+
+def brute_force_ccps(graph: Hypergraph) -> set:
+    """Reference implementation straight from Def. 3 (for testing).
+
+    Enumerates every unordered pair of disjoint, individually connected
+    (buildable) vertex sets that are connected to each other by a hyperedge.
+    """
+    n = graph.n
+    result = set()
+    for s1 in range(1, 1 << n):
+        if not graph.induces_connected_subgraph(s1):
+            continue
+        for s2 in range(s1 + 1, 1 << n):
+            if s1 & s2:
+                continue
+            if not graph.induces_connected_subgraph(s2):
+                continue
+            if graph.connected(s1, s2):
+                result.add((s1, s2))
+    return result

@@ -1,0 +1,140 @@
+"""Query hypergraphs.
+
+A hypergraph ``H = (V, E)`` has vertices ``0..n-1`` (the base relations) and
+hyperedges ``(u, w)`` — pairs of disjoint, non-empty vertex sets.  A *simple*
+edge has ``|u| = |w| = 1``.  The conflict detector maps every operator of
+the initial tree to one hyperedge ``(L-TES, R-TES)``, so hyperedges carry an
+opaque ``label`` (the operator's edge id) for the plan generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
+
+from repro.hypergraph.bitset import bits_of, is_subset, lowest_bit, set_of
+
+
+@dataclass(frozen=True)
+class Hyperedge:
+    """An undirected hyperedge between two disjoint vertex sets (bitsets)."""
+
+    left: int
+    right: int
+    label: Any = None
+
+    def __post_init__(self) -> None:
+        if not self.left or not self.right:
+            raise ValueError("hyperedge sides must be non-empty")
+        if self.left & self.right:
+            raise ValueError("hyperedge sides must be disjoint")
+
+    @property
+    def simple(self) -> bool:
+        return self.left.bit_count() == 1 and self.right.bit_count() == 1
+
+    def vertices(self) -> int:
+        return self.left | self.right
+
+
+class Hypergraph:
+    """Vertices 0..n-1 plus a list of hyperedges."""
+
+    def __init__(self, n: int, edges: Sequence[Hyperedge] = ()):
+        if n <= 0:
+            raise ValueError("hypergraph needs at least one vertex")
+        self.n = n
+        self.edges: List[Hyperedge] = list(edges)
+        self.all_vertices = (1 << n) - 1
+        for edge in self.edges:
+            if edge.vertices() & ~self.all_vertices:
+                raise ValueError(f"edge {edge} references vertices outside 0..{n - 1}")
+        # Simple-edge adjacency per vertex accelerates the common case.
+        self._simple_neighbors = [0] * n
+        self._complex_edges: List[Hyperedge] = []
+        for edge in self.edges:
+            if edge.simple:
+                u = lowest_bit(edge.left)
+                w = lowest_bit(edge.right)
+                self._simple_neighbors[u] |= edge.right
+                self._simple_neighbors[w] |= edge.left
+            else:
+                self._complex_edges.append(edge)
+
+    @classmethod
+    def from_pairs(cls, n: int, pairs: Sequence[Tuple[int, int]]) -> "Hypergraph":
+        """Build a simple graph from vertex-index pairs (test convenience)."""
+        edges = [Hyperedge(1 << u, 1 << w, label=i) for i, (u, w) in enumerate(pairs)]
+        return cls(n, edges)
+
+    # -- connectivity -------------------------------------------------------
+    def neighborhood(self, s: int, excluded: int) -> int:
+        """``N(S, X)`` — DPhyp's neighbourhood of *s* avoiding *excluded*.
+
+        Simple neighbours contribute directly; a complex edge ``(u, w)``
+        with ``u ⊆ S`` and ``w ∩ (S ∪ X) = ∅`` contributes only ``min(w)``
+        as its representative (Moerkotte & Neumann 2008).
+        """
+        forbidden = s | excluded
+        result = 0
+        for v in bits_of(s):
+            result |= self._simple_neighbors[v]
+        result &= ~forbidden
+        for edge in self._complex_edges:
+            for u, w in ((edge.left, edge.right), (edge.right, edge.left)):
+                if is_subset(u, s) and not (w & forbidden):
+                    result |= 1 << lowest_bit(w)
+        return result
+
+    def connecting_edges(self, s1: int, s2: int) -> List[Hyperedge]:
+        """All hyperedges with one side inside *s1* and the other inside *s2*."""
+        found = []
+        for edge in self.edges:
+            if (is_subset(edge.left, s1) and is_subset(edge.right, s2)) or (
+                is_subset(edge.left, s2) and is_subset(edge.right, s1)
+            ):
+                found.append(edge)
+        return found
+
+    def connected(self, s1: int, s2: int) -> bool:
+        """Whether some hyperedge connects *s1* and *s2*."""
+        for edge in self.edges:
+            if (is_subset(edge.left, s1) and is_subset(edge.right, s2)) or (
+                is_subset(edge.left, s2) and is_subset(edge.right, s1)
+            ):
+                return True
+        return False
+
+    def induces_connected_subgraph(self, s: int) -> bool:
+        """Whether *s* is connected in the DP-relevant (buildable) sense.
+
+        For hypergraphs the right notion of connectivity is recursive: a set
+        is connected iff it is a single vertex, or it can be partitioned into
+        two connected parts S1, S2 linked by a hyperedge ``(u, w)`` with
+        ``u ⊆ S1 ∧ w ⊆ S2``.  (A set like {2,4} whose only incident
+        hyperedge is ({2,4}, {1}) is *not* connected: no plan could ever be
+        built for it.)  Computed bottom-up over the connected subsets of *s*.
+        """
+        if not s:
+            return False
+        if s.bit_count() == 1:
+            return True
+        known = {1 << v for v in bits_of(s)}
+        frontier = list(known)
+        while frontier:
+            a = frontier.pop()
+            for b in list(known):
+                if a & b:
+                    continue
+                combined = a | b
+                if combined in known or not is_subset(combined, s):
+                    continue
+                if self.connected(a, b):
+                    if combined == s:
+                        return True
+                    known.add(combined)
+                    frontier.append(combined)
+        return False
+
+    def __repr__(self) -> str:
+        return f"Hypergraph(n={self.n}, edges={len(self.edges)})"

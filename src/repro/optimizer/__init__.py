@@ -1,0 +1,38 @@
+"""The DP-based plan generators (paper Sec. 4).
+
+Entry point: :func:`optimize`, parameterised by the *strategy* — exactly the
+component the paper varies while keeping enumeration, applicability test and
+plan building shared (Fig. 5):
+
+=============  =====================================================
+``"dphyp"``    baseline DPhyp: lazy aggregation only (grouping on top)
+``"ea-all"``   BuildPlansAll — complete search space (Sec. 4.3)
+``"ea-prune"`` BuildPlansPrune — optimality-preserving pruning (Sec. 4.6)
+``"h1"``       BuildPlansH1 — single-plan heuristic (Sec. 4.4)
+``"h2"``       BuildPlansH2 — eagerness-adjusted costs (Sec. 4.5)
+=============  =====================================================
+"""
+
+from repro.optimizer.driver import OptimizationResult, optimize
+from repro.optimizer.planinfo import PlanBuilder, PlanInfo
+from repro.optimizer.strategies import (
+    DphypStrategy,
+    EaAllStrategy,
+    EaPruneStrategy,
+    H1Strategy,
+    H2Strategy,
+    make_strategy,
+)
+
+__all__ = [
+    "optimize",
+    "OptimizationResult",
+    "PlanBuilder",
+    "PlanInfo",
+    "make_strategy",
+    "DphypStrategy",
+    "EaAllStrategy",
+    "EaPruneStrategy",
+    "H1Strategy",
+    "H2Strategy",
+]

@@ -1,0 +1,224 @@
+"""The DP driver: DPhyp enumeration + OpTrees + strategy insertion.
+
+This is the paper's Fig. 5 skeleton with the eager-aggregation extensions:
+
+1. initialise the DP table with access paths,
+2. enumerate csg-cmp-pairs of the conflict hypergraph,
+3. test operator applicability (conflict rules),
+4. build plans — ``OpTrees`` generates up to four grouping placements per
+   join (Fig. 8), and the chosen strategy decides what survives,
+5. finalise plans for the full relation set (top grouping or Eqv.-42
+   elimination) through ``InsertTopLevelPlan``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.algebra.expressions import conjunction
+from repro.conflict.detector import AnnotatedEdge, detect
+from repro.hypergraph.enumerate import enumerate_ccps
+from repro.optimizer.planinfo import PlanBuilder, PlanInfo
+from repro.optimizer.strategies import Strategy, make_strategy
+from repro.query.spec import Query
+from repro.rewrites.pushdown import OpKind, pushdown_valid_for
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimizer run."""
+
+    plan: PlanInfo
+    strategy: str
+    elapsed_seconds: float
+    ccp_count: int
+    plans_built: int
+    table_sizes: Dict[int, int]
+
+    @property
+    def cost(self) -> float:
+        return self.plan.cost
+
+
+class _JoinSpec:
+    """Resolved operator for one csg-cmp-pair: op, predicate, selectivity."""
+
+    __slots__ = ("op", "predicate", "selectivity", "groupjoin_vector", "swap")
+
+    def __init__(self, op, predicate, selectivity, groupjoin_vector, swap):
+        self.op = op
+        self.predicate = predicate
+        self.selectivity = selectivity
+        self.groupjoin_vector = groupjoin_vector
+        self.swap = swap
+
+
+def optimize(query: Query, strategy: str | Strategy = "ea-prune", factor: float = 1.03) -> OptimizationResult:
+    """Optimize *query* with the given strategy and return the final plan."""
+    chosen = strategy if isinstance(strategy, Strategy) else make_strategy(strategy, factor)
+    start = time.perf_counter()
+
+    annotated, graph = detect(query)
+    builder = PlanBuilder(query)
+    all_mask = query.all_relations_mask
+
+    table: Dict[int, List[PlanInfo]] = {}
+    for vertex in range(len(query.relations)):
+        table[1 << vertex] = [builder.leaf(vertex)]
+
+    plans_built = len(table)
+    ccp_count = 0
+
+    if len(query.relations) == 1:
+        top: List[PlanInfo] = []
+        chosen.insert_top(top, builder.finish_top(table[1][0]))
+        table[all_mask] = top
+
+    for s1, s2 in enumerate_ccps(graph):
+        ccp_count += 1
+        spec = _resolve_edge(annotated, query, s1, s2)
+        if spec is None:
+            continue
+        left_set, right_set = (s2, s1) if spec.swap else (s1, s2)
+        left_bucket = table.get(left_set, ())
+        right_bucket = table.get(right_set, ())
+        if not left_bucket or not right_bucket:
+            continue
+        combined = left_set | right_set
+        is_top = combined == all_mask
+        bucket = table.setdefault(combined, [])
+        for left_plan in left_bucket:
+            for right_plan in right_bucket:
+                for plan in _op_trees(builder, chosen, left_plan, right_plan, spec):
+                    plans_built += 1
+                    if is_top:
+                        chosen.insert_top(bucket, builder.finish_top(plan))
+                    else:
+                        chosen.insert(bucket, plan)
+
+    final = table.get(all_mask, [])
+    if not final:
+        raise RuntimeError("no plan found — query hypergraph not fully connectable")
+    best = min(final, key=lambda p: p.cost)
+    elapsed = time.perf_counter() - start
+    return OptimizationResult(
+        plan=best,
+        strategy=chosen.name,
+        elapsed_seconds=elapsed,
+        ccp_count=ccp_count,
+        plans_built=plans_built,
+        table_sizes={mask: len(plans) for mask, plans in table.items()},
+    )
+
+
+def _resolve_edge(
+    annotated: Sequence[AnnotatedEdge], query: Query, s1: int, s2: int
+) -> Optional[_JoinSpec]:
+    """Determine the operator applied when joining *s1* and *s2*.
+
+    Exactly one edge crossing: use its operator (checking applicability in
+    both orientations; non-commutative operators fix the orientation).
+    Multiple crossing edges: only legal when all of them are inner joins —
+    their predicates are conjoined and selectivities multiplied.
+    """
+    crossing = [
+        e
+        for e in annotated
+        if (_subset(e.l_tes, s1) and _subset(e.r_tes, s2))
+        or (_subset(e.l_tes, s2) and _subset(e.r_tes, s1))
+    ]
+    if not crossing:
+        return None
+
+    if len(crossing) == 1:
+        edge = crossing[0]
+        join_edge = query.edge(edge.edge_id)
+        if edge.applicable(s1, s2):
+            return _JoinSpec(
+                edge.op, join_edge.predicate, join_edge.selectivity,
+                join_edge.groupjoin_vector, swap=False,
+            )
+        if edge.applicable(s2, s1):
+            return _JoinSpec(
+                edge.op, join_edge.predicate, join_edge.selectivity,
+                join_edge.groupjoin_vector, swap=True,
+            )
+        return None
+
+    # Several predicates meet at this ccp (cyclic inner-join queries).
+    if any(e.op is not OpKind.INNER for e in crossing):
+        return None
+    predicates = []
+    selectivity = 1.0
+    for edge in crossing:
+        if not (edge.applicable(s1, s2) or edge.applicable(s2, s1)):
+            return None
+        join_edge = query.edge(edge.edge_id)
+        predicates.append(join_edge.predicate)
+        selectivity *= join_edge.selectivity
+    return _JoinSpec(OpKind.INNER, conjunction(predicates), selectivity, None, swap=False)
+
+
+def _subset(small: int, big: int) -> bool:
+    return small & ~big == 0
+
+
+def _op_trees(
+    builder: PlanBuilder,
+    strategy: Strategy,
+    left: PlanInfo,
+    right: PlanInfo,
+    spec: _JoinSpec,
+):
+    """``OpTrees`` (Fig. 6): the up-to-four grouping placements of Fig. 8."""
+    plain = builder.join(
+        left, right, spec.op, spec.predicate, spec.selectivity, spec.groupjoin_vector
+    )
+    if plain is not None:
+        yield plain
+    if not strategy.explore_eager:
+        return
+
+    grouped_left: Optional[PlanInfo] = None
+    grouped_right: Optional[PlanInfo] = None
+
+    # NOTE on NeedsGrouping (Fig. 6, lines 10/15): the paper skips grouped
+    # variants whose grouping attributes contain a key.  That test is
+    # *plan-dependent* while the grouping-output estimate is not, which
+    # makes the skip inconsistent across dominance-equivalent plans and can
+    # break EA-Prune's optimality under a statistics-based estimator.  We
+    # therefore skip only the genuinely degenerate case (grouping a
+    # duplicate-free input whose grouping attributes are a key *and* whose
+    # estimated reduction is nil is still generated — pruning or cost will
+    # discard it), keeping the DP-class continuation sets consistent.
+    if pushdown_valid_for(spec.op, 1):
+        g_plus = builder.needed_above(left.rel_set) & left.raw_attrs
+        grouped_left = builder.group(left, g_plus)
+        if grouped_left is not None:
+            plan = builder.join(
+                grouped_left, right, spec.op, spec.predicate, spec.selectivity,
+                spec.groupjoin_vector,
+            )
+            if plan is not None:
+                yield plan
+
+    if pushdown_valid_for(spec.op, 2):
+        g_plus = builder.needed_above(right.rel_set) & right.raw_attrs
+        grouped_right = builder.group(right, g_plus)
+        if grouped_right is not None:
+            plan = builder.join(
+                left, grouped_right, spec.op, spec.predicate, spec.selectivity,
+                spec.groupjoin_vector,
+            )
+            if plan is not None:
+                yield plan
+
+    if grouped_left is not None and grouped_right is not None:
+        plan = builder.join(
+            grouped_left, grouped_right, spec.op, spec.predicate, spec.selectivity,
+            spec.groupjoin_vector,
+        )
+        if plan is not None:
+            yield plan

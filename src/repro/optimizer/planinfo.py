@@ -1,0 +1,574 @@
+"""Plan records and the plan builder — the DP algorithms' working material.
+
+A :class:`PlanInfo` wraps an executable plan node with every derived
+property the algorithms need:
+
+* ``cost`` — the paper's ``Cout`` (sum of intermediate result sizes,
+  Sec. 4.4; scans and projections are free),
+* ``cardinality`` and per-attribute ``distinct`` counts,
+* ``keys`` (Sec. 2.3) and ``duplicate_free`` — inputs to ``NeedsGrouping``
+  (Fig. 7) and to the dominance pruning (Def. 4, via candidate keys),
+* the **aggregation state**: per original aggregate a *term* (an aggregate
+  call over the plan's current columns — raw, ⊗-scaled, or the outer stage
+  of a pushed-down decomposition) plus the plan's *scale columns* (count(*)
+  columns introduced by pushed groupings that still multiply other sides'
+  duplicate-sensitive aggregates),
+* ``defaults`` — default values for the plan's aggregate/count columns,
+  applied when a generalised outerjoin pads this side (Eqvs. 11/12/14/...).
+
+The aggregation state is how the Fig. 3 equivalences compose across
+arbitrarily many pushdowns inside one DP run: joining two plans ⊗-scales
+each side's terms by the other side's scale columns, and grouping a plan
+decomposes every term into inner/outer stages while folding the plan's old
+scale columns into the new count column (``count(*) ⊗ c`` = ``sum(c)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.aggregates.calls import AggCall, AggKind
+from repro.aggregates.transform import (
+    NotDecomposableError,
+    decompose_call,
+    scale_call,
+    single_row_expr,
+)
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra.expressions import Expr, attrs_of
+from repro.algebra.values import SqlValue
+from repro.cardinality.estimate import (
+    antijoin_cardinality,
+    distinct_after,
+    domain_product,
+    grouping_cardinality,
+    join_cardinality,
+    outerjoin_cardinality,
+    semijoin_cardinality,
+)
+from repro.plans.nodes import (
+    GroupByNode,
+    JoinNode,
+    MapNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+)
+from repro.query.spec import Query
+from repro.rewrites.pushdown import OpKind
+
+_KEY_LIMIT = 12  # cap on tracked candidate keys per plan
+
+
+@dataclass(frozen=True)
+class PlanInfo:
+    """One plan for a relation set, with all derived DP properties."""
+
+    node: PlanNode
+    rel_set: int
+    cost: float
+    cardinality: float
+    keys: Tuple[FrozenSet[str], ...]
+    duplicate_free: bool
+    raw_attrs: FrozenSet[str]
+    distinct: Dict[str, float]
+    terms: Dict[str, AggCall]
+    scale_cols: Tuple[str, ...]
+    defaults: Dict[str, SqlValue]
+    eagerness: int = 0
+    #: attribute equivalence classes induced by applied inner-join equality
+    #: predicates (x = y ∧ x key ⇒ y determines the row too).  This is the
+    #: slice of the FD closure that Def. 4 / NeedsGrouping actually needs.
+    equiv: Tuple[FrozenSet[str], ...] = ()
+
+    def closure(self, attrs: FrozenSet[str]) -> FrozenSet[str]:
+        """Attributes plus everything equal to them (equivalence closure)."""
+        out = set(attrs)
+        for cls in self.equiv:
+            if cls & out:
+                out |= cls
+        return frozenset(out)
+
+    def has_key_within(self, attrs: FrozenSet[str]) -> bool:
+        """Whether some candidate key is implied by *attrs* (via closure)."""
+        closed = self.closure(frozenset(attrs))
+        return any(key <= closed for key in self.keys)
+
+
+def needs_grouping(group_attrs: FrozenSet[str], plan: PlanInfo) -> bool:
+    """``NeedsGrouping`` (Fig. 7): grouping is a no-op iff the grouping
+    attributes contain a key of a duplicate-free input."""
+    return not (plan.duplicate_free and plan.has_key_within(group_attrs))
+
+
+def _equality_pairs(predicate: Expr) -> List[Tuple[str, str]]:
+    """Attribute pairs equated by the predicate's top-level conjuncts."""
+    from repro.algebra.expressions import Attr, BinOp, Logical
+
+    pairs: List[Tuple[str, str]] = []
+
+    def walk(expr: Expr) -> None:
+        if isinstance(expr, Logical) and expr.op == "and":
+            for operand in expr.operands:
+                walk(operand)
+        elif (
+            isinstance(expr, BinOp)
+            and expr.op == "="
+            and isinstance(expr.left, Attr)
+            and isinstance(expr.right, Attr)
+        ):
+            pairs.append((expr.left.name, expr.right.name))
+
+    walk(predicate)
+    return pairs
+
+
+def _merge_equiv(
+    classes: Sequence[FrozenSet[str]], pairs: Sequence[Tuple[str, str]]
+) -> Tuple[FrozenSet[str], ...]:
+    """Union equivalence classes with newly equated attribute pairs."""
+    groups: List[set] = [set(cls) for cls in classes]
+    for a, b in pairs:
+        touching = [g for g in groups if a in g or b in g]
+        merged = {a, b}
+        for g in touching:
+            merged |= g
+            groups.remove(g)
+        groups.append(merged)
+    return tuple(frozenset(g) for g in groups if len(g) >= 2)
+
+
+def _restrict_equiv(
+    classes: Sequence[FrozenSet[str]], attrs: FrozenSet[str]
+) -> Tuple[FrozenSet[str], ...]:
+    """Drop class members that no longer exist in the plan output."""
+    restricted = [cls & attrs for cls in classes]
+    return tuple(cls for cls in restricted if len(cls) >= 2)
+
+
+def _minimal_keys(keys: Sequence[FrozenSet[str]]) -> Tuple[FrozenSet[str], ...]:
+    """Drop keys that are supersets of other keys; cap the key count."""
+    unique = sorted(set(keys), key=lambda k: (len(k), sorted(k)))
+    minimal: List[FrozenSet[str]] = []
+    for key in unique:
+        if not any(other < key or other == key for other in minimal):
+            minimal.append(key)
+    return tuple(minimal[:_KEY_LIMIT])
+
+
+class PlanBuilder:
+    """Constructs :class:`PlanInfo` objects for one query."""
+
+    def __init__(self, query: Query):
+        self.query = query
+        self._group_counter = 0
+        # Source relation mask per normalized aggregate; count(*)-style
+        # aggregates (no referenced attributes — special case S1 of Def. 1)
+        # are assigned to vertex 0.
+        self.term_sources: Dict[str, int] = {}
+        self.original_calls: Dict[str, AggCall] = {}
+        self.term_defaults: Dict[str, SqlValue] = {}
+        for item in query.normalized.vector:
+            referenced = item.call.attributes()
+            mask = query.vertices_of(referenced) if referenced else 1
+            self.term_sources[item.name] = mask
+            self.original_calls[item.name] = item.call
+            self.term_defaults[item.name] = item.call.evaluate_on_null_tuple()
+        self._needed_above_cache: Dict[int, FrozenSet[str]] = {}
+        self._gj_scaling = query.groupjoin_scaling_requirements()
+
+    # ------------------------------------------------------------------
+    def needed_above(self, mask: int) -> FrozenSet[str]:
+        cached = self._needed_above_cache.get(mask)
+        if cached is None:
+            cached = self.query.needed_above(mask)
+            self._needed_above_cache[mask] = cached
+        return cached
+
+    def _fresh_suffix(self) -> str:
+        self._group_counter += 1
+        return f"#g{self._group_counter}"
+
+    # ------------------------------------------------------------------
+    def leaf(self, vertex: int) -> PlanInfo:
+        """Initial access path for one base relation (Fig. 5, lines 1–2)."""
+        rel = self.query.relations[vertex]
+        node: PlanNode = ScanNode(rel.name, rel.attributes)
+        cardinality = float(rel.cardinality)
+        local = self.query.local_predicates.get(vertex)
+        if local is not None:
+            predicate, selectivity = local
+            node = SelectNode(predicate, node)
+            cardinality *= selectivity
+        mask = 1 << vertex
+        terms = {
+            name: self.original_calls[name]
+            for name, source in self.term_sources.items()
+            if source == mask
+        }
+        distinct = {a: rel.distinct_count(a) for a in rel.attributes}
+        return PlanInfo(
+            node=node,
+            rel_set=mask,
+            cost=0.0,  # Cout: single-table scans are free (Sec. 4.4)
+            cardinality=cardinality,
+            keys=_minimal_keys(rel.all_keys()),
+            duplicate_free=rel.duplicate_free,
+            raw_attrs=frozenset(rel.attributes),
+            distinct=distinct,
+            terms=terms,
+            scale_cols=(),
+            defaults={},
+            eagerness=0,
+        )
+
+    # ------------------------------------------------------------------
+    def join(
+        self,
+        left: PlanInfo,
+        right: PlanInfo,
+        op: OpKind,
+        predicate: Expr,
+        selectivity: float,
+        groupjoin_vector: Optional[AggVector] = None,
+    ) -> Optional[PlanInfo]:
+        """Join two plans; returns ``None`` if the aggregation state cannot
+        be maintained (e.g. a non-scalable term)."""
+        mask = left.rel_set | right.rel_set
+
+        # --- aggregation state -----------------------------------------
+        terms: Dict[str, AggCall] = {}
+        try:
+            if op in (OpKind.LEFT_SEMI, OpKind.LEFT_ANTI):
+                # Right side contributes no rows: left multiplicities are
+                # unchanged, no ⊗ scaling required (Eqvs. 37/38).
+                terms.update(left.terms)
+                result_scale = left.scale_cols
+            elif op is OpKind.GROUPJOIN:
+                # Every left tuple appears exactly once; the groupjoin's own
+                # vector absorbs the right side's scale columns instead.
+                terms.update(left.terms)
+                result_scale = left.scale_cols
+            else:
+                for name, call in left.terms.items():
+                    terms[name] = scale_call(call, right.scale_cols)
+                for name, call in right.terms.items():
+                    terms[name] = scale_call(call, left.scale_cols)
+                result_scale = left.scale_cols + right.scale_cols
+        except Exception:
+            return None
+
+        gj_vector = groupjoin_vector
+        if op is OpKind.GROUPJOIN and gj_vector is not None and right.scale_cols:
+            from repro.aggregates.transform import NotScalableError, scale_vector
+
+            try:
+                gj_vector = scale_vector(gj_vector, right.scale_cols)
+            except NotScalableError:
+                return None
+
+        raw_attrs: FrozenSet[str]
+        if op in (OpKind.LEFT_SEMI, OpKind.LEFT_ANTI):
+            raw_attrs = left.raw_attrs
+        elif op is OpKind.GROUPJOIN:
+            assert gj_vector is not None
+            raw_attrs = left.raw_attrs | frozenset(gj_vector.names())
+        else:
+            raw_attrs = left.raw_attrs | right.raw_attrs
+
+        # Materialise terms whose sources are first fully covered here
+        # (cross-side aggregates and groupjoin-output aggregates).
+        for name, source in self.term_sources.items():
+            if name in terms:
+                continue
+            if source & mask != source:
+                continue
+            call = self.original_calls[name]
+            if not call.attributes() <= raw_attrs:
+                return None  # raw inputs no longer available
+            terms[name] = scale_call(call, result_scale)
+
+        # --- plan node ---------------------------------------------------
+        left_defaults: Tuple[Tuple[str, SqlValue], ...] = ()
+        right_defaults: Tuple[Tuple[str, SqlValue], ...] = ()
+        if op is OpKind.FULL_OUTER:
+            left_defaults = tuple(sorted(left.defaults.items()))
+            right_defaults = tuple(sorted(right.defaults.items()))
+        elif op is OpKind.LEFT_OUTER:
+            right_defaults = tuple(sorted(right.defaults.items()))
+        node = JoinNode(
+            op=op,
+            predicate=predicate,
+            left=left.node,
+            right=right.node,
+            left_defaults=left_defaults,
+            right_defaults=right_defaults,
+            groupjoin_vector=gj_vector,
+        )
+
+        # --- statistics ---------------------------------------------------
+        cardinality = self._join_cardinality(op, left, right, predicate, selectivity)
+        cost = cardinality + left.cost + right.cost
+        keys = self._join_keys(op, left, right, predicate)
+        duplicate_free = left.duplicate_free and (
+            op in (OpKind.LEFT_SEMI, OpKind.LEFT_ANTI, OpKind.GROUPJOIN)
+            or right.duplicate_free
+        )
+        distinct = dict(left.distinct)
+        if op not in (OpKind.LEFT_SEMI, OpKind.LEFT_ANTI, OpKind.GROUPJOIN):
+            distinct.update(right.distinct)
+
+        defaults = dict(left.defaults)
+        if op not in (OpKind.LEFT_SEMI, OpKind.LEFT_ANTI):
+            defaults.update(right.defaults)
+
+        if op in (OpKind.LEFT_SEMI, OpKind.LEFT_ANTI, OpKind.GROUPJOIN):
+            equiv = left.equiv
+        else:
+            equiv = left.equiv + right.equiv
+            if op is OpKind.INNER:
+                # Only inner joins guarantee the equality for *every* output
+                # row; outerjoin padding breaks it.
+                equiv = _merge_equiv(equiv, _equality_pairs(predicate))
+
+        from repro.plans.nodes import direct_grouping_children
+
+        return PlanInfo(
+            node=node,
+            rel_set=mask,
+            cost=cost,
+            cardinality=cardinality,
+            keys=keys,
+            duplicate_free=duplicate_free,
+            raw_attrs=raw_attrs,
+            distinct=distinct,
+            terms=terms,
+            scale_cols=result_scale,
+            defaults=defaults,
+            eagerness=direct_grouping_children(node),
+            equiv=equiv,
+        )
+
+    def _join_cardinality(
+        self, op: OpKind, left: PlanInfo, right: PlanInfo, predicate: Expr, selectivity: float
+    ) -> float:
+        """Result-size estimate; existence-test terms use *distinct* join
+        value counts, which are invariants of the relation set (see
+        :mod:`repro.cardinality.estimate`)."""
+        l, r = left.cardinality, right.cardinality
+        if op is OpKind.INNER:
+            return join_cardinality(l, r, selectivity)
+        join_attrs = attrs_of(predicate)
+        d_right = domain_product(
+            [a for a in join_attrs if a in right.raw_attrs], right.distinct
+        )
+        d_left = domain_product(
+            [a for a in join_attrs if a in left.raw_attrs], left.distinct
+        )
+        if op is OpKind.LEFT_OUTER:
+            return outerjoin_cardinality(
+                l, r, selectivity, full=False, right_join_values=d_right
+            )
+        if op is OpKind.FULL_OUTER:
+            return outerjoin_cardinality(
+                l, r, selectivity, full=True,
+                right_join_values=d_right, left_join_values=d_left,
+            )
+        if op is OpKind.LEFT_SEMI:
+            return semijoin_cardinality(l, r, selectivity, right_join_values=d_right)
+        if op is OpKind.LEFT_ANTI:
+            return antijoin_cardinality(l, r, selectivity, right_join_values=d_right)
+        if op is OpKind.GROUPJOIN:
+            return l
+        raise AssertionError(op)
+
+    def _join_keys(
+        self, op: OpKind, left: PlanInfo, right: PlanInfo, predicate: Expr
+    ) -> Tuple[FrozenSet[str], ...]:
+        """κ for join results (Sec. 2.3)."""
+        if op in (OpKind.LEFT_SEMI, OpKind.LEFT_ANTI, OpKind.GROUPJOIN):
+            return left.keys
+
+        join_attrs = attrs_of(predicate)
+        a1 = frozenset(a for a in join_attrs if a in left.raw_attrs)
+        a2 = frozenset(a for a in join_attrs if a in right.raw_attrs)
+        left_keyed = left.has_key_within(a1)
+        right_keyed = right.has_key_within(a2)
+
+        if op is OpKind.INNER:
+            if left_keyed and right_keyed:
+                return _minimal_keys(left.keys + right.keys)
+            if left_keyed:
+                return right.keys
+            if right_keyed:
+                return left.keys
+            return _pairwise_keys(left.keys, right.keys)
+        if op is OpKind.LEFT_OUTER:
+            if right_keyed:
+                return left.keys
+            return _pairwise_keys(left.keys, right.keys)
+        # full outerjoin: always combine (Sec. 2.3.3)
+        return _pairwise_keys(left.keys, right.keys)
+
+    # ------------------------------------------------------------------
+    def group(self, plan: PlanInfo, group_attrs: FrozenSet[str]) -> Optional[PlanInfo]:
+        """Push an eager grouping ``Γ_{G⁺}`` onto *plan* (the ``Valid`` +
+        construction step of OpTrees, Fig. 6).
+
+        Returns ``None`` when invalid: a term is neither decomposable nor
+        preserved raw by the grouping attributes.
+        """
+        g_plus = tuple(a for a in _ordered(plan, group_attrs))
+        suffix = self._fresh_suffix()
+
+        inner_items: List[AggItem] = []
+        new_terms: Dict[str, AggCall] = {}
+        new_defaults: Dict[str, SqlValue] = {}
+        for name, call in plan.terms.items():
+            if call.decomposable and not (call.kind is AggKind.AVG):
+                inner_name = f"{name}{suffix}"
+                try:
+                    inner, outer = decompose_call(call, inner_name)
+                except NotDecomposableError:
+                    return None
+                inner_items.append(AggItem(inner_name, inner))
+                new_terms[name] = outer
+                new_defaults[inner_name] = self.term_defaults[name]
+            elif call.attributes() <= group_attrs:
+                # Duplicate-agnostic, non-decomposable aggregates survive
+                # verbatim when their inputs are grouping attributes.
+                if not call.duplicate_agnostic:
+                    return None
+                new_terms[name] = call
+            else:
+                return None
+
+        need_count = self._need_count(plan.rel_set)
+        count_name: Optional[str] = None
+        if need_count:
+            count_call = scale_call(AggCall(AggKind.COUNT_STAR), plan.scale_cols)
+            # Sec. 3.1.1: "since there already exists one count(*) ... we
+            # keep only one of them" — reuse an identical inner column.
+            for item in inner_items:
+                if item.call == count_call:
+                    count_name = item.name
+                    break
+            if count_name is None:
+                count_name = f"#cnt{suffix}"
+                inner_items.append(AggItem(count_name, count_call))
+                new_defaults[count_name] = 1
+
+        vector = AggVector(inner_items)
+        node = GroupByNode(group_attrs=g_plus, vector=vector, child=plan.node)
+
+        domain = distinct_after(g_plus, plan.distinct, plan.cardinality)
+        cardinality = grouping_cardinality(plan.cardinality, domain)
+        keys = _minimal_keys(
+            (frozenset(g_plus),) + tuple(k for k in plan.keys if k <= group_attrs)
+        )
+        # Distinct counts stay *uncapped* in storage: they are relation-set
+        # invariants, which keeps existence-test estimates identical across
+        # all plans of a set (a precondition for sound dominance pruning).
+        distinct = {a: plan.distinct.get(a, plan.cardinality) for a in g_plus}
+
+        return PlanInfo(
+            node=node,
+            rel_set=plan.rel_set,
+            cost=plan.cost + cardinality,  # Cout adds |Γ(e)|
+            cardinality=cardinality,
+            keys=keys,
+            duplicate_free=True,
+            raw_attrs=frozenset(g_plus),
+            distinct=distinct,
+            terms=new_terms,
+            scale_cols=(count_name,) if count_name else (),
+            defaults=new_defaults,
+            eagerness=0,
+            equiv=_restrict_equiv(plan.equiv, frozenset(g_plus)),
+        )
+
+    def _need_count(self, mask: int) -> bool:
+        """Whether a pushed grouping on *mask* must carry a count column:
+        some aggregate outside (or straddling) *mask* is duplicate
+        sensitive and will need ⊗ scaling, or the grouping sits inside a
+        groupjoin's right subtree whose vector F̂ is duplicate sensitive."""
+        for name, source in self.term_sources.items():
+            if source & ~mask and self.original_calls[name].duplicate_sensitive:
+                return True
+        for right_mask, sensitive in self._gj_scaling:
+            if sensitive and mask & right_mask and not mask & ~right_mask:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def finish_top(self, plan: PlanInfo) -> PlanInfo:
+        """Finalise a plan for the full relation set: add the top grouping,
+        or eliminate it via Eqv. 42 when ``NeedsGrouping`` is false."""
+        group_attrs = frozenset(self.query.group_by)
+        names = [item.name for item in self.query.normalized.vector]
+        post = self.query.normalized.post
+        out_attrs = tuple(self.query.group_by) + tuple(name for name, _ in post)
+
+        if not needs_grouping(group_attrs, plan):
+            # Π_C(χ_F̂(e)) — the top grouping would see singleton groups.
+            extensions = tuple((name, single_row_expr(plan.terms[name])) for name in names)
+            node: PlanNode = MapNode(extensions, plan.node)
+            avg_exprs = tuple((name, expr) for name, expr in post if name not in set(names))
+            if avg_exprs:
+                node = MapNode(avg_exprs, node)
+            node = ProjectNode(out_attrs, node)
+            return replace(
+                plan,
+                node=node,
+                raw_attrs=frozenset(out_attrs),
+                keys=_minimal_keys(tuple(k for k in plan.keys if k <= frozenset(out_attrs))),
+            )
+
+        vector = AggVector(AggItem(name, plan.terms[name]) for name in names)
+        node = GroupByNode(
+            group_attrs=tuple(self.query.group_by),
+            vector=vector,
+            child=plan.node,
+            post=tuple(post) if _has_avg_post(post, names) else (),
+        )
+        domain = distinct_after(self.query.group_by, plan.distinct, plan.cardinality)
+        cardinality = grouping_cardinality(plan.cardinality, domain)
+        return PlanInfo(
+            node=node,
+            rel_set=plan.rel_set,
+            cost=plan.cost + cardinality,
+            cardinality=cardinality,
+            keys=(group_attrs,) if group_attrs else (frozenset(),),
+            duplicate_free=True,
+            raw_attrs=frozenset(node.attributes),
+            distinct={a: min(plan.distinct.get(a, cardinality), cardinality) for a in group_attrs},
+            terms={},
+            scale_cols=(),
+            defaults={},
+            eagerness=plan.eagerness,
+        )
+
+
+def _has_avg_post(post, names) -> bool:
+    """True when the post projections do more than pass names through."""
+    from repro.algebra.expressions import Attr
+
+    for name, expr in post:
+        if not (isinstance(expr, Attr) and expr.name == name):
+            return True
+    return False
+
+
+def _ordered(plan: PlanInfo, attrs: FrozenSet[str]) -> List[str]:
+    """Stable ordering of grouping attributes (schema order where known)."""
+    ordered = [a for a in sorted(attrs)]
+    return ordered
+
+
+def _pairwise_keys(
+    keys1: Sequence[FrozenSet[str]], keys2: Sequence[FrozenSet[str]]
+) -> Tuple[FrozenSet[str], ...]:
+    combined = [k1 | k2 for k1 in keys1 for k2 in keys2]
+    return _minimal_keys(combined)

@@ -1,0 +1,172 @@
+"""The BuildPlans strategies — the only component the paper's four
+algorithms differ in (Figs. 5, 9, 10, 12, 13, 14).
+
+Each strategy answers two questions:
+
+* ``explore_eager`` — should OpTrees generate the grouping placements
+  (b)/(c)/(d) of Fig. 8 at all?  (False only for the DPhyp baseline.)
+* ``insert(bucket, plan)`` — which plans survive in the DP table entry.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.optimizer.planinfo import PlanInfo
+
+
+class Strategy:
+    """Base class: a DP-table insertion policy."""
+
+    name = "abstract"
+    explore_eager = True
+
+    def insert(self, bucket: List[PlanInfo], plan: PlanInfo) -> None:
+        raise NotImplementedError
+
+    def insert_top(self, bucket: List[PlanInfo], plan: PlanInfo) -> None:
+        """``InsertTopLevelPlan`` (Fig. 9): keep the single cheapest plan."""
+        if not bucket:
+            bucket.append(plan)
+        elif plan.cost < bucket[0].cost:
+            bucket[0] = plan
+
+
+class DphypStrategy(Strategy):
+    """Baseline DPhyp: lazy aggregation only, one optimal plan per class."""
+
+    name = "dphyp"
+    explore_eager = False
+
+    def insert(self, bucket: List[PlanInfo], plan: PlanInfo) -> None:
+        if not bucket:
+            bucket.append(plan)
+        elif plan.cost < bucket[0].cost:
+            bucket[0] = plan
+
+
+class EaAllStrategy(Strategy):
+    """BuildPlansAll (Fig. 9): keep *every* plan — exhaustive, optimal,
+    runtime O(2^{2n-1} · #ccp)."""
+
+    name = "ea-all"
+
+    def insert(self, bucket: List[PlanInfo], plan: PlanInfo) -> None:
+        bucket.append(plan)
+
+
+class EaPruneStrategy(Strategy):
+    """BuildPlansPrune (Figs. 13/14): dominance pruning, still optimal.
+
+    A plan T1 dominates T2 iff cost, cardinality and functional
+    dependencies are all no worse (Def. 4).  As sanctioned by the paper,
+    FD-closure comparison is implemented via candidate-key sets; the
+    duplicate-freeness flag participates because ``NeedsGrouping`` and
+    Eqv. 42 depend on it.
+
+    The ``criteria`` knob exists for the ablation benchmark: dropping the
+    cardinality or FD dimension makes pruning more aggressive but destroys
+    the optimality guarantee — exactly the point of Def. 4's three clauses.
+    """
+
+    name = "ea-prune"
+
+    def __init__(self, criteria: str = "full"):
+        if criteria not in ("full", "cost-card", "cost-only"):
+            raise ValueError(f"unknown pruning criteria {criteria!r}")
+        self.criteria = criteria
+        if criteria != "full":
+            self.name = f"ea-prune[{criteria}]"
+
+    def _dominates(self, a: PlanInfo, b: PlanInfo) -> bool:
+        if a.cost > b.cost:
+            return False
+        if self.criteria == "cost-only":
+            return True
+        if a.cardinality > b.cardinality:
+            return False
+        if self.criteria == "cost-card":
+            return True
+        return _fd_superset(a, b)
+
+    def insert(self, bucket: List[PlanInfo], plan: PlanInfo) -> None:
+        for existing in bucket:
+            if self._dominates(existing, plan):
+                return  # dominated: discard the new plan
+        bucket[:] = [
+            existing for existing in bucket if not self._dominates(plan, existing)
+        ]
+        bucket.append(plan)
+
+
+class H1Strategy(Strategy):
+    """BuildPlansH1 (Fig. 10): local greedy choice, single plan per class."""
+
+    name = "h1"
+
+    def insert(self, bucket: List[PlanInfo], plan: PlanInfo) -> None:
+        if not bucket:
+            bucket.append(plan)
+        elif plan.cost < bucket[0].cost:
+            bucket[0] = plan
+
+
+class H2Strategy(Strategy):
+    """BuildPlansH2 (Fig. 12): cost comparison biased towards *more eager*
+    plans by the tolerance factor F (``CompareAdjustedCosts``)."""
+
+    name = "h2"
+
+    def __init__(self, factor: float = 1.03):
+        if factor < 1.0:
+            raise ValueError("tolerance factor must be >= 1")
+        self.factor = factor
+
+    def insert(self, bucket: List[PlanInfo], plan: PlanInfo) -> None:
+        if not bucket:
+            bucket.append(plan)
+        elif self._compare_adjusted(plan, bucket[0]):
+            bucket[0] = plan
+
+    def _compare_adjusted(self, new: PlanInfo, old: PlanInfo) -> bool:
+        if new.eagerness == old.eagerness:
+            return new.cost < old.cost
+        if new.eagerness < old.eagerness:
+            return self.factor * new.cost < old.cost
+        return new.cost < self.factor * old.cost
+
+
+def _fd_superset(a: PlanInfo, b: PlanInfo) -> bool:
+    """FD⁺(a) ⊇ FD⁺(b), approximated through candidate keys and attribute
+    equivalences:
+
+    * *a* must be duplicate-free whenever *b* is (NeedsGrouping depends on
+      the flag),
+    * every key of *b* must be implied by *a* (some key of *a* inside the
+      equivalence closure of *b*'s key),
+    * every attribute-equivalence class of *b* must be known to *a* too —
+      equivalences are FDs (x = y ⇒ x → y ∧ y → x) and feed key closure.
+    """
+    if b.duplicate_free and not a.duplicate_free:
+        return False
+    if not all(a.has_key_within(kb) for kb in b.keys):
+        return False
+    return all(
+        any(cls_b <= cls_a for cls_a in a.equiv) for cls_b in b.equiv
+    )
+
+
+def make_strategy(name: str, factor: float = 1.03) -> Strategy:
+    """Factory: ``"dphyp" | "ea-all" | "ea-prune" | "h1" | "h2"``."""
+    lowered = name.lower()
+    if lowered == "dphyp":
+        return DphypStrategy()
+    if lowered in ("ea-all", "all", "ea_all"):
+        return EaAllStrategy()
+    if lowered in ("ea-prune", "prune", "ea_prune"):
+        return EaPruneStrategy()
+    if lowered == "h1":
+        return H1Strategy()
+    if lowered == "h2":
+        return H2Strategy(factor)
+    raise ValueError(f"unknown strategy {name!r}")

@@ -1,0 +1,28 @@
+"""Executable plan trees shared by the optimizer and the interpreter.
+
+Optimizer output *is* an executable algebra tree — the repository's
+strongest correctness check evaluates optimized plans against canonical
+trees on real data (see ``tests/optimizer/test_plan_correctness.py``).
+"""
+
+from repro.plans.nodes import (
+    GroupByNode,
+    JoinNode,
+    MapNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+)
+from repro.plans.render import render_plan
+
+__all__ = [
+    "PlanNode",
+    "ScanNode",
+    "SelectNode",
+    "JoinNode",
+    "GroupByNode",
+    "MapNode",
+    "ProjectNode",
+    "render_plan",
+]

@@ -1,0 +1,183 @@
+"""Plan node definitions.
+
+A plan node is a logical-algebra operator with everything needed to execute
+it.  The node set mirrors the paper's algebra (Fig. 1 + Γ + χ + Π):
+
+* :class:`ScanNode` — base relation access path,
+* :class:`SelectNode` — σ (used for base-table predicates of TPC-H queries),
+* :class:`JoinNode` — the whole join family, including outerjoin default
+  vectors and the groupjoin's aggregation vector,
+* :class:`GroupByNode` — Γ with an optional post-projection list (avg
+  reconstruction at the top grouping),
+* :class:`MapNode` / :class:`ProjectNode` — χ and Π (top-grouping
+  elimination, Eqv. 42).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.aggregates.vector import AggVector
+from repro.algebra.expressions import Expr
+from repro.algebra.values import SqlValue
+from repro.rewrites.pushdown import OpKind
+
+
+class PlanNode:
+    """Base class; ``attributes`` is the node's output schema."""
+
+    attributes: Tuple[str, ...]
+
+    def children(self) -> Tuple["PlanNode", ...]:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ScanNode(PlanNode):
+    """Scan of a base relation."""
+
+    relation: str
+    attributes: Tuple[str, ...]
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return ()
+
+    def label(self) -> str:
+        return self.relation
+
+
+@dataclass(frozen=True)
+class SelectNode(PlanNode):
+    """σ_p — base-table selections (applied before join ordering)."""
+
+    predicate: Expr
+    child: PlanNode
+    attributes: Tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attributes", self.child.attributes)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"σ[{self.predicate!r}]"
+
+
+_JOIN_SYMBOLS = {
+    OpKind.INNER: "⋈",
+    OpKind.LEFT_OUTER: "⟕",
+    OpKind.FULL_OUTER: "⟗",
+    OpKind.LEFT_SEMI: "⋉",
+    OpKind.LEFT_ANTI: "▷",
+    OpKind.GROUPJOIN: "▷◁",
+}
+
+
+@dataclass(frozen=True)
+class JoinNode(PlanNode):
+    """Any operator of the join family (Fig. 1)."""
+
+    op: OpKind
+    predicate: Expr
+    left: PlanNode
+    right: PlanNode
+    left_defaults: Tuple[Tuple[str, SqlValue], ...] = ()
+    right_defaults: Tuple[Tuple[str, SqlValue], ...] = ()
+    groupjoin_vector: Optional[AggVector] = None
+    attributes: Tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.op is OpKind.GROUPJOIN:
+            if self.groupjoin_vector is None:
+                raise ValueError("groupjoin node needs an aggregation vector")
+            attrs = self.left.attributes + self.groupjoin_vector.names()
+        elif self.op in (OpKind.LEFT_SEMI, OpKind.LEFT_ANTI):
+            attrs = self.left.attributes
+        else:
+            attrs = self.left.attributes + self.right.attributes
+        object.__setattr__(self, "attributes", attrs)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        symbol = _JOIN_SYMBOLS[self.op]
+        defaults = ""
+        if self.left_defaults or self.right_defaults:
+            defaults = f" D1={dict(self.left_defaults)} D2={dict(self.right_defaults)}"
+        return f"{symbol}[{self.predicate!r}]{defaults}"
+
+
+@dataclass(frozen=True)
+class GroupByNode(PlanNode):
+    """Γ_{G; F} with optional scalar post-projections (avg rebuild)."""
+
+    group_attrs: Tuple[str, ...]
+    vector: AggVector
+    child: PlanNode
+    post: Tuple[Tuple[str, Expr], ...] = ()
+    attributes: Tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.post:
+            attrs = self.group_attrs + tuple(name for name, _ in self.post)
+        else:
+            attrs = self.group_attrs + self.vector.names()
+        object.__setattr__(self, "attributes", attrs)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Γ[{','.join(self.group_attrs)}; {self.vector!r}]"
+
+
+@dataclass(frozen=True)
+class MapNode(PlanNode):
+    """χ — extend rows by computed attributes."""
+
+    extensions: Tuple[Tuple[str, Expr], ...]
+    child: PlanNode
+    attributes: Tuple[str, ...] = field(init=False)
+
+    def __post_init__(self) -> None:
+        attrs = self.child.attributes + tuple(name for name, _ in self.extensions)
+        object.__setattr__(self, "attributes", attrs)
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"χ[{', '.join(name for name, _ in self.extensions)}]"
+
+
+@dataclass(frozen=True)
+class ProjectNode(PlanNode):
+    """Π — duplicate-preserving projection."""
+
+    attributes: Tuple[str, ...]
+    child: PlanNode
+
+    def children(self) -> Tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        return f"Π[{', '.join(self.attributes)}]"
+
+
+def count_groupings(node: PlanNode) -> int:
+    """Number of Γ nodes in a plan (used by tests and statistics)."""
+    total = 1 if isinstance(node, GroupByNode) else 0
+    return total + sum(count_groupings(child) for child in node.children())
+
+
+def direct_grouping_children(node: PlanNode) -> int:
+    """The paper's *Eagerness* (Sec. 4.5): Γ nodes directly below a join."""
+    if not isinstance(node, JoinNode):
+        return 0
+    return sum(1 for child in (node.left, node.right) if isinstance(child, GroupByNode))

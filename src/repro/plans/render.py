@@ -1,0 +1,33 @@
+"""ASCII rendering of plan trees (EXPLAIN-style output)."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.plans.nodes import PlanNode
+
+Annotator = Optional[Callable[[PlanNode], str]]
+
+
+def render_plan(node: PlanNode, annotate: Annotator = None) -> str:
+    """Render *node* as an indented tree.
+
+    ``annotate`` may be a callable ``PlanNode -> str`` appending extra text
+    (cost, cardinality, ...) to each line.
+    """
+    lines: List[str] = []
+    _render(node, "", "", lines, annotate)
+    return "\n".join(lines)
+
+
+def _render(
+    node: PlanNode, own_prefix: str, child_prefix: str, lines: List[str], annotate: Annotator
+) -> None:
+    extra = f"  [{annotate(node)}]" if annotate else ""
+    lines.append(f"{own_prefix}{node.label()}{extra}")
+    children = node.children()
+    for index, child in enumerate(children):
+        last = index == len(children) - 1
+        connector = "└─ " if last else "├─ "
+        continuation = "   " if last else "│  "
+        _render(child, child_prefix + connector, child_prefix + continuation, lines, annotate)

@@ -1,0 +1,21 @@
+"""Query specifications: relations + statistics, join edges, grouping.
+
+A :class:`~repro.query.spec.Query` is the plan generators' input (paper
+Sec. 4.1): the relation set with statistics, the operator set with
+predicates and selectivities, the initial operator tree (from which the
+conflict detector derives the query hypergraph), the grouping attributes
+``G`` and the aggregation vector ``F``.
+"""
+
+from repro.query.spec import JoinEdge, Query, RelationInfo
+from repro.query.tree import TreeLeaf, TreeNode, tree_leaves, tree_operators
+
+__all__ = [
+    "Query",
+    "RelationInfo",
+    "JoinEdge",
+    "TreeLeaf",
+    "TreeNode",
+    "tree_leaves",
+    "tree_operators",
+]

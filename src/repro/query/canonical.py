@@ -1,0 +1,52 @@
+"""Canonical (unoptimized) executable plans for a query.
+
+The canonical plan evaluates the initial operator tree exactly as written
+and applies the *original* aggregation vector (plain ``avg`` included) in a
+single top grouping.  It defines the query's semantics: every optimizer
+output must produce the same relation on every database.
+"""
+
+from __future__ import annotations
+
+from repro.plans.nodes import GroupByNode, JoinNode, PlanNode, ScanNode, SelectNode
+from repro.query.spec import Query
+from repro.query.tree import Tree, TreeLeaf
+
+
+def canonical_join_tree(query: Query) -> PlanNode:
+    """The initial operator tree as an executable plan (no grouping).
+
+    Floating (cycle-closing) predicates are applied as selections on top —
+    their WHERE semantics in an all-inner-join query.
+    """
+    node = _build(query, query.tree)
+    for edge_id in query.floating_edge_ids:
+        node = SelectNode(query.edge(edge_id).predicate, node)
+    return node
+
+
+def canonical_plan(query: Query) -> PlanNode:
+    """Initial tree + top grouping over (G, F) — the paper's LHS."""
+    return GroupByNode(
+        group_attrs=tuple(query.group_by),
+        vector=query.aggregates,
+        child=canonical_join_tree(query),
+    )
+
+
+def _build(query: Query, tree: Tree) -> PlanNode:
+    if isinstance(tree, TreeLeaf):
+        rel = query.relations[tree.vertex]
+        node: PlanNode = ScanNode(rel.name, rel.attributes)
+        local = query.local_predicates.get(tree.vertex)
+        if local is not None:
+            node = SelectNode(local[0], node)
+        return node
+    edge = query.edge(tree.edge_id)
+    return JoinNode(
+        op=edge.op,
+        predicate=edge.predicate,
+        left=_build(query, tree.left),
+        right=_build(query, tree.right),
+        groupjoin_vector=edge.groupjoin_vector,
+    )

@@ -1,0 +1,54 @@
+"""Initial operator trees.
+
+The paper's plan generators receive the query as a hypergraph produced by a
+conflict detector from the *initial operator tree* — the tree a parser /
+rewriter produced from the SQL text.  These nodes are purely structural
+(operators reference their :class:`~repro.query.spec.JoinEdge` by id);
+executable plans live in :mod:`repro.plans`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+
+@dataclass(frozen=True)
+class TreeLeaf:
+    """A base relation, identified by its vertex index."""
+
+    vertex: int
+
+
+@dataclass(frozen=True)
+class TreeNode:
+    """A binary operator applying join edge *edge_id* to two subtrees."""
+
+    edge_id: int
+    left: "Tree"
+    right: "Tree"
+
+
+Tree = Union[TreeLeaf, TreeNode]
+
+
+def tree_leaves(tree: Tree) -> int:
+    """``T(T)`` — the set of relations below *tree*, as a bitset."""
+    if isinstance(tree, TreeLeaf):
+        return 1 << tree.vertex
+    return tree_leaves(tree.left) | tree_leaves(tree.right)
+
+
+def tree_operators(tree: Tree) -> Iterator[TreeNode]:
+    """``STO(T)`` — all operator nodes below (and including) *tree*."""
+    if isinstance(tree, TreeNode):
+        yield tree
+        yield from tree_operators(tree.left)
+        yield from tree_operators(tree.right)
+
+
+def tree_depth(tree: Tree) -> int:
+    """Height of the operator tree (leaves have depth 0)."""
+    if isinstance(tree, TreeLeaf):
+        return 0
+    return 1 + max(tree_depth(tree.left), tree_depth(tree.right))

@@ -1,0 +1,20 @@
+"""Constructive implementations of the paper's equivalences (Sec. 3, Fig. 3).
+
+:mod:`repro.rewrites.pushdown` builds the *specification* of an eager
+aggregation step — the pushed-down (inner) grouping, the adjusted (outer)
+aggregation vector, and the outerjoin default vectors.  The specification is
+shared between two consumers:
+
+* :mod:`repro.rewrites.eager` applies it directly to relations, giving an
+  executable right-hand side for every equivalence (Eqvs. 10–41) — this is
+  what the property-based tests validate against the left-hand sides;
+* the plan generator (:mod:`repro.optimizer`) uses the same builder to
+  construct eager plans inside dynamic programming.
+
+:mod:`repro.rewrites.top_elimination` implements Eqv. 42.
+"""
+
+from repro.rewrites.pushdown import GroupPushdown, OpKind, plan_pushdown
+from repro.rewrites import eager, top_elimination
+
+__all__ = ["GroupPushdown", "OpKind", "plan_pushdown", "eager", "top_elimination"]

@@ -1,0 +1,259 @@
+"""Executable right-hand sides for the equivalences of Fig. 3.
+
+Every function takes the *ingredients* of the left-hand side
+``Γ_{G;F}(e1 ∘q e2)`` and evaluates the corresponding eager-aggregation
+right-hand side on concrete relations.  The property-based test-suite then
+asserts LHS ≡ RHS for random inputs — which is how this repository validates
+the paper's equivalences (including the appendix proofs) computationally.
+
+The functions return ``None`` when an equivalence's preconditions
+(splittability / decomposability / operator-side combination) do not hold.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.aggregates.calls import AggCall, AggKind
+from repro.aggregates.transform import (
+    NotDecomposableError,
+    decompose_vector,
+    normalize_avg,
+    scale_vector,
+)
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra import operators as ops
+from repro.algebra.expressions import Expr
+from repro.algebra.relation import Relation
+from repro.rewrites.pushdown import GroupPushdown, OpKind, plan_pushdown, pushdown_valid_for
+
+
+def apply_operator(
+    op: OpKind,
+    e1: Relation,
+    e2: Relation,
+    predicate: Expr,
+    groupjoin_vector: Optional[AggVector] = None,
+    left_defaults: Optional[dict] = None,
+    right_defaults: Optional[dict] = None,
+) -> Relation:
+    """Evaluate ``e1 ∘_q e2`` for any operator of Fig. 1."""
+    if op is OpKind.INNER:
+        return ops.join(e1, e2, predicate)
+    if op is OpKind.LEFT_OUTER:
+        return ops.left_outerjoin(e1, e2, predicate, defaults=right_defaults)
+    if op is OpKind.FULL_OUTER:
+        return ops.full_outerjoin(
+            e1, e2, predicate, left_defaults=left_defaults, right_defaults=right_defaults
+        )
+    if op is OpKind.LEFT_SEMI:
+        return ops.semijoin(e1, e2, predicate)
+    if op is OpKind.LEFT_ANTI:
+        return ops.antijoin(e1, e2, predicate)
+    if op is OpKind.GROUPJOIN:
+        if groupjoin_vector is None:
+            raise ValueError("groupjoin requires its own aggregation vector")
+        return ops.groupjoin(e1, e2, predicate, groupjoin_vector)
+    raise AssertionError(f"unhandled operator {op}")
+
+
+def lazy_groupby(
+    op: OpKind,
+    e1: Relation,
+    e2: Relation,
+    predicate: Expr,
+    group_attrs: Sequence[str],
+    vector: AggVector,
+    groupjoin_vector: Optional[AggVector] = None,
+) -> Relation:
+    """The left-hand side ``Γ_{G;F}(e1 ∘q e2)`` of every equivalence."""
+    joined = apply_operator(op, e1, e2, predicate, groupjoin_vector)
+    return ops.group_by(joined, group_attrs, vector)
+
+
+def _output_attrs(
+    op: OpKind, e1: Relation, e2: Relation, groupjoin_vector: Optional[AggVector]
+) -> Tuple[frozenset, frozenset]:
+    """Attribute sets (A1, A2) *visible in the operator output* per side."""
+    a1 = frozenset(e1.attributes)
+    if op is OpKind.GROUPJOIN:
+        assert groupjoin_vector is not None
+        return a1, frozenset(groupjoin_vector.names())
+    if op.left_only:
+        return a1, frozenset()
+    return a1, frozenset(e2.attributes)
+
+
+def _split_for_side(
+    vector: AggVector,
+    attrs1: frozenset,
+    attrs2: frozenset,
+    side: int,
+) -> Optional[Tuple[AggVector, AggVector]]:
+    """Split F into (pushed, other) for the given side (count(*) → pushed)."""
+    split = vector.split(attrs1, attrs2, star_side=side)
+    if split is None:
+        return None
+    f1, f2 = split
+    return (f1, f2) if side == 1 else (f2, f1)
+
+
+def eager_groupby(
+    op: OpKind,
+    e1: Relation,
+    e2: Relation,
+    predicate: Expr,
+    group_attrs: Sequence[str],
+    vector: AggVector,
+    side: int,
+    groupjoin_vector: Optional[AggVector] = None,
+) -> Optional[Relation]:
+    """Right-hand side with the grouping pushed into one argument.
+
+    Implements the *Eager/Lazy Groupby-Count* family (Eqvs. 10–15) and all
+    its specialisations (Group-by, Count, Others) — the specialisations are
+    exactly the cases where parts of the construction collapse, and
+    :func:`repro.rewrites.pushdown.plan_pushdown` performs those collapses
+    automatically (no count column when no duplicate-sensitive aggregate on
+    the other side, empty inner/outer stage parts, ...).
+
+    Returns ``None`` when the equivalence is not applicable.
+    """
+    if not pushdown_valid_for(op, side):
+        return None
+
+    normalized = normalize_avg(vector)
+    work_vector = normalized.vector
+
+    attrs1, attrs2 = _output_attrs(op, e1, e2, groupjoin_vector)
+    split = _split_for_side(work_vector, attrs1, attrs2, side)
+    if split is None:
+        return None
+    pushed_vector, other_vector = split
+
+    group_set = frozenset(group_attrs)
+    if not group_set <= attrs1 | attrs2:
+        raise ValueError("grouping attributes must come from the operator output")
+    join_attrs = predicate.attributes()
+    g_plus = tuple(a for a in (e1 if side == 1 else e2).attributes if a in (group_set | join_attrs))
+
+    spec = plan_pushdown(g_plus, pushed_vector, other_vector, side=side)
+    if spec is None:
+        return None
+
+    result = _apply_spec(op, e1, e2, predicate, spec, groupjoin_vector)
+    grouped = ops.group_by(result, tuple(group_attrs), spec.outer)
+    return _finalize(grouped, tuple(group_attrs), normalized)
+
+
+def eager_split(
+    op: OpKind,
+    e1: Relation,
+    e2: Relation,
+    predicate: Expr,
+    group_attrs: Sequence[str],
+    vector: AggVector,
+) -> Optional[Relation]:
+    """*Eager/Lazy Split* (Eqvs. 34–36): push the grouping into both sides.
+
+    Direct construction: with ``F`` split into ``F1/F2`` and both parts
+    decomposed, the top vector becomes ``(F1² ⊗ c2) ∘ (F2² ⊗ c1)``; for the
+    full outerjoin both sides carry default vectors
+    ``F_i^{1}({⊥}), c_i : 1`` (Eqv. 36).
+    """
+    if op.left_only:
+        return None
+
+    normalized = normalize_avg(vector)
+    work_vector = normalized.vector
+
+    attrs1, attrs2 = _output_attrs(op, e1, e2, None)
+    split = work_vector.split(attrs1, attrs2, star_side=1)
+    if split is None:
+        return None
+    f1, f2 = split
+
+    group_set = frozenset(group_attrs)
+    join_attrs = predicate.attributes()
+    g1_plus = tuple(a for a in e1.attributes if a in (group_set | join_attrs))
+    g2_plus = tuple(a for a in e2.attributes if a in (group_set | join_attrs))
+
+    try:
+        dec1 = decompose_vector(f1, suffix="'")
+        dec2 = decompose_vector(f2, suffix="''")
+    except NotDecomposableError:
+        return None
+
+    c1, c2 = "c1#", "c2#"
+    need_c1 = any(item.call.duplicate_sensitive for item in dec2.outer)
+    need_c2 = any(item.call.duplicate_sensitive for item in dec1.outer)
+    inner1 = dec1.inner
+    if need_c1:
+        inner1 = inner1.concat(AggVector([AggItem(c1, AggCall(AggKind.COUNT_STAR))]))
+    inner2 = dec2.inner
+    if need_c2:
+        inner2 = inner2.concat(AggVector([AggItem(c2, AggCall(AggKind.COUNT_STAR))]))
+
+    outer = scale_vector(dec1.outer, [c2] if need_c2 else []).concat(
+        scale_vector(dec2.outer, [c1] if need_c1 else [])
+    )
+
+    left_defaults = dict(dec1.inner.evaluate_on_null_tuple())
+    if need_c1:
+        left_defaults[c1] = 1
+    right_defaults = dict(dec2.inner.evaluate_on_null_tuple())
+    if need_c2:
+        right_defaults[c2] = 1
+
+    grouped1 = ops.group_by(e1, g1_plus, inner1)
+    grouped2 = ops.group_by(e2, g2_plus, inner2)
+
+    if op is OpKind.INNER:
+        joined = ops.join(grouped1, grouped2, predicate)
+    elif op is OpKind.LEFT_OUTER:
+        joined = ops.left_outerjoin(grouped1, grouped2, predicate, defaults=right_defaults)
+    elif op is OpKind.FULL_OUTER:
+        joined = ops.full_outerjoin(
+            grouped1, grouped2, predicate,
+            left_defaults=left_defaults, right_defaults=right_defaults,
+        )
+    else:  # pragma: no cover - excluded above
+        raise AssertionError(op)
+
+    grouped = ops.group_by(joined, tuple(group_attrs), outer)
+    return _finalize(grouped, tuple(group_attrs), normalized)
+
+
+def _apply_spec(
+    op: OpKind,
+    e1: Relation,
+    e2: Relation,
+    predicate: Expr,
+    spec: GroupPushdown,
+    groupjoin_vector: Optional[AggVector],
+) -> Relation:
+    """Evaluate the join with one side replaced by its eager grouping."""
+    if spec.side == 1:
+        grouped = ops.group_by(e1, spec.group_attrs, spec.inner)
+        if op is OpKind.FULL_OUTER:
+            return ops.full_outerjoin(grouped, e2, predicate, left_defaults=spec.defaults)
+        return apply_operator(op, grouped, e2, predicate, groupjoin_vector)
+    grouped = ops.group_by(e2, spec.group_attrs, spec.inner)
+    if op is OpKind.LEFT_OUTER:
+        return ops.left_outerjoin(e1, grouped, predicate, defaults=spec.defaults)
+    if op is OpKind.FULL_OUTER:
+        return ops.full_outerjoin(e1, grouped, predicate, right_defaults=spec.defaults)
+    return apply_operator(op, e1, grouped, predicate, groupjoin_vector)
+
+
+def _finalize(grouped: Relation, group_attrs: Tuple[str, ...], normalized) -> Relation:
+    """Apply avg-reconstruction post projections and restore output schema.
+
+    The avg outputs are *new* columns computed from the hidden ``name#s`` /
+    ``name#c`` columns; all other outputs already exist under their original
+    names and simply pass through the final projection.
+    """
+    existing = set(grouped.attributes)
+    new_cols = [(name, expr) for name, expr in normalized.post if name not in existing]
+    result = ops.map_(grouped, new_cols) if new_cols else grouped
+    return ops.project(result, group_attrs + tuple(name for name, _ in normalized.post))

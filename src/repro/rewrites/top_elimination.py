@@ -1,0 +1,35 @@
+"""Eliminating the top grouping (Sec. 3.2, Eqv. 42).
+
+``Γ_{G;F}(e) ≡ Π_C(χ_{F̂}(e))`` holds whenever *G* contains a key of *e* and
+*e* is duplicate-free: every group is then a singleton, and each aggregate
+reduces to a scalar expression over the single tuple (``sum(a) → a``,
+``count(*) → 1``, ``count(a) → CASE WHEN a IS NULL THEN 0 ELSE 1 END`` ...).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.aggregates.transform import single_row_expr
+from repro.aggregates.vector import AggVector
+from repro.algebra import operators as ops
+from repro.algebra.expressions import Expr
+from repro.algebra.relation import Relation
+
+
+def singleton_group_extensions(vector: AggVector) -> List[Tuple[str, Expr]]:
+    """The map vector ``F̂`` of Eqv. 42: one scalar expression per aggregate."""
+    return [(item.name, single_row_expr(item.call)) for item in vector]
+
+
+def eliminate_top_grouping(
+    rel: Relation, group_attrs: Sequence[str], vector: AggVector
+) -> Relation:
+    """Apply ``Π_C(χ_{F̂}(e))`` — the right-hand side of Eqv. 42.
+
+    The caller is responsible for the precondition (G ⊇ some key of *e* and
+    *e* duplicate-free); in the optimizer this is exactly the negation of
+    ``NeedsGrouping`` (Fig. 7).
+    """
+    extended = ops.map_(rel, singleton_group_extensions(vector))
+    return ops.project(extended, tuple(group_attrs) + vector.names())

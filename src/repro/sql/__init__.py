@@ -1,0 +1,32 @@
+"""A SQL frontend for the subset the paper's queries need.
+
+``parse_query(sql, catalog)`` turns::
+
+    SELECT ns.n_name, nc.n_name, count(*)
+    FROM nation ns JOIN supplier s ON ns.n_nationkey = s.s_nationkey
+         FULL JOIN ...
+    WHERE ...
+    GROUP BY ns.n_name, nc.n_name
+
+into a :class:`~repro.query.spec.Query` ready for any plan generator.
+Supported: INNER / LEFT [OUTER] / FULL [OUTER] JOIN with ON conditions,
+conjunctive WHERE (base-table predicates and cycle-closing equijoins),
+GROUP BY, aggregate select lists (sum/count/min/max/avg, DISTINCT,
+arithmetic argument expressions) and aliases.
+"""
+
+from repro.sql.catalog import Catalog, TableStats
+from repro.sql.lexer import SqlSyntaxError, tokenize
+from repro.sql.parser import parse_select
+from repro.sql.binder import BindError, bind, parse_query
+
+__all__ = [
+    "Catalog",
+    "TableStats",
+    "tokenize",
+    "parse_select",
+    "bind",
+    "parse_query",
+    "SqlSyntaxError",
+    "BindError",
+]

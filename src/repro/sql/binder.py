@@ -1,0 +1,262 @@
+"""The binder: SQL AST + catalog → :class:`~repro.query.spec.Query`.
+
+Responsibilities:
+
+* name resolution (aliases, unqualified columns),
+* building the initial operator tree (left-deep in FROM order — exactly the
+  "straightforward" derivation the paper assumes, Sec. 4.1),
+* classifying WHERE conjuncts into base-table predicates (with estimated
+  selectivities) and cycle-closing equijoins,
+* assembling the aggregation vector and grouping attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.aggregates.calls import AggCall, AggKind
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra.expressions import Attr, BinOp, Const, Expr, Logical
+from repro.query.spec import JoinEdge, Query, RelationInfo
+from repro.query.tree import Tree, TreeLeaf, TreeNode
+from repro.rewrites.pushdown import OpKind
+from repro.sql.catalog import Catalog
+from repro.sql.parser import (
+    Binary,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    SelectStmt,
+    SqlExpr,
+    parse_select,
+)
+
+_JOIN_KINDS = {"inner": OpKind.INNER, "left": OpKind.LEFT_OUTER, "full": OpKind.FULL_OUTER}
+_AGG_KINDS = {
+    "sum": AggKind.SUM,
+    "count": AggKind.COUNT,
+    "min": AggKind.MIN,
+    "max": AggKind.MAX,
+    "avg": AggKind.AVG,
+}
+#: default selectivity for range predicates (the classic System-R guess)
+RANGE_SELECTIVITY = 1.0 / 3.0
+
+
+class BindError(ValueError):
+    """Raised when the statement cannot be bound against the catalog."""
+
+
+@dataclass
+class _Scope:
+    """Alias → (vertex index, RelationInfo, unqualified column set)."""
+
+    relations: List[RelationInfo]
+    by_alias: Dict[str, int]
+    columns: Dict[str, List[str]]  # unqualified column -> [alias, ...]
+
+    def resolve(self, ref: ColumnRef) -> str:
+        if ref.table is not None:
+            if ref.table not in self.by_alias:
+                raise BindError(f"unknown table or alias {ref.table!r}")
+            attr = f"{ref.table}.{ref.column}"
+            vertex = self.by_alias[ref.table]
+            if attr not in self.relations[vertex].attributes:
+                raise BindError(f"table {ref.table!r} has no column {ref.column!r}")
+            return attr
+        owners = self.columns.get(ref.column, [])
+        if not owners:
+            raise BindError(f"unknown column {ref.column!r}")
+        if len(owners) > 1:
+            raise BindError(f"ambiguous column {ref.column!r} (in {sorted(owners)})")
+        return f"{owners[0]}.{ref.column}"
+
+    def vertex_of_attr(self, attr: str) -> int:
+        alias = attr.split(".", 1)[0]
+        return self.by_alias[alias]
+
+    def distinct_of(self, attr: str) -> float:
+        vertex = self.vertex_of_attr(attr)
+        return self.relations[vertex].distinct_count(attr)
+
+
+def bind(stmt: SelectStmt, catalog: Catalog) -> Query:
+    """Bind a parsed statement against *catalog*."""
+    scope = _build_scope(stmt, catalog)
+    edges, tree = _build_tree(stmt, scope)
+    group_by = tuple(scope.resolve(ref) for ref in stmt.group_by)
+    aggregates = _build_aggregates(stmt, scope, group_by)
+    local_predicates, floating = _bind_where(stmt, scope, edges)
+    edges = edges + floating
+    return Query(
+        scope.relations, edges, tree, group_by, aggregates,
+        local_predicates=local_predicates,
+    )
+
+
+def parse_query(sql: str, catalog: Catalog) -> Query:
+    """Parse and bind in one step."""
+    return bind(parse_select(sql), catalog)
+
+
+# --------------------------------------------------------------------------
+
+def _build_scope(stmt: SelectStmt, catalog: Catalog) -> _Scope:
+    relations: List[RelationInfo] = []
+    by_alias: Dict[str, int] = {}
+    columns: Dict[str, List[str]] = {}
+    for ref in [stmt.base] + [join.table for join in stmt.joins]:
+        stats = catalog.lookup(ref.table)
+        if stats is None:
+            raise BindError(f"unknown table {ref.table!r}")
+        alias = ref.alias or ref.table
+        if alias in by_alias:
+            raise BindError(f"duplicate table alias {alias!r}")
+        attrs = tuple(f"{alias}.{c}" for c in stats.columns)
+        distinct = {f"{alias}.{c}": v for c, v in stats.distinct.items()}
+        keys = tuple(frozenset(f"{alias}.{c}" for c in key) for key in stats.keys)
+        by_alias[alias] = len(relations)
+        relations.append(
+            RelationInfo(alias, attrs, stats.cardinality, distinct, keys)
+        )
+        for column in stats.columns:
+            columns.setdefault(column, []).append(alias)
+    return _Scope(relations, by_alias, columns)
+
+
+def _build_tree(stmt: SelectStmt, scope: _Scope) -> Tuple[List[JoinEdge], Tree]:
+    tree: Tree = TreeLeaf(0)
+    edges: List[JoinEdge] = []
+    for join in stmt.joins:
+        predicate = _bind_scalar(join.condition, scope)
+        selectivity = _join_selectivity(join.condition, scope)
+        edge = JoinEdge(len(edges), _JOIN_KINDS[join.kind], predicate, selectivity)
+        edges.append(edge)
+        vertex = scope.by_alias[join.table.alias or join.table.table]
+        tree = TreeNode(edge.edge_id, tree, TreeLeaf(vertex))
+    return edges, tree
+
+
+def _bind_scalar(expr: SqlExpr, scope: _Scope) -> Expr:
+    if isinstance(expr, ColumnRef):
+        return Attr(scope.resolve(expr))
+    if isinstance(expr, Literal):
+        return Const(expr.value)
+    if isinstance(expr, Binary):
+        if expr.op in ("and", "or"):
+            return Logical(
+                expr.op, (_bind_scalar(expr.left, scope), _bind_scalar(expr.right, scope))
+            )
+        return BinOp(expr.op, _bind_scalar(expr.left, scope), _bind_scalar(expr.right, scope))
+    if isinstance(expr, FuncCall):
+        raise BindError("aggregate calls are only allowed in the SELECT list")
+    raise AssertionError(f"unhandled SQL expression {expr!r}")
+
+
+def _join_selectivity(condition: SqlExpr, scope: _Scope) -> float:
+    """σ for an ON condition: 1/max(d) per equijoin conjunct, 1/3 for ranges."""
+    selectivity = 1.0
+    for conjunct in _conjuncts(condition):
+        if (
+            isinstance(conjunct, Binary)
+            and conjunct.op == "="
+            and isinstance(conjunct.left, ColumnRef)
+            and isinstance(conjunct.right, ColumnRef)
+        ):
+            d1 = scope.distinct_of(scope.resolve(conjunct.left))
+            d2 = scope.distinct_of(scope.resolve(conjunct.right))
+            selectivity *= 1.0 / max(d1, d2)
+        else:
+            selectivity *= RANGE_SELECTIVITY
+    return max(selectivity, 1e-12)
+
+
+def _conjuncts(expr: SqlExpr):
+    if isinstance(expr, Binary) and expr.op == "and":
+        yield from _conjuncts(expr.left)
+        yield from _conjuncts(expr.right)
+    else:
+        yield expr
+
+
+def _build_aggregates(stmt: SelectStmt, scope: _Scope, group_by: Tuple[str, ...]) -> AggVector:
+    items: List[AggItem] = []
+    counter = 0
+    for item in stmt.items:
+        if isinstance(item.expr, ColumnRef):
+            attr = scope.resolve(item.expr)
+            if attr not in group_by:
+                raise BindError(
+                    f"column {attr} appears in SELECT but not in GROUP BY"
+                )
+            continue
+        if isinstance(item.expr, FuncCall):
+            call = _bind_aggregate(item.expr, scope)
+            name = item.alias or f"agg{counter}"
+            counter += 1
+            items.append(AggItem(name, call))
+            continue
+        raise BindError(f"unsupported SELECT item {item.expr!r}")
+    if not items:
+        raise BindError("the SELECT list needs at least one aggregate")
+    return AggVector(items)
+
+
+def _bind_aggregate(call: FuncCall, scope: _Scope) -> AggCall:
+    if call.name not in _AGG_KINDS:
+        raise BindError(f"unknown aggregate function {call.name!r}")
+    if call.argument is None:
+        return AggCall(AggKind.COUNT_STAR)
+    return AggCall(_AGG_KINDS[call.name], _bind_scalar(call.argument, scope), call.distinct)
+
+
+def _bind_where(
+    stmt: SelectStmt, scope: _Scope, edges: List[JoinEdge]
+) -> Tuple[Dict[int, Tuple[Expr, float]], List[JoinEdge]]:
+    """Split WHERE into per-table predicates and cycle-closing equijoins."""
+    local_parts: Dict[int, List[Tuple[Expr, float]]] = {}
+    floating: List[JoinEdge] = []
+    if stmt.where is None:
+        return {}, []
+    next_edge_id = len(edges)
+    for conjunct in _conjuncts(stmt.where):
+        bound = _bind_scalar(conjunct, scope)
+        vertices = sorted({scope.vertex_of_attr(a) for a in bound.attributes()})
+        if len(vertices) == 1:
+            selectivity = _local_selectivity(conjunct, scope)
+            local_parts.setdefault(vertices[0], []).append((bound, selectivity))
+        elif len(vertices) == 2 and isinstance(conjunct, Binary) and conjunct.op == "=":
+            floating.append(
+                JoinEdge(
+                    next_edge_id, OpKind.INNER, bound,
+                    _join_selectivity(conjunct, scope),
+                )
+            )
+            next_edge_id += 1
+        else:
+            raise BindError(
+                f"unsupported WHERE conjunct (must be single-table or a binary equijoin): {conjunct!r}"
+            )
+    locals_: Dict[int, Tuple[Expr, float]] = {}
+    for vertex, parts in local_parts.items():
+        combined: Expr = parts[0][0]
+        selectivity = parts[0][1]
+        for expr, sel in parts[1:]:
+            combined = Logical("and", (combined, expr))
+            selectivity *= sel
+        locals_[vertex] = (combined, selectivity)
+    return locals_, floating
+
+
+def _local_selectivity(conjunct: SqlExpr, scope: _Scope) -> float:
+    """Equality with a constant → 1/d; ranges → 1/3; else 1/3."""
+    if isinstance(conjunct, Binary) and conjunct.op == "=":
+        column = None
+        if isinstance(conjunct.left, ColumnRef) and isinstance(conjunct.right, Literal):
+            column = conjunct.left
+        elif isinstance(conjunct.right, ColumnRef) and isinstance(conjunct.left, Literal):
+            column = conjunct.right
+        if column is not None:
+            return 1.0 / scope.distinct_of(scope.resolve(column))
+    return RANGE_SELECTIVITY

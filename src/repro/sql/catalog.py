@@ -1,0 +1,59 @@
+"""Catalogs: table statistics the SQL binder resolves names against."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics for one table (unqualified column names)."""
+
+    name: str
+    columns: Tuple[str, ...]
+    cardinality: float
+    distinct: Mapping[str, float] = field(default_factory=dict)
+    keys: Tuple[FrozenSet[str], ...] = ()
+
+    def distinct_count(self, column: str) -> float:
+        return max(1.0, min(self.distinct.get(column, self.cardinality), self.cardinality))
+
+
+class Catalog:
+    """A set of tables the binder can resolve."""
+
+    def __init__(self):
+        self._tables: Dict[str, TableStats] = {}
+
+    def register(self, stats: TableStats) -> None:
+        self._tables[stats.name.lower()] = stats
+
+    def lookup(self, name: str) -> Optional[TableStats]:
+        return self._tables.get(name.lower())
+
+    def tables(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._tables))
+
+    @classmethod
+    def from_tpch(cls, scale_factor: float = 1.0) -> "Catalog":
+        """The eight TPC-H tables with SF-scaled statistics."""
+        from repro.tpch.schema import TABLES
+        from repro.tpch.stats import scaled_distinct
+
+        catalog = cls()
+        for table in TABLES.values():
+            distinct = {
+                column: scaled_distinct(table.name, column, scale_factor)
+                for column in table.columns
+            }
+            catalog.register(
+                TableStats(
+                    name=table.name,
+                    columns=table.columns,
+                    cardinality=table.cardinality(scale_factor),
+                    distinct=distinct,
+                    keys=(frozenset(table.primary_key),),
+                )
+            )
+        return catalog

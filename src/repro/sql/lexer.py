@@ -1,0 +1,72 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class SqlSyntaxError(ValueError):
+    """Raised for malformed SQL text."""
+
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "join", "inner", "left",
+    "right", "full", "outer", "on", "and", "or", "not", "as", "distinct",
+    "is", "null", "between", "asc", "desc", "order", "having",
+}
+
+SYMBOLS = ["<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", "+", "-", "/", "."]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind ∈ {ident, keyword, number, string, symbol, eof}."""
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize *text*; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end < 0:
+                raise SqlSyntaxError(f"unterminated string literal at offset {i}")
+            tokens.append(Token("string", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = "keyword" if word.lower() in KEYWORDS else "ident"
+            tokens.append(Token(kind, word.lower() if kind == "keyword" else word, i))
+            i = j
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token("symbol", symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens

@@ -1,0 +1,282 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (roughly)::
+
+    select    := SELECT item (',' item)* FROM table_ref join* [WHERE cond]
+                 [GROUP BY column (',' column)*]
+    item      := expr [[AS] ident]
+    join      := (JOIN | INNER JOIN | LEFT [OUTER] JOIN | FULL [OUTER] JOIN)
+                 table_ref ON cond
+    table_ref := ident [[AS] ident]
+    cond      := disjunction of conjunctions of comparisons
+    expr      := arithmetic over columns, literals and aggregate calls
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.sql.lexer import SqlSyntaxError, Token, tokenize
+
+
+# --------------------------------------------------------------------------
+# AST
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ColumnRef:
+    table: Optional[str]
+    column: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Union[int, float, str]
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    name: str  # sum | count | min | max | avg
+    argument: Optional["SqlExpr"]  # None => count(*)
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: "SqlExpr"
+    right: "SqlExpr"
+
+
+SqlExpr = Union[ColumnRef, Literal, FuncCall, Binary]
+
+AGGREGATE_NAMES = {"sum", "count", "min", "max", "avg"}
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: SqlExpr
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class TableRef:
+    table: str
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    kind: str  # inner | left | full
+    table: TableRef
+    condition: SqlExpr
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    items: Tuple[SelectItem, ...]
+    base: TableRef
+    joins: Tuple[JoinClause, ...]
+    where: Optional[SqlExpr]
+    group_by: Tuple[ColumnRef, ...]
+
+
+# --------------------------------------------------------------------------
+# parser
+# --------------------------------------------------------------------------
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            wanted = value or kind
+            raise SqlSyntaxError(
+                f"expected {wanted!r}, found {token.value or token.kind!r} at offset {token.position}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self.advance()
+        return None
+
+    # -- grammar ------------------------------------------------------------
+    def parse_select(self) -> SelectStmt:
+        self.expect("keyword", "select")
+        items = [self.parse_item()]
+        while self.accept("symbol", ","):
+            items.append(self.parse_item())
+        self.expect("keyword", "from")
+        base = self.parse_table_ref()
+        joins: List[JoinClause] = []
+        while True:
+            join = self.try_parse_join()
+            if join is None:
+                break
+            joins.append(join)
+        where = None
+        if self.accept("keyword", "where"):
+            where = self.parse_condition()
+        group_by: List[ColumnRef] = []
+        if self.accept("keyword", "group"):
+            self.expect("keyword", "by")
+            group_by.append(self.parse_column_ref())
+            while self.accept("symbol", ","):
+                group_by.append(self.parse_column_ref())
+        self.expect("eof")
+        return SelectStmt(tuple(items), base, tuple(joins), where, tuple(group_by))
+
+    def parse_item(self) -> SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.accept("keyword", "as"):
+            alias = self.expect("ident").value
+        elif self.peek().kind == "ident":
+            alias = self.advance().value
+        return SelectItem(expr, alias)
+
+    def parse_table_ref(self) -> TableRef:
+        table = self.expect("ident").value
+        alias = None
+        if self.accept("keyword", "as"):
+            alias = self.expect("ident").value
+        elif self.peek().kind == "ident":
+            alias = self.advance().value
+        return TableRef(table, alias)
+
+    def try_parse_join(self) -> Optional[JoinClause]:
+        kind = None
+        if self.accept("keyword", "join"):
+            kind = "inner"
+        elif self.accept("keyword", "inner"):
+            self.expect("keyword", "join")
+            kind = "inner"
+        elif self.accept("keyword", "left"):
+            self.accept("keyword", "outer")
+            self.expect("keyword", "join")
+            kind = "left"
+        elif self.accept("keyword", "full"):
+            self.accept("keyword", "outer")
+            self.expect("keyword", "join")
+            kind = "full"
+        if kind is None:
+            return None
+        table = self.parse_table_ref()
+        self.expect("keyword", "on")
+        condition = self.parse_condition()
+        return JoinClause(kind, table, condition)
+
+    # conditions: or > and > comparison
+    def parse_condition(self) -> SqlExpr:
+        left = self.parse_conjunction()
+        while self.accept("keyword", "or"):
+            right = self.parse_conjunction()
+            left = Binary("or", left, right)
+        return left
+
+    def parse_conjunction(self) -> SqlExpr:
+        left = self.parse_comparison()
+        while self.accept("keyword", "and"):
+            right = self.parse_comparison()
+            left = Binary("and", left, right)
+        return left
+
+    def parse_comparison(self) -> SqlExpr:
+        if self.accept("symbol", "("):
+            inner = self.parse_condition()
+            self.expect("symbol", ")")
+            return inner
+        left = self.parse_expr()
+        token = self.peek()
+        if token.kind == "symbol" and token.value in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            op = self.advance().value
+            if op == "!=":
+                op = "<>"
+            right = self.parse_expr()
+            return Binary(op, left, right)
+        raise SqlSyntaxError(f"expected comparison operator at offset {token.position}")
+
+    # arithmetic expressions: additive > multiplicative > primary
+    def parse_expr(self) -> SqlExpr:
+        left = self.parse_term()
+        while True:
+            token = self.peek()
+            if token.kind == "symbol" and token.value in ("+", "-"):
+                op = self.advance().value
+                left = Binary(op, left, self.parse_term())
+            else:
+                return left
+
+    def parse_term(self) -> SqlExpr:
+        left = self.parse_primary()
+        while True:
+            token = self.peek()
+            if token.kind == "symbol" and token.value in ("*", "/"):
+                op = self.advance().value
+                left = Binary(op, left, self.parse_primary())
+            else:
+                return left
+
+    def parse_primary(self) -> SqlExpr:
+        token = self.peek()
+        if token.kind == "symbol" and token.value == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect("symbol", ")")
+            return inner
+        if token.kind == "number":
+            self.advance()
+            text = token.value
+            return Literal(float(text) if "." in text else int(text))
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.value)
+        if token.kind == "ident":
+            if token.value.lower() in AGGREGATE_NAMES and self._lookahead_is("symbol", "("):
+                return self.parse_aggregate()
+            return self.parse_column_ref()
+        raise SqlSyntaxError(f"unexpected token {token.value!r} at offset {token.position}")
+
+    def parse_aggregate(self) -> FuncCall:
+        name = self.expect("ident").value.lower()
+        self.expect("symbol", "(")
+        if self.accept("symbol", "*"):
+            self.expect("symbol", ")")
+            if name != "count":
+                raise SqlSyntaxError(f"{name}(*) is not valid SQL")
+            return FuncCall("count", None)
+        distinct = bool(self.accept("keyword", "distinct"))
+        argument = self.parse_expr()
+        self.expect("symbol", ")")
+        return FuncCall(name, argument, distinct)
+
+    def parse_column_ref(self) -> ColumnRef:
+        first = self.expect("ident").value
+        if self.accept("symbol", "."):
+            second = self.expect("ident").value
+            return ColumnRef(first, second)
+        return ColumnRef(None, first)
+
+    def _lookahead_is(self, kind: str, value: str) -> bool:
+        nxt = self.tokens[self.index + 1]
+        return nxt.kind == kind and nxt.value == value
+
+
+def parse_select(sql: str) -> SelectStmt:
+    """Parse *sql* into a :class:`SelectStmt` AST."""
+    return _Parser(tokenize(sql)).parse_select()

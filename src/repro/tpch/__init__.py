@@ -1,0 +1,37 @@
+"""TPC-H substrate: schema, SF-scaled statistics, micro data, queries.
+
+The paper's Table 2 evaluates the plan generators on the intro example
+query (Ex) and TPC-H queries Q3, Q5 and Q10 with scale-factor-1 statistics.
+This package provides:
+
+* :mod:`repro.tpch.schema` — the eight TPC-H tables with keys,
+* :mod:`repro.tpch.stats` — SF-scaled cardinalities and distinct counts,
+* :mod:`repro.tpch.queries` — Ex/Q3/Q5/Q10 as :class:`~repro.query.spec.Query`
+  objects (aliased relations supported, e.g. the two nation instances of Ex),
+* :mod:`repro.tpch.datagen` — a deterministic micro-scale generator so the
+  queries can actually be *executed* and optimizer output cross-checked.
+"""
+
+from repro.tpch.schema import TABLES, TpchTable
+from repro.tpch.stats import scaled_cardinality, scaled_distinct
+from repro.tpch.queries import (
+    build_ex,
+    build_q3,
+    build_q5,
+    build_q10,
+    micro_database,
+    TPCH_QUERIES,
+)
+
+__all__ = [
+    "TABLES",
+    "TpchTable",
+    "scaled_cardinality",
+    "scaled_distinct",
+    "build_ex",
+    "build_q3",
+    "build_q5",
+    "build_q10",
+    "micro_database",
+    "TPCH_QUERIES",
+]

@@ -1,0 +1,112 @@
+"""Deterministic micro-scale TPC-H data generator.
+
+The optimizer works with SF-1 *statistics*; executing the paper's queries
+only needs data that exercises every code path (matches, misses, NULL
+padding, grouping collisions).  The generator therefore produces tiny
+tables — with referentially plausible foreign keys and honoured primary
+keys — deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.algebra.relation import Relation
+from repro.algebra.rows import Row
+from repro.tpch.stats import ORDERDATE_DAYS, SHIPDATE_DAYS
+
+#: micro-scale row counts (large enough for joins to hit *and* miss)
+MICRO_ROWS = {
+    "region": 3,
+    "nation": 6,
+    "supplier": 8,
+    "customer": 12,
+    "part": 8,
+    "partsupp": 12,
+    "orders": 18,
+    "lineitem": 30,
+}
+
+_REGION_NAMES = ["ASIA", "AMERICA", "EUROPE"]
+_SEGMENTS = ["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"]
+_FLAGS = ["R", "A", "N"]
+
+
+def micro_table(table: str, alias: Optional[str] = None, seed: int = 0) -> Relation:
+    """Generate one micro table; attributes are ``alias.column``-qualified."""
+    prefix = alias or table
+    rng = random.Random((hash(table) ^ seed) & 0xFFFFFFFF)
+    n = MICRO_ROWS[table]
+    rows = [
+        Row({f"{prefix}.{k}": v for k, v in _row(table, i, rng).items()})
+        for i in range(n)
+    ]
+    attributes = tuple(rows[0].keys())
+    return Relation(attributes, rows)
+
+
+def _row(table: str, i: int, rng: random.Random) -> Dict[str, object]:
+    if table == "region":
+        return {"r_regionkey": i, "r_name": _REGION_NAMES[i % len(_REGION_NAMES)]}
+    if table == "nation":
+        return {
+            "n_nationkey": i,
+            "n_name": f"NATION#{i}",
+            "n_regionkey": rng.randrange(MICRO_ROWS["region"]),
+        }
+    if table == "supplier":
+        return {
+            "s_suppkey": i,
+            "s_name": f"Supplier#{i}",
+            "s_nationkey": rng.randrange(MICRO_ROWS["nation"]),
+            "s_acctbal": rng.randint(-100, 1000),
+        }
+    if table == "customer":
+        return {
+            "c_custkey": i,
+            "c_name": f"Customer#{i}",
+            "c_address": f"Addr#{i}",
+            "c_nationkey": rng.randrange(MICRO_ROWS["nation"]),
+            "c_phone": f"13-{i:03d}",
+            "c_acctbal": rng.randint(-100, 1000),
+            "c_mktsegment": _SEGMENTS[rng.randrange(len(_SEGMENTS))],
+            "c_comment": f"comment {i}",
+        }
+    if table == "part":
+        return {
+            "p_partkey": i,
+            "p_name": f"Part#{i}",
+            "p_type": f"TYPE{i % 3}",
+            "p_size": rng.randint(1, 50),
+        }
+    if table == "partsupp":
+        return {
+            # (partkey, suppkey) pairs stay unique: the primary key holds.
+            "ps_partkey": i % MICRO_ROWS["part"],
+            "ps_suppkey": i // MICRO_ROWS["part"],
+            "ps_availqty": rng.randint(0, 999),
+            "ps_supplycost": rng.randint(1, 100),
+        }
+    if table == "orders":
+        return {
+            "o_orderkey": i,
+            "o_custkey": rng.randrange(MICRO_ROWS["customer"] + 4),  # some dangle
+            "o_orderstatus": rng.choice(["O", "F", "P"]),
+            "o_totalprice": rng.randint(100, 10_000),
+            "o_orderdate": rng.randrange(ORDERDATE_DAYS),
+            "o_shippriority": 0,
+        }
+    if table == "lineitem":
+        return {
+            "l_orderkey": rng.randrange(MICRO_ROWS["orders"] + 4),  # some dangle
+            "l_partkey": rng.randrange(MICRO_ROWS["part"]),
+            "l_suppkey": rng.randrange(MICRO_ROWS["supplier"] + 2),
+            "l_linenumber": i,
+            "l_quantity": rng.randint(1, 50),
+            "l_extendedprice": rng.randint(100, 5_000),
+            "l_discount": rng.randint(0, 10) / 100.0,
+            "l_returnflag": _FLAGS[rng.randrange(len(_FLAGS))],
+            "l_shipdate": rng.randrange(SHIPDATE_DAYS),
+        }
+    raise KeyError(f"unknown TPC-H table {table!r}")

@@ -1,0 +1,274 @@
+"""The paper's TPC-H queries (Table 2) as query specifications.
+
+Dates are encoded as integer day offsets from 1992-01-01 (the TPC-H
+orderdate epoch): 1995-03-15 = day 1169, the 1994 calendar year =
+[731, 1096), 1993-10-01..1994-01-01 = [639, 731).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.aggregates.calls import AggCall, AggKind
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra.expressions import Attr, BinOp, Const, Logical
+from repro.algebra.relation import Relation
+from repro.query.spec import JoinEdge, Query, RelationInfo
+from repro.query.tree import TreeLeaf, TreeNode
+from repro.rewrites.pushdown import OpKind
+from repro.tpch.datagen import micro_table
+from repro.tpch.schema import TABLES
+from repro.tpch.stats import SELECTIVITIES, scaled_cardinality, scaled_distinct
+
+DAY_1995_03_15 = 1_169
+YEAR_1994_START, YEAR_1994_END = 731, 1_096
+Q10_START, Q10_END = 639, 731
+
+
+def relation_info(table: str, alias: Optional[str] = None, scale_factor: float = 1.0) -> RelationInfo:
+    """A TPC-H table as an optimizer relation, optionally aliased."""
+    spec = TABLES[table]
+    prefix = alias or table
+    attrs = tuple(f"{prefix}.{c}" for c in spec.columns)
+    distinct = {
+        f"{prefix}.{c}": scaled_distinct(table, c, scale_factor) for c in spec.columns
+    }
+    keys = (frozenset(f"{prefix}.{c}" for c in spec.primary_key),)
+    return RelationInfo(prefix, attrs, spec.cardinality(scale_factor), distinct, keys)
+
+
+def _revenue(prefix: str = "lineitem") -> AggCall:
+    """sum(l_extendedprice * (1 - l_discount))."""
+    return AggCall(
+        AggKind.SUM,
+        BinOp(
+            "*",
+            Attr(f"{prefix}.l_extendedprice"),
+            BinOp("-", Const(1), Attr(f"{prefix}.l_discount")),
+        ),
+    )
+
+
+def build_ex(scale_factor: float = 1.0) -> Query:
+    """The introduction's example query:
+
+    ``(nation ns ⋈ supplier) ⟗ (nation nc ⋈ customer)`` on the nation keys,
+    grouped by both nation names with ``count(*)`` — the outerjoin is the
+    reordering barrier the paper's equivalences remove.
+    """
+    ns = relation_info("nation", "ns", scale_factor)
+    s = relation_info("supplier", "supplier", scale_factor)
+    nc = relation_info("nation", "nc", scale_factor)
+    c = relation_info("customer", "customer", scale_factor)
+    edges = [
+        JoinEdge(0, OpKind.INNER, Attr("ns.n_nationkey").eq(Attr("supplier.s_nationkey")), 1 / 25),
+        JoinEdge(1, OpKind.INNER, Attr("nc.n_nationkey").eq(Attr("customer.c_nationkey")), 1 / 25),
+        JoinEdge(2, OpKind.FULL_OUTER, Attr("ns.n_nationkey").eq(Attr("nc.n_nationkey")), 1 / 25),
+    ]
+    tree = TreeNode(2, TreeNode(0, TreeLeaf(0), TreeLeaf(1)), TreeNode(1, TreeLeaf(2), TreeLeaf(3)))
+    aggregates = AggVector([AggItem("cnt", AggCall(AggKind.COUNT_STAR))])
+    return Query([ns, s, nc, c], edges, tree, ("ns.n_name", "nc.n_name"), aggregates)
+
+
+def build_q3(scale_factor: float = 1.0) -> Query:
+    """TPC-H Q3 (shipping priority)."""
+    customer = relation_info("customer", scale_factor=scale_factor)
+    orders = relation_info("orders", scale_factor=scale_factor)
+    lineitem = relation_info("lineitem", scale_factor=scale_factor)
+    edges = [
+        JoinEdge(
+            0, OpKind.INNER,
+            Attr("customer.c_custkey").eq(Attr("orders.o_custkey")),
+            1.0 / scaled_distinct("customer", "c_custkey", scale_factor),
+        ),
+        JoinEdge(
+            1, OpKind.INNER,
+            Attr("orders.o_orderkey").eq(Attr("lineitem.l_orderkey")),
+            1.0 / scaled_distinct("orders", "o_orderkey", scale_factor),
+        ),
+    ]
+    tree = TreeNode(1, TreeNode(0, TreeLeaf(0), TreeLeaf(1)), TreeLeaf(2))
+    locals_ = {
+        0: (
+            Attr("customer.c_mktsegment").eq(Const("BUILDING")),
+            SELECTIVITIES["c_mktsegment = 'BUILDING'"],
+        ),
+        1: (
+            BinOp("<", Attr("orders.o_orderdate"), Const(DAY_1995_03_15)),
+            SELECTIVITIES["o_orderdate < '1995-03-15'"],
+        ),
+        2: (
+            BinOp(">", Attr("lineitem.l_shipdate"), Const(DAY_1995_03_15)),
+            SELECTIVITIES["l_shipdate > '1995-03-15'"],
+        ),
+    }
+    aggregates = AggVector([AggItem("revenue", _revenue())])
+    return Query(
+        [customer, orders, lineitem],
+        edges,
+        tree,
+        ("lineitem.l_orderkey", "orders.o_orderdate", "orders.o_shippriority"),
+        aggregates,
+        local_predicates=locals_,
+    )
+
+
+def build_q5(scale_factor: float = 1.0) -> Query:
+    """TPC-H Q5 (local supplier volume) — a *cyclic* inner-join query."""
+    customer = relation_info("customer", scale_factor=scale_factor)
+    orders = relation_info("orders", scale_factor=scale_factor)
+    lineitem = relation_info("lineitem", scale_factor=scale_factor)
+    supplier = relation_info("supplier", scale_factor=scale_factor)
+    nation = relation_info("nation", scale_factor=scale_factor)
+    region = relation_info("region", scale_factor=scale_factor)
+    edges = [
+        JoinEdge(
+            0, OpKind.INNER,
+            Attr("customer.c_custkey").eq(Attr("orders.o_custkey")),
+            1.0 / scaled_distinct("customer", "c_custkey", scale_factor),
+        ),
+        JoinEdge(
+            1, OpKind.INNER,
+            Attr("orders.o_orderkey").eq(Attr("lineitem.l_orderkey")),
+            1.0 / scaled_distinct("orders", "o_orderkey", scale_factor),
+        ),
+        JoinEdge(
+            2, OpKind.INNER,
+            Attr("lineitem.l_suppkey").eq(Attr("supplier.s_suppkey")),
+            1.0 / scaled_distinct("supplier", "s_suppkey", scale_factor),
+        ),
+        JoinEdge(
+            3, OpKind.INNER,
+            Attr("supplier.s_nationkey").eq(Attr("nation.n_nationkey")),
+            1.0 / 25,
+        ),
+        JoinEdge(
+            4, OpKind.INNER,
+            Attr("nation.n_regionkey").eq(Attr("region.r_regionkey")),
+            1.0 / 5,
+        ),
+        # the cycle-closing WHERE predicate: customers buy locally
+        JoinEdge(
+            5, OpKind.INNER,
+            Attr("customer.c_nationkey").eq(Attr("supplier.s_nationkey")),
+            1.0 / 25,
+        ),
+    ]
+    tree = TreeNode(
+        4,
+        TreeNode(3, TreeNode(2, TreeNode(1, TreeNode(0, TreeLeaf(0), TreeLeaf(1)), TreeLeaf(2)), TreeLeaf(3)), TreeLeaf(4)),
+        TreeLeaf(5),
+    )
+    locals_ = {
+        1: (
+            Logical(
+                "and",
+                (
+                    BinOp(">=", Attr("orders.o_orderdate"), Const(YEAR_1994_START)),
+                    BinOp("<", Attr("orders.o_orderdate"), Const(YEAR_1994_END)),
+                ),
+            ),
+            SELECTIVITIES["o_orderdate in 1994"],
+        ),
+        5: (
+            Attr("region.r_name").eq(Const("ASIA")),
+            SELECTIVITIES["r_name = 'ASIA'"],
+        ),
+    }
+    aggregates = AggVector([AggItem("revenue", _revenue())])
+    return Query(
+        [customer, orders, lineitem, supplier, nation, region],
+        edges,
+        tree,
+        ("nation.n_name",),
+        aggregates,
+        local_predicates=locals_,
+    )
+
+
+def build_q10(scale_factor: float = 1.0) -> Query:
+    """TPC-H Q10 (returned item reporting)."""
+    customer = relation_info("customer", scale_factor=scale_factor)
+    orders = relation_info("orders", scale_factor=scale_factor)
+    lineitem = relation_info("lineitem", scale_factor=scale_factor)
+    nation = relation_info("nation", scale_factor=scale_factor)
+    edges = [
+        JoinEdge(
+            0, OpKind.INNER,
+            Attr("customer.c_custkey").eq(Attr("orders.o_custkey")),
+            1.0 / scaled_distinct("customer", "c_custkey", scale_factor),
+        ),
+        JoinEdge(
+            1, OpKind.INNER,
+            Attr("orders.o_orderkey").eq(Attr("lineitem.l_orderkey")),
+            1.0 / scaled_distinct("orders", "o_orderkey", scale_factor),
+        ),
+        JoinEdge(
+            2, OpKind.INNER,
+            Attr("customer.c_nationkey").eq(Attr("nation.n_nationkey")),
+            1.0 / 25,
+        ),
+    ]
+    tree = TreeNode(
+        2,
+        TreeNode(1, TreeNode(0, TreeLeaf(0), TreeLeaf(1)), TreeLeaf(2)),
+        TreeLeaf(3),
+    )
+    locals_ = {
+        1: (
+            Logical(
+                "and",
+                (
+                    BinOp(">=", Attr("orders.o_orderdate"), Const(Q10_START)),
+                    BinOp("<", Attr("orders.o_orderdate"), Const(Q10_END)),
+                ),
+            ),
+            SELECTIVITIES["o_orderdate in 1993Q4"],
+        ),
+        2: (
+            Attr("lineitem.l_returnflag").eq(Const("R")),
+            SELECTIVITIES["l_returnflag = 'R'"],
+        ),
+    }
+    aggregates = AggVector([AggItem("revenue", _revenue())])
+    group_by = (
+        "customer.c_custkey",
+        "customer.c_name",
+        "customer.c_acctbal",
+        "customer.c_phone",
+        "nation.n_name",
+        "customer.c_address",
+        "customer.c_comment",
+    )
+    return Query(
+        [customer, orders, lineitem, nation], edges, tree, group_by, aggregates,
+        local_predicates=locals_,
+    )
+
+
+TPCH_QUERIES: Dict[str, Callable[[float], Query]] = {
+    "Ex": build_ex,
+    "Q3": build_q3,
+    "Q5": build_q5,
+    "Q10": build_q10,
+}
+
+
+def micro_database(query: Query, seed: int = 0) -> Dict[str, Relation]:
+    """Micro tables for every (possibly aliased) relation of *query*."""
+    database: Dict[str, Relation] = {}
+    for rel in query.relations:
+        table = _table_of(rel)
+        database[rel.name] = micro_table(table, alias=rel.name, seed=seed)
+    return database
+
+
+def _table_of(rel: RelationInfo) -> str:
+    if rel.name in TABLES:
+        return rel.name
+    # aliased relations: identify the table by its column names
+    suffix = sorted(a.split(".", 1)[1] for a in rel.attributes)
+    for table, spec in TABLES.items():
+        if sorted(spec.columns) == suffix:
+            return table
+    raise KeyError(f"cannot identify TPC-H table for {rel.name!r}")

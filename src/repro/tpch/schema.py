@@ -1,0 +1,110 @@
+"""The TPC-H schema (tables, columns, primary keys, base cardinalities).
+
+Column subsets cover everything the paper's four queries touch plus the
+usual identifiers; cardinalities follow the TPC-H specification as a
+function of the scale factor SF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class TpchTable:
+    """One TPC-H table: columns, primary key and SF-scaled cardinality."""
+
+    name: str
+    columns: Tuple[str, ...]
+    primary_key: Tuple[str, ...]
+    #: rows at scale factor 1
+    rows_sf1: float
+    #: whether the table scales with SF (region/nation do not)
+    scales: bool = True
+
+    def cardinality(self, scale_factor: float = 1.0) -> float:
+        return self.rows_sf1 * (scale_factor if self.scales else 1.0)
+
+
+TABLES: Dict[str, TpchTable] = {
+    table.name: table
+    for table in [
+        TpchTable(
+            "region",
+            ("r_regionkey", "r_name"),
+            ("r_regionkey",),
+            5,
+            scales=False,
+        ),
+        TpchTable(
+            "nation",
+            ("n_nationkey", "n_name", "n_regionkey"),
+            ("n_nationkey",),
+            25,
+            scales=False,
+        ),
+        TpchTable(
+            "supplier",
+            ("s_suppkey", "s_name", "s_nationkey", "s_acctbal"),
+            ("s_suppkey",),
+            10_000,
+        ),
+        TpchTable(
+            "customer",
+            (
+                "c_custkey",
+                "c_name",
+                "c_address",
+                "c_nationkey",
+                "c_phone",
+                "c_acctbal",
+                "c_mktsegment",
+                "c_comment",
+            ),
+            ("c_custkey",),
+            150_000,
+        ),
+        TpchTable(
+            "part",
+            ("p_partkey", "p_name", "p_type", "p_size"),
+            ("p_partkey",),
+            200_000,
+        ),
+        TpchTable(
+            "partsupp",
+            ("ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost"),
+            ("ps_partkey", "ps_suppkey"),
+            800_000,
+        ),
+        TpchTable(
+            "orders",
+            (
+                "o_orderkey",
+                "o_custkey",
+                "o_orderstatus",
+                "o_totalprice",
+                "o_orderdate",
+                "o_shippriority",
+            ),
+            ("o_orderkey",),
+            1_500_000,
+        ),
+        TpchTable(
+            "lineitem",
+            (
+                "l_orderkey",
+                "l_partkey",
+                "l_suppkey",
+                "l_linenumber",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+                "l_returnflag",
+                "l_shipdate",
+            ),
+            ("l_orderkey", "l_linenumber"),
+            6_001_215,
+        ),
+    ]
+}

@@ -1,0 +1,99 @@
+"""SF-scaled TPC-H statistics: distinct counts and predicate selectivities.
+
+Distinct counts follow the TPC-H specification's value-generation rules
+(e.g. one third of customers never place an order, orderdates span ~2406
+days from 1992-01-01 to 1998-08-02).  Selectivities for the Q3/Q5/Q10 base
+predicates are the standard values derivable from those rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.tpch.schema import TABLES
+
+#: days in the o_orderdate domain (1992-01-01 .. 1998-08-02)
+ORDERDATE_DAYS = 2_406
+#: days in the l_shipdate domain (orderdate + 1..121)
+SHIPDATE_DAYS = 2_526
+
+_DISTINCT_SF1: Dict[str, Dict[str, float]] = {
+    "region": {"r_regionkey": 5, "r_name": 5},
+    "nation": {"n_nationkey": 25, "n_name": 25, "n_regionkey": 5},
+    "supplier": {
+        "s_suppkey": 10_000,
+        "s_name": 10_000,
+        "s_nationkey": 25,
+        "s_acctbal": 9_955,
+    },
+    "customer": {
+        "c_custkey": 150_000,
+        "c_name": 150_000,
+        "c_address": 150_000,
+        "c_nationkey": 25,
+        "c_phone": 150_000,
+        "c_acctbal": 140_187,
+        "c_mktsegment": 5,
+        "c_comment": 149_968,
+    },
+    "part": {"p_partkey": 200_000, "p_name": 199_997, "p_type": 150, "p_size": 50},
+    "partsupp": {
+        "ps_partkey": 200_000,
+        "ps_suppkey": 10_000,
+        "ps_availqty": 9_999,
+        "ps_supplycost": 99_865,
+    },
+    "orders": {
+        "o_orderkey": 1_500_000,
+        "o_custkey": 99_996,  # two thirds of customers have orders
+        "o_orderstatus": 3,
+        "o_totalprice": 1_464_556,
+        "o_orderdate": ORDERDATE_DAYS,
+        "o_shippriority": 1,
+    },
+    "lineitem": {
+        "l_orderkey": 1_500_000,
+        "l_partkey": 200_000,
+        "l_suppkey": 10_000,
+        "l_linenumber": 7,
+        "l_quantity": 50,
+        "l_extendedprice": 933_900,
+        "l_discount": 11,
+        "l_returnflag": 3,
+        "l_shipdate": SHIPDATE_DAYS,
+    },
+}
+
+#: base-predicate selectivities used by the paper's TPC-H queries
+SELECTIVITIES = {
+    # Q3
+    "c_mktsegment = 'BUILDING'": 1.0 / 5.0,
+    "o_orderdate < '1995-03-15'": 1_169.0 / ORDERDATE_DAYS,  # ~0.486
+    "l_shipdate > '1995-03-15'": 1_357.0 / SHIPDATE_DAYS,  # ~0.537
+    # Q5
+    "r_name = 'ASIA'": 1.0 / 5.0,
+    "o_orderdate in 1994": 365.0 / ORDERDATE_DAYS,  # ~0.152
+    # Q10
+    "o_orderdate in 1993Q4": 92.0 / ORDERDATE_DAYS,  # ~0.038
+    "l_returnflag = 'R'": 0.2466,
+}
+
+
+def scaled_cardinality(table: str, scale_factor: float = 1.0) -> float:
+    """Row count of *table* at the given scale factor."""
+    return TABLES[table].cardinality(scale_factor)
+
+
+def scaled_distinct(table: str, column: str, scale_factor: float = 1.0) -> float:
+    """Distinct count of *column* at the given scale factor.
+
+    Key-like columns scale linearly (capped at the cardinality); small
+    categorical domains (nations, segments, flags, dates) do not scale.
+    """
+    base = _DISTINCT_SF1[table][column]
+    cardinality_sf1 = TABLES[table].cardinality(1.0)
+    cardinality = TABLES[table].cardinality(scale_factor)
+    if base >= cardinality_sf1 * 0.05:
+        # scales with the table (identifiers, monetary amounts)
+        return min(cardinality, base * (cardinality / cardinality_sf1))
+    return min(cardinality, base)

@@ -1,0 +1,23 @@
+"""Random workload generation (paper Sec. 5).
+
+The evaluation generates 10,000 random operator trees per relation count:
+random binary tree shapes via unranking (Liebehenschel [5]), random
+operators on internal nodes, random relations on leaves, randomly selected
+equality-join and grouping attributes, and random cardinalities and
+selectivities.  :mod:`repro.workload.data` additionally instantiates
+micro-scale databases for executing the generated queries, which powers the
+end-to-end correctness tests.
+"""
+
+from repro.workload.unrank import count_trees, random_tree_shape, unrank_tree
+from repro.workload.generator import WorkloadConfig, generate_query
+from repro.workload.data import generate_database
+
+__all__ = [
+    "count_trees",
+    "unrank_tree",
+    "random_tree_shape",
+    "WorkloadConfig",
+    "generate_query",
+    "generate_database",
+]

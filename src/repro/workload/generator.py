@@ -1,0 +1,236 @@
+"""Random query generation following the paper's evaluation setup (Sec. 5).
+
+For a requested relation count the generator draws a uniformly random tree
+shape, attaches relations to the leaves and operators to the internal
+nodes, selects equality-join attributes between the subtrees' *visible*
+attributes, selects grouping attributes and an aggregation vector from the
+root-visible attributes, and draws random cardinalities, distinct counts
+and selectivities.
+
+Visibility matters because semijoins, antijoins and groupjoins hide their
+right subtree's attributes: predicates and aggregates above such operators
+may only use what survives.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.aggregates.calls import AggCall, AggKind
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra.expressions import Attr
+from repro.query.spec import JoinEdge, Query, RelationInfo
+from repro.query.tree import Tree, TreeLeaf, TreeNode
+from repro.rewrites.pushdown import OpKind
+from repro.workload.unrank import Shape, random_tree_shape
+
+
+@dataclass
+class WorkloadConfig:
+    """Tunable knobs of the random workload (paper defaults in comments)."""
+
+    min_cardinality: float = 10.0
+    max_cardinality: float = 100_000.0
+    #: Weights for the operator attached to each internal node.
+    operator_weights: Dict[OpKind, float] = field(
+        default_factory=lambda: {
+            OpKind.INNER: 0.50,
+            OpKind.LEFT_OUTER: 0.16,
+            OpKind.FULL_OUTER: 0.12,
+            OpKind.LEFT_SEMI: 0.08,
+            OpKind.LEFT_ANTI: 0.06,
+            OpKind.GROUPJOIN: 0.08,
+        }
+    )
+    max_group_attrs: int = 3
+    max_aggregates: int = 4
+    #: Probability that an aggregate is a distinct variant / avg.
+    distinct_probability: float = 0.05
+    avg_probability: float = 0.10
+    inner_only: bool = False
+
+
+def generate_query(
+    n_relations: int, rng: random.Random, config: Optional[WorkloadConfig] = None
+) -> Query:
+    """One random query with *n_relations* relations."""
+    config = config or WorkloadConfig()
+    relations = [_random_relation(i, rng, config) for i in range(n_relations)]
+
+    if n_relations == 1:
+        tree: Tree = TreeLeaf(0)
+        edges: List[JoinEdge] = []
+        visible = frozenset(relations[0].attributes)
+        gj_names: List[str] = []
+    else:
+        shape = random_tree_shape(n_relations, rng)
+        leaf_order = list(range(n_relations))
+        rng.shuffle(leaf_order)
+        builder = _TreeBuilder(relations, rng, config, leaf_order)
+        tree, visible, gj_names = builder.build(shape)
+        edges = builder.edges
+
+    group_by = _pick_group_attrs(visible, gj_names, rng, config)
+    aggregates = _pick_aggregates(visible, gj_names, rng, config)
+    return Query(relations, edges, tree, group_by, aggregates)
+
+
+def _random_relation(index: int, rng: random.Random, config: WorkloadConfig) -> RelationInfo:
+    name = f"r{index}"
+    cardinality = float(
+        int(10 ** rng.uniform(_log10(config.min_cardinality), _log10(config.max_cardinality)))
+    )
+    cardinality = max(2.0, cardinality)
+    attrs = (f"{name}.id", f"{name}.j", f"{name}.g", f"{name}.a")
+    distinct = {
+        f"{name}.id": cardinality,  # statistically a key
+        f"{name}.j": max(2.0, float(int(cardinality ** rng.uniform(0.3, 1.0)))),
+        f"{name}.g": float(rng.randint(2, 50)),
+        f"{name}.a": max(2.0, float(int(cardinality ** rng.uniform(0.5, 1.0)))),
+    }
+    return RelationInfo(
+        name=name,
+        attributes=attrs,
+        cardinality=cardinality,
+        distinct=distinct,
+        keys=(frozenset({f"{name}.id"}),),
+    )
+
+
+def _log10(x: float) -> float:
+    import math
+
+    return math.log10(x)
+
+
+class _TreeBuilder:
+    """Recursively instantiates a shape into tree + edges."""
+
+    def __init__(
+        self,
+        relations: Sequence[RelationInfo],
+        rng: random.Random,
+        config: WorkloadConfig,
+        leaf_order: List[int],
+    ):
+        self.relations = relations
+        self.rng = rng
+        self.config = config
+        self.leaf_order = leaf_order
+        self.next_leaf = 0
+        self.edges: List[JoinEdge] = []
+        self.gj_counter = 0
+
+    def build(self, shape: Shape) -> Tuple[Tree, FrozenSet[str], List[str]]:
+        if shape is None:
+            vertex = self.leaf_order[self.next_leaf]
+            self.next_leaf += 1
+            return TreeLeaf(vertex), frozenset(self.relations[vertex].attributes), []
+
+        left_tree, left_visible, left_gj = self.build(shape[0])
+        right_tree, right_visible, right_gj = self.build(shape[1])
+
+        op = self._pick_operator()
+        left_attr = self._pick_join_attr(left_visible, left_gj)
+        right_attr = self._pick_join_attr(right_visible, right_gj)
+        predicate = Attr(left_attr).eq(Attr(right_attr))
+        selectivity = self._selectivity(left_attr, right_attr)
+
+        groupjoin_vector = None
+        if op is OpKind.GROUPJOIN:
+            groupjoin_vector = self._groupjoin_vector(right_visible)
+
+        edge = JoinEdge(
+            edge_id=len(self.edges),
+            op=op,
+            predicate=predicate,
+            selectivity=selectivity,
+            groupjoin_vector=groupjoin_vector,
+        )
+        self.edges.append(edge)
+        node = TreeNode(edge.edge_id, left_tree, right_tree)
+
+        if op in (OpKind.LEFT_SEMI, OpKind.LEFT_ANTI):
+            visible = left_visible
+            gj_names = left_gj
+        elif op is OpKind.GROUPJOIN:
+            assert groupjoin_vector is not None
+            visible = left_visible | frozenset(groupjoin_vector.names())
+            gj_names = left_gj + list(groupjoin_vector.names())
+        else:
+            visible = left_visible | right_visible
+            gj_names = left_gj + right_gj
+        return node, visible, gj_names
+
+    def _pick_operator(self) -> OpKind:
+        if self.config.inner_only:
+            return OpKind.INNER
+        kinds = list(self.config.operator_weights.keys())
+        weights = [self.config.operator_weights[k] for k in kinds]
+        return self.rng.choices(kinds, weights=weights, k=1)[0]
+
+    def _pick_join_attr(self, visible: FrozenSet[str], gj_names: List[str]) -> str:
+        # Join predicates use base attributes only (not groupjoin outputs).
+        candidates = sorted(a for a in visible if a not in gj_names and not a.endswith(".a"))
+        return self.rng.choice(candidates)
+
+    def _selectivity(self, left_attr: str, right_attr: str) -> float:
+        d1 = self._distinct_of(left_attr)
+        d2 = self._distinct_of(right_attr)
+        base = 1.0 / max(d1, d2)
+        # Random perturbation so selectivities are not fully determined.
+        return min(1.0, base * self.rng.uniform(0.5, 2.0))
+
+    def _distinct_of(self, attr: str) -> float:
+        rel_name = attr.split(".", 1)[0]
+        for rel in self.relations:
+            if rel.name == rel_name:
+                return rel.distinct_count(attr)
+        return 10.0
+
+    def _groupjoin_vector(self, right_visible: FrozenSet[str]) -> AggVector:
+        self.gj_counter += 1
+        candidates = sorted(a for a in right_visible if a.endswith(".a"))
+        target = self.rng.choice(candidates) if candidates else sorted(right_visible)[0]
+        return AggVector(
+            [AggItem(f"gj{self.gj_counter}", AggCall(AggKind.SUM, Attr(target)))]
+        )
+
+
+def _pick_group_attrs(
+    visible: FrozenSet[str],
+    gj_names: List[str],
+    rng: random.Random,
+    config: WorkloadConfig,
+) -> Tuple[str, ...]:
+    candidates = sorted(a for a in visible if a not in gj_names)
+    preferred = [a for a in candidates if a.endswith(".g")] or candidates
+    count = rng.randint(1, min(config.max_group_attrs, len(preferred)))
+    return tuple(rng.sample(preferred, count))
+
+
+def _pick_aggregates(
+    visible: FrozenSet[str],
+    gj_names: List[str],
+    rng: random.Random,
+    config: WorkloadConfig,
+) -> AggVector:
+    items: List[AggItem] = [AggItem("cnt", AggCall(AggKind.COUNT_STAR))]
+    numeric = sorted(a for a in visible if a.endswith(".a") or a in gj_names)
+    count = rng.randint(1, max(1, config.max_aggregates - 1))
+    for index in range(count):
+        if not numeric:
+            break
+        attr = rng.choice(numeric)
+        roll = rng.random()
+        if roll < config.distinct_probability:
+            call = AggCall(AggKind.SUM, Attr(attr), distinct=True)
+        elif roll < config.distinct_probability + config.avg_probability:
+            call = AggCall(AggKind.AVG, Attr(attr))
+        else:
+            kind = rng.choice([AggKind.SUM, AggKind.COUNT, AggKind.MIN, AggKind.MAX])
+            call = AggCall(kind, Attr(attr))
+        items.append(AggItem(f"f{index}", call))
+    return AggVector(items)

@@ -1,0 +1,77 @@
+"""Uniform generation of binary tree shapes by unranking.
+
+The paper generates random operator trees "using the unranking procedure
+proposed by Liebehenschel [5]": every binary tree shape with *n* leaves is
+assigned a rank in ``0 .. C(n-1)-1`` (Catalan number), and unranking a
+uniformly random rank yields a uniformly random shape.
+
+The implementation decomposes a tree with ``n`` leaves by the size ``k`` of
+its left subtree: shapes are ordered first by ``k``, then lexicographically
+by (left shape rank, right shape rank).
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+from typing import Tuple, Union
+
+#: A shape is a leaf count of 1 (``None``) or a pair of sub-shapes.
+Shape = Union[None, Tuple["Shape", "Shape"]]
+
+
+@lru_cache(maxsize=None)
+def count_trees(leaves: int) -> int:
+    """Number of binary tree shapes with *leaves* leaves (Catalan(n-1))."""
+    if leaves < 1:
+        raise ValueError("trees need at least one leaf")
+    if leaves == 1:
+        return 1
+    return sum(count_trees(k) * count_trees(leaves - k) for k in range(1, leaves))
+
+
+def unrank_tree(leaves: int, rank: int) -> Shape:
+    """The *rank*-th binary tree shape with *leaves* leaves."""
+    total = count_trees(leaves)
+    if not 0 <= rank < total:
+        raise ValueError(f"rank {rank} out of range for {leaves} leaves (0..{total - 1})")
+    if leaves == 1:
+        return None
+    for left_leaves in range(1, leaves):
+        left_count = count_trees(left_leaves)
+        right_count = count_trees(leaves - left_leaves)
+        block = left_count * right_count
+        if rank < block:
+            left_rank, right_rank = divmod(rank, right_count)
+            return (
+                unrank_tree(left_leaves, left_rank),
+                unrank_tree(leaves - left_leaves, right_rank),
+            )
+        rank -= block
+    raise AssertionError("unreachable")
+
+
+def rank_tree(shape: Shape) -> int:
+    """Inverse of :func:`unrank_tree` (useful for testing bijectivity)."""
+    if shape is None:
+        return 0
+    left, right = shape
+    left_leaves = leaf_count(left)
+    total_leaves = leaf_count(shape)
+    rank = 0
+    for k in range(1, left_leaves):
+        rank += count_trees(k) * count_trees(total_leaves - k)
+    right_count = count_trees(total_leaves - left_leaves)
+    return rank + rank_tree(left) * right_count + rank_tree(right)
+
+
+def leaf_count(shape: Shape) -> int:
+    """Number of leaves of a shape."""
+    if shape is None:
+        return 1
+    return leaf_count(shape[0]) + leaf_count(shape[1])
+
+
+def random_tree_shape(leaves: int, rng: random.Random) -> Shape:
+    """A uniformly random binary tree shape with *leaves* leaves."""
+    return unrank_tree(leaves, rng.randrange(count_trees(leaves)))

@@ -1,0 +1,133 @@
+"""Tests for single aggregate calls: evaluation + classification (Sec. 2.1)."""
+
+import pytest
+
+from repro.aggregates import avg, count, count_star, max_, min_, sum_
+from repro.aggregates.calls import AggCall, AggKind
+from repro.algebra.expressions import Attr, BinOp, Case, Const, IsNull
+from repro.algebra.rows import Row
+from repro.algebra.values import NULL, is_null
+
+
+def rows(*values):
+    return [Row({"a": v}) for v in values]
+
+
+class TestEvaluation:
+    def test_count_star_counts_everything(self):
+        assert count_star().evaluate(rows(1, NULL, 3)) == 3
+
+    def test_count_ignores_nulls(self):
+        assert count("a").evaluate(rows(1, NULL, 3)) == 2
+
+    def test_count_distinct(self):
+        assert count("a", distinct=True).evaluate(rows(1, 1, 2, NULL)) == 2
+
+    def test_sum(self):
+        assert sum_("a").evaluate(rows(1, 2, 3)) == 6
+
+    def test_sum_ignores_nulls(self):
+        assert sum_("a").evaluate(rows(1, NULL, 3)) == 4
+
+    def test_sum_empty_is_null(self):
+        assert is_null(sum_("a").evaluate([]))
+
+    def test_sum_all_null_is_null(self):
+        assert is_null(sum_("a").evaluate(rows(NULL, NULL)))
+
+    def test_sum_distinct(self):
+        assert sum_("a", distinct=True).evaluate(rows(1, 1, 2)) == 3
+
+    def test_min_max(self):
+        assert min_("a").evaluate(rows(3, 1, 2)) == 1
+        assert max_("a").evaluate(rows(3, 1, 2)) == 3
+
+    def test_min_empty_is_null(self):
+        assert is_null(min_("a").evaluate([]))
+
+    def test_avg(self):
+        assert avg("a").evaluate(rows(1, 2, 3)) == 2
+
+    def test_avg_ignores_nulls(self):
+        assert avg("a").evaluate(rows(2, NULL, 4)) == 3
+
+    def test_avg_distinct(self):
+        assert avg("a", distinct=True).evaluate(rows(1, 1, 3)) == 2
+
+    def test_aggregate_over_expression(self):
+        call = sum_(Attr("a") * Const(2))
+        assert call.evaluate(rows(1, 2)) == 6
+
+    def test_scaled_count_expression(self):
+        # The ⊗ form: sum(CASE WHEN a IS NULL THEN 0 ELSE c END)
+        call = AggCall(AggKind.SUM, Case(IsNull(Attr("a")), Const(0), Attr("c")))
+        data = [Row({"a": 1, "c": 3}), Row({"a": NULL, "c": 5})]
+        assert call.evaluate(data) == 3
+
+
+class TestValidation:
+    def test_count_star_rejects_argument(self):
+        with pytest.raises(ValueError):
+            AggCall(AggKind.COUNT_STAR, Attr("a"))
+
+    def test_count_star_rejects_distinct(self):
+        with pytest.raises(ValueError):
+            AggCall(AggKind.COUNT_STAR, None, distinct=True)
+
+    def test_sum_requires_argument(self):
+        with pytest.raises(ValueError):
+            AggCall(AggKind.SUM, None)
+
+
+class TestClassification:
+    """Duplicate sensitivity and decomposability tables from Sec. 2.1."""
+
+    @pytest.mark.parametrize(
+        "call",
+        [min_("a"), max_("a"), sum_("a", distinct=True), count("a", distinct=True), avg("a", distinct=True)],
+    )
+    def test_duplicate_agnostic(self, call):
+        assert call.duplicate_agnostic
+
+    @pytest.mark.parametrize("call", [sum_("a"), count("a"), count_star(), avg("a")])
+    def test_duplicate_sensitive(self, call):
+        assert call.duplicate_sensitive
+
+    @pytest.mark.parametrize(
+        "call", [min_("a"), max_("a"), sum_("a"), count("a"), count_star(), avg("a")]
+    )
+    def test_decomposable(self, call):
+        assert call.decomposable
+
+    @pytest.mark.parametrize(
+        "call",
+        [sum_("a", distinct=True), count("a", distinct=True), avg("a", distinct=True)],
+    )
+    def test_not_decomposable(self, call):
+        assert not call.decomposable
+
+
+class TestNullTupleDefaults:
+    """F({⊥}) values used in outerjoin default vectors (Sec. 3.1.2)."""
+
+    def test_count_star_on_bottom_is_one(self):
+        assert count_star().evaluate_on_null_tuple() == 1
+
+    def test_count_on_bottom_is_zero(self):
+        assert count("a").evaluate_on_null_tuple() == 0
+
+    def test_sum_on_bottom_is_null(self):
+        assert is_null(sum_("a").evaluate_on_null_tuple())
+
+    def test_min_max_avg_on_bottom_are_null(self):
+        assert is_null(min_("a").evaluate_on_null_tuple())
+        assert is_null(max_("a").evaluate_on_null_tuple())
+        assert is_null(avg("a").evaluate_on_null_tuple())
+
+    def test_scaled_count_on_bottom_is_zero(self):
+        call = AggCall(AggKind.SUM, Case(IsNull(Attr("a")), Const(0), Attr("c")))
+        assert call.evaluate_on_null_tuple() == 0
+
+    def test_attributes(self):
+        assert sum_(BinOp("*", Attr("x"), Attr("y"))).attributes() == frozenset({"x", "y"})
+        assert count_star().attributes() == frozenset()

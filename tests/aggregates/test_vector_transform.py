@@ -1,0 +1,229 @@
+"""Tests for aggregation vectors: splitting, decomposition, ⊗ scaling."""
+
+import pytest
+
+from repro.aggregates import avg, count, count_star, max_, min_, sum_
+from repro.aggregates.calls import AggKind
+from repro.aggregates.transform import (
+    NotDecomposableError,
+    NotScalableError,
+    decompose_call,
+    decompose_vector,
+    normalize_avg,
+    scale_call,
+    scale_vector,
+    single_row_expr,
+)
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra.rows import Row
+from repro.algebra.values import NULL, is_null
+
+
+def V(**aggs):
+    return AggVector([AggItem(name, call) for name, call in aggs.items()])
+
+
+class TestVectorBasics:
+    def test_names_and_attributes(self):
+        vector = V(n=count_star(), s=sum_("x"), m=min_("y"))
+        assert vector.names() == ("n", "s", "m")
+        assert vector.attributes() == frozenset({"x", "y"})
+
+    def test_concat(self):
+        combined = V(a=count_star()).concat(V(b=sum_("x")))
+        assert combined.names() == ("a", "b")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            AggVector([AggItem("a", count_star()), AggItem("a", sum_("x"))])
+
+    def test_evaluate(self):
+        vector = V(n=count_star(), s=sum_("x"))
+        result = vector.evaluate([Row({"x": 1}), Row({"x": 2})])
+        assert result == {"n": 2, "s": 3}
+
+    def test_evaluate_on_null_tuple(self):
+        vector = V(n=count_star(), s=sum_("x"), c=count("x"))
+        result = vector.evaluate_on_null_tuple()
+        assert result["n"] == 1
+        assert is_null(result["s"])
+        assert result["c"] == 0
+
+    def test_flags(self):
+        assert V(m=min_("x")).all_duplicate_agnostic
+        assert not V(m=min_("x"), s=sum_("x")).all_duplicate_agnostic
+        assert V(s=sum_("x")).all_decomposable
+        assert not V(s=sum_("x", distinct=True)).all_decomposable
+
+
+class TestSplitting:
+    """Def. 1 — splittability w.r.t. two expressions."""
+
+    def test_clean_split(self):
+        vector = V(s1=sum_("l.x"), s2=sum_("r.y"))
+        f1, f2 = vector.split({"l.x"}, {"r.y"})
+        assert f1.names() == ("s1",)
+        assert f2.names() == ("s2",)
+
+    def test_count_star_goes_to_preferred_side(self):
+        vector = V(n=count_star())
+        f1, f2 = vector.split({"l.x"}, {"r.y"}, star_side=1)
+        assert f1.names() == ("n",)
+        f1, f2 = vector.split({"l.x"}, {"r.y"}, star_side=2)
+        assert f2.names() == ("n",)
+
+    def test_cross_side_aggregate_not_splittable(self):
+        from repro.algebra.expressions import Attr, BinOp
+
+        vector = V(s=sum_(BinOp("+", Attr("l.x"), Attr("r.y"))))
+        assert vector.split({"l.x"}, {"r.y"}) is None
+        assert not vector.splittable({"l.x"}, {"r.y"})
+
+    def test_split_preserves_order_within_sides(self):
+        vector = V(a=sum_("l.x"), b=sum_("r.y"), c=min_("l.z"))
+        f1, f2 = vector.split({"l.x", "l.z"}, {"r.y"})
+        assert f1.names() == ("a", "c")
+
+
+class TestDecomposition:
+    """Def. 2 — inner/outer stages."""
+
+    def test_sum_decomposes_to_sum_of_sums(self):
+        inner, outer = decompose_call(sum_("x"), "s1")
+        assert inner.kind is AggKind.SUM
+        assert outer.kind is AggKind.SUM
+        assert outer.attributes() == frozenset({"s1"})
+
+    def test_count_star_decomposes_to_sum_of_counts(self):
+        inner, outer = decompose_call(count_star(), "c1")
+        assert inner.kind is AggKind.COUNT_STAR
+        assert outer.kind is AggKind.SUM
+
+    def test_count_decomposes_to_sum_of_counts(self):
+        inner, outer = decompose_call(count("x"), "c1")
+        assert inner.kind is AggKind.COUNT
+        assert outer.kind is AggKind.SUM
+
+    def test_min_max_decompose_to_themselves(self):
+        for factory, kind in ((min_, AggKind.MIN), (max_, AggKind.MAX)):
+            inner, outer = decompose_call(factory("x"), "m1")
+            assert inner.kind is kind and outer.kind is kind
+
+    def test_distinct_not_decomposable(self):
+        with pytest.raises(NotDecomposableError):
+            decompose_call(sum_("x", distinct=True), "s1")
+
+    def test_plain_avg_requires_normalisation(self):
+        with pytest.raises(NotDecomposableError):
+            decompose_call(avg("x"), "a1")
+
+    def test_decompose_vector_round_trip(self):
+        """outer(inner(X), inner(Y)) == agg(X ∪ Y) on concrete data."""
+        vector = V(n=count_star(), s=sum_("x"), lo=min_("x"), cnt=count("x"))
+        dec = decompose_vector(vector)
+        x = [Row({"x": v}) for v in (1, 2, NULL)]
+        y = [Row({"x": v}) for v in (5, NULL, 7)]
+        part_x = Row(dec.inner.evaluate(x))
+        part_y = Row(dec.inner.evaluate(y))
+        recombined = dec.outer.evaluate([part_x, part_y])
+        direct = vector.evaluate(x + y)
+        assert recombined == direct
+
+    def test_decomposition_is_repeatable(self):
+        """Outer stages must themselves decompose (multi-level pushdown)."""
+        vector = V(n=count_star(), s=sum_("x"), lo=min_("x"))
+        dec1 = decompose_vector(vector)
+        dec2 = decompose_vector(dec1.outer, suffix="''")
+        assert dec2.inner.names() == ("n''", "s''", "lo''")
+
+
+class TestNormalizeAvg:
+    def test_avg_becomes_sum_and_count(self):
+        norm = normalize_avg(V(m=avg("x")))
+        kinds = [item.call.kind for item in norm.vector]
+        assert kinds == [AggKind.SUM, AggKind.COUNT]
+        assert [name for name, _ in norm.post] == ["m"]
+
+    def test_post_division_reconstructs_avg(self):
+        norm = normalize_avg(V(m=avg("x")))
+        data = [Row({"x": v}) for v in (2, NULL, 4)]
+        partial = Row(norm.vector.evaluate(data))
+        (name, expr), = norm.post
+        assert expr.eval(partial) == 3
+
+    def test_non_avg_items_pass_through(self):
+        norm = normalize_avg(V(s=sum_("x"), m=avg("y"), n=count_star()))
+        assert norm.vector.names() == ("s", "m#s", "m#c", "n")
+        assert [name for name, _ in norm.post] == ["s", "m", "n"]
+
+    def test_avg_distinct_left_alone(self):
+        norm = normalize_avg(V(m=avg("x", distinct=True)))
+        assert norm.vector.names() == ("m",)
+
+
+class TestScaling:
+    """The ⊗ operator (Sec. 2.1.3)."""
+
+    def test_agnostic_unchanged(self):
+        assert scale_call(min_("x"), ["c"]) == min_("x")
+        assert scale_call(sum_("x", distinct=True), ["c"]) == sum_("x", distinct=True)
+
+    def test_empty_count_list_unchanged(self):
+        assert scale_call(sum_("x"), []) == sum_("x")
+
+    def test_sum_scaled(self):
+        scaled = scale_call(sum_("x"), ["c"])
+        data = [Row({"x": 2, "c": 3}), Row({"x": 5, "c": 1})]
+        assert scaled.evaluate(data) == 11  # 2*3 + 5*1
+
+    def test_count_star_scaled_to_sum_of_counts(self):
+        scaled = scale_call(count_star(), ["c"])
+        data = [Row({"c": 3}), Row({"c": 4})]
+        assert scaled.evaluate(data) == 7
+
+    def test_count_scaled_respects_nulls(self):
+        scaled = scale_call(count("x"), ["c"])
+        data = [Row({"x": 1, "c": 3}), Row({"x": NULL, "c": 4})]
+        assert scaled.evaluate(data) == 3
+
+    def test_multi_count_product(self):
+        scaled = scale_call(sum_("x"), ["c1", "c2"])
+        data = [Row({"x": 2, "c1": 3, "c2": 5})]
+        assert scaled.evaluate(data) == 30
+
+    def test_avg_scaling_rejected(self):
+        with pytest.raises(NotScalableError):
+            scale_call(avg("x"), ["c"])
+
+    def test_scale_vector_preserves_names(self):
+        vector = V(n=count_star(), s=sum_("x"), lo=min_("x"))
+        scaled = scale_vector(vector, ["c"])
+        assert scaled.names() == ("n", "s", "lo")
+
+    def test_scaling_matches_duplication(self):
+        """f ⊗ c over collapsed rows == f over physically duplicated rows."""
+        base = [Row({"x": 2}), Row({"x": 5}), Row({"x": NULL})]
+        counts = [3, 1, 4]
+        duplicated = [row for row, c in zip(base, counts) for _ in range(c)]
+        collapsed = [row.extended({"c": c}) for row, c in zip(base, counts)]
+        for call in (sum_("x"), count("x"), count_star(), min_("x"), max_("x")):
+            scaled = scale_call(call, ["c"])
+            assert scaled.evaluate(collapsed) == call.evaluate(duplicated), repr(call)
+
+
+class TestSingleRowExpr:
+    """Eqv. 42 building block: f({t}) as a scalar expression."""
+
+    def test_count_star_is_one(self):
+        expr = single_row_expr(count_star())
+        assert expr.eval(Row({})) == 1
+
+    def test_count_checks_null(self):
+        expr = single_row_expr(count("x"))
+        assert expr.eval(Row({"x": 5})) == 1
+        assert expr.eval(Row({"x": NULL})) == 0
+
+    def test_sum_min_max_avg_pass_value(self):
+        for factory in (sum_, min_, max_, avg):
+            expr = single_row_expr(factory("x"))
+            assert expr.eval(Row({"x": 9})) == 9

@@ -1,0 +1,131 @@
+"""Tests for the scalar expression language (3VL evaluation, attributes)."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    Attr,
+    BinOp,
+    Case,
+    Const,
+    IsNull,
+    Logical,
+    Not,
+    attrs_of,
+    conjunction,
+    rejects_nulls_on,
+)
+from repro.algebra.rows import Row
+from repro.algebra.values import NULL, is_null
+
+
+ROW = Row({"a": 1, "b": 2, "n": NULL})
+
+
+class TestBasics:
+    def test_attr(self):
+        assert Attr("a").eval(ROW) == 1
+        assert Attr("a").attributes() == frozenset({"a"})
+
+    def test_const(self):
+        assert Const(42).eval(ROW) == 42
+        assert Const(42).attributes() == frozenset()
+
+    def test_comparison(self):
+        assert BinOp("<", Attr("a"), Attr("b")).eval(ROW) is True
+        assert BinOp("=", Attr("a"), Attr("b")).eval(ROW) is False
+
+    def test_comparison_with_null_is_null(self):
+        assert is_null(BinOp("=", Attr("a"), Attr("n")).eval(ROW))
+
+    def test_arithmetic(self):
+        assert BinOp("*", Attr("a"), Attr("b")).eval(ROW) == 2
+        assert is_null(BinOp("*", Attr("a"), Attr("n")).eval(ROW))
+
+    def test_operator_sugar(self):
+        assert (Attr("a") + Attr("b")).eval(ROW) == 3
+        assert (Attr("b") - Attr("a")).eval(ROW) == 1
+        assert (Attr("b") / Attr("b")).eval(ROW) == 1
+        assert Attr("a").eq(Const(1)).eval(ROW) is True
+
+    def test_invalid_op_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Attr("a"), Attr("b"))
+
+
+class TestLogical:
+    def test_and_or(self):
+        t = Const(True)
+        f = Const(False)
+        assert Logical("and", (t, t)).eval(ROW) is True
+        assert Logical("and", (t, f)).eval(ROW) is False
+        assert Logical("or", (f, t)).eval(ROW) is True
+
+    def test_and_with_unknown(self):
+        unknown = BinOp("=", Attr("n"), Const(1))
+        assert is_null(Logical("and", (Const(True), unknown)).eval(ROW))
+        assert Logical("and", (Const(False), unknown)).eval(ROW) is False
+
+    def test_not(self):
+        assert Not(Const(True)).eval(ROW) is False
+        assert is_null(Not(BinOp("=", Attr("n"), Const(1))).eval(ROW))
+
+    def test_empty_logical_rejected(self):
+        with pytest.raises(ValueError):
+            Logical("and", ())
+
+    def test_attributes_union(self):
+        expr = Logical("and", (Attr("a").eq(Const(1)), Attr("b").eq(Attr("n"))))
+        assert expr.attributes() == frozenset({"a", "b", "n"})
+
+
+class TestCaseIsNull:
+    def test_is_null(self):
+        assert IsNull(Attr("n")).eval(ROW) is True
+        assert IsNull(Attr("a")).eval(ROW) is False
+
+    def test_case_when(self):
+        expr = Case(IsNull(Attr("n")), Const(0), Attr("a"))
+        assert expr.eval(ROW) == 0
+        expr2 = Case(IsNull(Attr("a")), Const(0), Attr("b"))
+        assert expr2.eval(ROW) == 2
+
+    def test_case_unknown_condition_takes_else(self):
+        expr = Case(BinOp("=", Attr("n"), Const(1)), Const("then"), Const("else"))
+        assert expr.eval(ROW) == "else"
+
+
+class TestHelpers:
+    def test_attrs_of_none(self):
+        assert attrs_of(None) == frozenset()
+
+    def test_conjunction_single(self):
+        p = Attr("a").eq(Const(1))
+        assert conjunction([p]) is p
+
+    def test_conjunction_many(self):
+        p1 = Attr("a").eq(Const(1))
+        p2 = Attr("b").eq(Const(2))
+        combined = conjunction([p1, p2])
+        assert combined.eval(ROW) is True
+
+    def test_conjunction_empty_rejected(self):
+        with pytest.raises(ValueError):
+            conjunction([])
+
+    def test_equality_rejects_nulls_on_both_sides(self):
+        pred = Attr("a").eq(Attr("x"))
+        assert rejects_nulls_on(pred, {"a"})
+        assert rejects_nulls_on(pred, {"x"})
+        assert not rejects_nulls_on(pred, {"b"})
+
+    def test_conjunction_rejects_if_any_conjunct_does(self):
+        pred = Logical("and", (Attr("a").eq(Attr("x")), Attr("y").eq(Const(1))))
+        assert rejects_nulls_on(pred, {"a"})
+        assert rejects_nulls_on(pred, {"y"})
+
+    def test_disjunction_requires_all(self):
+        # A disjunction only rejects NULLs if *every* disjunct does.
+        pred = Logical("or", (Attr("a").eq(Attr("x")), Attr("y").eq(Const(1))))
+        assert not rejects_nulls_on(pred, {"a"})
+        both = Logical("or", (Attr("a").eq(Attr("x")), Attr("a").eq(Const(1))))
+        assert rejects_nulls_on(both, {"a"})

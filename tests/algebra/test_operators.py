@@ -1,0 +1,261 @@
+"""Operator semantics tests, replicating the paper's Fig. 2 examples exactly."""
+
+import pytest
+
+from repro.aggregates import count, count_star, max_, min_, sum_
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra import operators as ops
+from repro.algebra.expressions import Attr, BinOp, Const
+from repro.algebra.relation import Relation
+from repro.algebra.rows import Row
+from repro.algebra.values import NULL, is_null
+
+
+@pytest.fixture
+def e1():
+    """Relation e1 from Fig. 2."""
+    return Relation.from_tuples(["a", "b", "c"], [(0, 0, 1), (1, 0, 1), (2, 1, 3), (3, 2, 3)])
+
+
+@pytest.fixture
+def e2():
+    """Relation e2 from Fig. 2."""
+    return Relation.from_tuples(["d", "e", "f"], [(0, 0, 1), (1, 1, 1), (2, 2, 1), (3, 4, 2)])
+
+
+class TestFig2JoinFamily:
+    def test_inner_join(self, e1, e2):
+        result = ops.join(e1, e2, Attr("b").eq(Attr("d")))
+        expected = Relation.from_tuples(
+            ["a", "b", "c", "d", "e", "f"],
+            [
+                (0, 0, 1, 0, 0, 1),
+                (1, 0, 1, 0, 0, 1),
+                (2, 1, 3, 1, 1, 1),
+                (3, 2, 3, 2, 2, 1),
+            ],
+        )
+        assert result == expected
+
+    def test_antijoin(self, e1, e2):
+        result = ops.antijoin(e1, e2, Attr("a").eq(Attr("e")))
+        assert result == Relation.from_tuples(["a", "b", "c"], [(3, 2, 3)])
+
+    def test_semijoin(self, e1, e2):
+        result = ops.semijoin(e1, e2, Attr("b").eq(Attr("d")))
+        assert result == Relation.from_tuples(
+            ["a", "b", "c"], [(0, 0, 1), (1, 0, 1), (2, 1, 3), (3, 2, 3)]
+        )
+
+    def test_semijoin_no_duplicates_from_multiple_partners(self, e1, e2):
+        # b=0 matches d=0 once only even though two e1 rows share b=0.
+        result = ops.semijoin(e2, e1, Attr("d").eq(Attr("b")))
+        assert result == Relation.from_tuples(
+            ["d", "e", "f"], [(0, 0, 1), (1, 1, 1), (2, 2, 1)]
+        )
+
+    def test_left_outerjoin(self, e1, e2):
+        result = ops.left_outerjoin(e1, e2, Attr("a").eq(Attr("e")))
+        expected = Relation.from_tuples(
+            ["a", "b", "c", "d", "e", "f"],
+            [
+                (0, 0, 1, 0, 0, 1),
+                (1, 0, 1, 1, 1, 1),
+                (2, 1, 3, 2, 2, 1),
+                (3, 2, 3, NULL, NULL, NULL),
+            ],
+        )
+        assert result == expected
+
+    def test_full_outerjoin(self, e1, e2):
+        result = ops.full_outerjoin(e1, e2, Attr("a").eq(Attr("e")))
+        expected = Relation.from_tuples(
+            ["a", "b", "c", "d", "e", "f"],
+            [
+                (0, 0, 1, 0, 0, 1),
+                (1, 0, 1, 1, 1, 1),
+                (2, 1, 3, 2, 2, 1),
+                (3, 2, 3, NULL, NULL, NULL),
+                (NULL, NULL, NULL, 3, 4, 2),
+            ],
+        )
+        assert result == expected
+
+    def test_groupjoin_matches_definition_9(self, e1, e2):
+        # Fig. 2 displays only the rows with partners; Definition (9) keeps
+        # every left tuple, empty partner sets aggregating to NULL.
+        result = ops.groupjoin(
+            e1, e2, Attr("a").eq(Attr("f")), AggVector([AggItem("g", sum_("f"))])
+        )
+        expected = Relation.from_tuples(
+            ["a", "b", "c", "g"],
+            [(0, 0, 1, NULL), (1, 0, 1, 3), (2, 1, 3, 2), (3, 2, 3, NULL)],
+        )
+        assert result == expected
+
+    def test_cross_product(self, e1, e2):
+        assert len(ops.cross(e1, e2)) == 16
+
+
+class TestOuterjoinDefaults:
+    """The generalised outerjoins of Eqvs. (7)/(8)."""
+
+    def test_left_outerjoin_with_defaults(self, e1, e2):
+        result = ops.left_outerjoin(e1, e2, Attr("a").eq(Attr("e")), defaults={"f": 99})
+        padded = [row for row in result if row["a"] == 3]
+        assert len(padded) == 1
+        assert padded[0]["f"] == 99
+        assert is_null(padded[0]["d"])
+
+    def test_full_outerjoin_with_both_default_vectors(self, e1, e2):
+        result = ops.full_outerjoin(
+            e1,
+            e2,
+            Attr("a").eq(Attr("e")),
+            left_defaults={"c": -1},
+            right_defaults={"f": 42},
+        )
+        left_unmatched = [row for row in result if row["d"] == 3]
+        assert left_unmatched[0]["c"] == -1
+        assert is_null(left_unmatched[0]["a"])
+        right_unmatched = [row for row in result if row["a"] == 3]
+        assert right_unmatched[0]["f"] == 42
+
+    def test_defaults_do_not_affect_matched_rows(self, e1, e2):
+        with_defaults = ops.left_outerjoin(e1, e2, Attr("a").eq(Attr("e")), defaults={"f": 99})
+        matched = [row for row in with_defaults if row["a"] != 3]
+        plain = ops.join(e1, e2, Attr("a").eq(Attr("e")))
+        assert Relation(with_defaults.attributes, matched) == plain
+
+
+class TestJoinNullSemantics:
+    def test_null_join_keys_never_match(self):
+        left = Relation.from_tuples(["a"], [(NULL,), (1,)])
+        right = Relation.from_tuples(["b"], [(NULL,), (1,)])
+        result = ops.join(left, right, Attr("a").eq(Attr("b")))
+        assert result == Relation.from_tuples(["a", "b"], [(1, 1)])
+
+    def test_outerjoin_pads_null_keyed_rows(self):
+        left = Relation.from_tuples(["a"], [(NULL,)])
+        right = Relation.from_tuples(["b"], [(1,)])
+        result = ops.left_outerjoin(left, right, Attr("a").eq(Attr("b")))
+        assert len(result) == 1
+        assert is_null(result.rows[0]["b"])
+
+
+class TestUnaryOperators:
+    def test_select(self, e1):
+        result = ops.select(e1, BinOp(">", Attr("c"), Const(1)))
+        assert result == Relation.from_tuples(["a", "b", "c"], [(2, 1, 3), (3, 2, 3)])
+
+    def test_select_unknown_dropped(self):
+        rel = Relation.from_tuples(["a"], [(NULL,), (1,)])
+        result = ops.select(rel, Attr("a").eq(Const(1)))
+        assert len(result) == 1
+
+    def test_project_preserves_duplicates(self, e1):
+        result = ops.project(e1, ["c"])
+        assert sorted(row["c"] for row in result) == [1, 1, 3, 3]
+
+    def test_project_distinct(self, e1):
+        result = ops.project_distinct(e1, ["c"])
+        assert sorted(row["c"] for row in result) == [1, 3]
+
+    def test_project_distinct_null_equals_null(self):
+        rel = Relation.from_tuples(["a"], [(NULL,), (NULL,), (1,)])
+        assert len(ops.project_distinct(rel, ["a"])) == 2
+
+    def test_map_extends_rows(self, e1):
+        result = ops.map_(e1, [("ac", Attr("a") * Attr("c"))])
+        assert result.attributes == ("a", "b", "c", "ac")
+        assert {row["ac"] for row in result} == {0, 1, 6, 9}
+
+    def test_rename(self, e1):
+        result = ops.rename(e1, {"a": "x"})
+        assert result.attributes == ("x", "b", "c")
+
+    def test_rename_collision_rejected(self, e1):
+        with pytest.raises(ValueError):
+            ops.rename(e1, {"a": "b"})
+
+    def test_union_all_bag_semantics(self):
+        r1 = Relation.from_tuples(["a"], [(1,)])
+        r2 = Relation.from_tuples(["a"], [(1,), (2,)])
+        result = ops.union_all(r1, r2)
+        assert sorted(row["a"] for row in result) == [1, 1, 2]
+
+    def test_union_schema_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ops.union_all(
+                Relation.from_tuples(["a"], [(1,)]), Relation.from_tuples(["b"], [(1,)])
+            )
+
+
+class TestGroupBy:
+    def test_basic_grouping(self, e1):
+        result = ops.group_by(
+            e1, ["b"], AggVector([AggItem("n", count_star()), AggItem("s", sum_("c"))])
+        )
+        expected = Relation.from_tuples(
+            ["b", "n", "s"], [(0, 2, 2), (1, 1, 3), (2, 1, 3)]
+        )
+        assert result == expected
+
+    def test_empty_input_yields_empty_output(self):
+        rel = Relation(["a"], [])
+        result = ops.group_by(rel, [], AggVector([AggItem("n", count_star())]))
+        assert len(result) == 0  # the paper's Γ, not SQL scalar aggregation
+
+    def test_empty_grouping_attrs_single_group(self, e1):
+        result = ops.group_by(e1, [], AggVector([AggItem("n", count_star())]))
+        assert len(result) == 1
+        assert result.rows[0]["n"] == 4
+
+    def test_null_group_keys_merge(self):
+        rel = Relation.from_tuples(["g", "v"], [(NULL, 1), (NULL, 2), (0, 3)])
+        result = ops.group_by(rel, ["g"], AggVector([AggItem("s", sum_("v"))]))
+        assert len(result) == 2
+        null_group = [row for row in result if is_null(row["g"])]
+        assert null_group[0]["s"] == 3
+
+    def test_multiple_aggregates(self, e1):
+        vector = AggVector(
+            [
+                AggItem("n", count_star()),
+                AggItem("lo", min_("a")),
+                AggItem("hi", max_("a")),
+                AggItem("cnt_c", count("c")),
+            ]
+        )
+        result = ops.group_by(e1, ["c"], vector)
+        by_c = {row["c"]: row for row in result}
+        assert by_c[1]["n"] == 2 and by_c[1]["lo"] == 0 and by_c[1]["hi"] == 1
+        assert by_c[3]["cnt_c"] == 2
+
+    def test_theta_grouping_less_or_equal(self):
+        # Γ^{≤}: each distinct anchor groups all rows with value <= anchor.
+        rel = Relation.from_tuples(["g"], [(1,), (2,), (3,)])
+        result = ops.group_by(rel, ["g"], AggVector([AggItem("n", count_star())]), theta=[">="])
+        by_g = {row["g"]: row["n"] for row in result}
+        # anchor g: counts rows z with z.g >= ... the comparison is z.G θ y.G
+        assert by_g == {1: 1, 2: 2, 3: 3} or by_g == {1: 3, 2: 2, 3: 1}
+
+    def test_theta_vector_length_mismatch_rejected(self, e1):
+        with pytest.raises(ValueError):
+            ops.group_by(e1, ["b", "c"], AggVector([AggItem("n", count_star())]), theta=["="])
+
+
+class TestGroupJoinMore:
+    def test_groupjoin_multiple_aggregates(self, e1, e2):
+        vector = AggVector([AggItem("n", count_star()), AggItem("s", sum_("e"))])
+        result = ops.groupjoin(e1, e2, Attr("b").eq(Attr("d")), vector)
+        by_a = {row["a"]: row for row in result}
+        assert by_a[0]["n"] == 1 and by_a[0]["s"] == 0
+        assert by_a[3]["n"] == 1 and by_a[3]["s"] == 2
+
+    def test_groupjoin_empty_group_count_is_zero(self, e2):
+        left = Relation.from_tuples(["x"], [(999,)])
+        vector = AggVector([AggItem("n", count_star()), AggItem("s", sum_("f"))])
+        result = ops.groupjoin(left, e2, Attr("x").eq(Attr("d")), vector)
+        assert result.rows[0]["n"] == 0
+        assert is_null(result.rows[0]["s"])

@@ -1,0 +1,100 @@
+"""Tests for rows (tuples) and relations (bags)."""
+
+import pytest
+
+from repro.algebra.relation import Relation
+from repro.algebra.rows import Row, null_row, null_row_with_defaults
+from repro.algebra.values import NULL, is_null
+
+
+class TestRow:
+    def test_mapping_protocol(self):
+        row = Row({"a": 1, "b": NULL})
+        assert row["a"] == 1
+        assert len(row) == 2
+        assert set(row) == {"a", "b"}
+
+    def test_concat_disjoint(self):
+        combined = Row({"a": 1}).concat(Row({"b": 2}))
+        assert dict(combined) == {"a": 1, "b": 2}
+
+    def test_concat_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Row({"a": 1}).concat(Row({"a": 2}))
+
+    def test_project(self):
+        row = Row({"a": 1, "b": 2, "c": 3})
+        assert dict(row.project(["a", "c"])) == {"a": 1, "c": 3}
+
+    def test_extended(self):
+        row = Row({"a": 1}).extended({"g": 10})
+        assert dict(row) == {"a": 1, "g": 10}
+
+    def test_extended_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Row({"a": 1}).extended({"a": 2})
+
+    def test_equality_null_safe(self):
+        assert Row({"a": NULL}) == Row({"a": NULL})
+        assert Row({"a": NULL}) != Row({"a": 0})
+
+    def test_hash_consistent_with_eq(self):
+        assert hash(Row({"a": 1, "b": NULL})) == hash(Row({"b": NULL, "a": 1}))
+
+    def test_hash_numeric_normalisation(self):
+        assert Row({"a": 1}) == Row({"a": 1.0})
+        assert hash(Row({"a": 1})) == hash(Row({"a": 1.0}))
+
+    def test_values_for(self):
+        row = Row({"a": 1, "b": 2})
+        assert row.values_for(["b", "a"]) == (2, 1)
+
+
+class TestNullRows:
+    def test_null_row(self):
+        row = null_row(["x", "y"])
+        assert is_null(row["x"]) and is_null(row["y"])
+
+    def test_null_row_with_defaults(self):
+        row = null_row_with_defaults(["x", "y", "z"], {"y": 7})
+        assert is_null(row["x"])
+        assert row["y"] == 7
+        assert is_null(row["z"])
+
+
+class TestRelation:
+    def test_from_tuples(self):
+        rel = Relation.from_tuples(["a", "b"], [(1, 2), (3, 4)])
+        assert len(rel) == 2
+        assert rel.attributes == ("a", "b")
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Relation(["a"], [Row({"b": 1})])
+
+    def test_bag_equality_ignores_order(self):
+        r1 = Relation.from_tuples(["a"], [(1,), (2,)])
+        r2 = Relation.from_tuples(["a"], [(2,), (1,)])
+        assert r1 == r2
+
+    def test_bag_equality_counts_duplicates(self):
+        r1 = Relation.from_tuples(["a"], [(1,), (1,)])
+        r2 = Relation.from_tuples(["a"], [(1,)])
+        assert r1 != r2
+
+    def test_equality_across_column_order(self):
+        r1 = Relation.from_tuples(["a", "b"], [(1, 2)])
+        r2 = Relation.from_tuples(["b", "a"], [(2, 1)])
+        assert r1 == r2
+
+    def test_is_duplicate_free(self):
+        assert Relation.from_tuples(["a"], [(1,), (2,)]).is_duplicate_free()
+        assert not Relation.from_tuples(["a"], [(1,), (1,)]).is_duplicate_free()
+
+    def test_pretty_renders_null_as_dash(self):
+        rel = Relation(["a"], [Row({"a": NULL})])
+        assert "-" in rel.pretty()
+
+    def test_relation_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(Relation(["a"], []))

@@ -1,0 +1,125 @@
+"""Tests for SQL values and three-valued logic."""
+
+import pytest
+
+from repro.algebra.values import (
+    NULL,
+    Null,
+    group_key,
+    is_null,
+    sql_and,
+    sql_arith,
+    sql_compare,
+    sql_eq,
+    sql_not,
+    sql_or,
+)
+
+
+class TestNull:
+    def test_null_is_singleton(self):
+        assert Null() is NULL
+        assert Null() is Null()
+
+    def test_null_repr_matches_paper(self):
+        assert repr(NULL) == "-"
+
+    def test_null_is_falsy(self):
+        assert not NULL
+
+    def test_is_null(self):
+        assert is_null(NULL)
+        assert not is_null(0)
+        assert not is_null("")
+        assert not is_null(None) is False or True  # None is not SQL NULL
+
+    def test_null_equals_only_itself(self):
+        assert NULL == NULL
+        assert not (NULL == 0)
+        assert not (NULL == "")
+
+
+class TestComparisons:
+    def test_eq_with_values(self):
+        assert sql_eq(1, 1) is True
+        assert sql_eq(1, 2) is False
+
+    def test_eq_with_null_is_unknown(self):
+        assert sql_eq(NULL, 1) is None
+        assert sql_eq(1, NULL) is None
+        assert sql_eq(NULL, NULL) is None
+
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("=", 3, 3, True),
+            ("<>", 3, 4, True),
+            ("<", 3, 4, True),
+            ("<=", 4, 4, True),
+            (">", 5, 4, True),
+            (">=", 3, 4, False),
+        ],
+    )
+    def test_comparison_table(self, op, left, right, expected):
+        assert sql_compare(op, left, right) is expected
+
+    def test_comparison_null_propagates(self):
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            assert sql_compare(op, NULL, 1) is None
+            assert sql_compare(op, 1, NULL) is None
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueError):
+            sql_compare("!=", 1, 2)
+
+
+class TestThreeValuedLogic:
+    def test_and_false_dominates_unknown(self):
+        assert sql_and(False, None) is False
+        assert sql_and(None, False) is False
+
+    def test_and_unknown(self):
+        assert sql_and(True, None) is None
+        assert sql_and(None, None) is None
+
+    def test_and_true(self):
+        assert sql_and(True, True) is True
+
+    def test_or_true_dominates_unknown(self):
+        assert sql_or(True, None) is True
+        assert sql_or(None, True) is True
+
+    def test_or_unknown(self):
+        assert sql_or(False, None) is None
+
+    def test_not(self):
+        assert sql_not(True) is False
+        assert sql_not(False) is True
+        assert sql_not(None) is None
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        assert sql_arith("+", 2, 3) == 5
+        assert sql_arith("-", 2, 3) == -1
+        assert sql_arith("*", 2, 3) == 6
+        assert sql_arith("/", 6, 3) == 2
+
+    def test_null_absorbing(self):
+        for op in "+-*/":
+            assert is_null(sql_arith(op, NULL, 3))
+            assert is_null(sql_arith(op, 3, NULL))
+
+    def test_division_by_zero_yields_null(self):
+        assert is_null(sql_arith("/", 1, 0))
+
+
+class TestGroupKey:
+    def test_null_groups_with_null(self):
+        assert group_key(NULL) == group_key(NULL)
+
+    def test_integral_float_normalisation(self):
+        assert group_key(1.0) == group_key(1)
+
+    def test_strings_passthrough(self):
+        assert group_key("x") == "x"

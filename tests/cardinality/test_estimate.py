@@ -1,0 +1,108 @@
+"""Tests for the cardinality estimators."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cardinality.estimate import (
+    antijoin_cardinality,
+    distinct_after,
+    domain_product,
+    grouping_cardinality,
+    join_cardinality,
+    outerjoin_cardinality,
+    semijoin_cardinality,
+)
+
+
+class TestJoin:
+    def test_basic(self):
+        assert join_cardinality(100, 200, 0.01) == pytest.approx(200.0)
+
+    def test_zero_inputs(self):
+        assert join_cardinality(0, 200, 0.5) == 0.0
+
+
+class TestOuterjoin:
+    def test_left_outer_at_least_left(self):
+        assert outerjoin_cardinality(100, 50, 0.001, full=False) >= 100 * 0.95
+
+    def test_full_outer_at_least_both(self):
+        result = outerjoin_cardinality(100, 50, 0.0001, full=True)
+        assert result >= 100 + 50 - 5
+
+    def test_selectivity_one_behaves_like_join(self):
+        assert outerjoin_cardinality(10, 10, 1.0, full=True) == pytest.approx(100.0)
+
+    def test_distinct_join_values_parameter(self):
+        loose = outerjoin_cardinality(100, 1000, 0.01, full=False, right_join_values=5)
+        tight = outerjoin_cardinality(100, 1000, 0.01, full=False, right_join_values=1000)
+        assert loose > tight  # fewer distinct values -> more unmatched rows
+
+
+class TestSemiAnti:
+    def test_complementarity(self):
+        semi = semijoin_cardinality(100, 50, 0.1)
+        anti = antijoin_cardinality(100, 50, 0.1)
+        assert semi + anti == pytest.approx(100.0)
+
+    def test_semijoin_bounded_by_left(self):
+        assert semijoin_cardinality(100, 10_000, 0.5) <= 100.0
+
+    def test_distinct_invariance_for_grouped_inputs(self):
+        """The estimate must not change when the right side is collapsed —
+        this is what keeps dominance pruning optimality-preserving."""
+        via_rows_a = antijoin_cardinality(100, 1000, 0.01, right_join_values=20)
+        via_rows_b = antijoin_cardinality(100, 20, 0.01, right_join_values=20)
+        assert via_rows_a == pytest.approx(via_rows_b)
+
+
+class TestGrouping:
+    def test_few_groups(self):
+        assert grouping_cardinality(1000, 10) == pytest.approx(10.0, rel=0.01)
+
+    def test_domain_larger_than_input(self):
+        assert grouping_cardinality(10, 1_000_000) == pytest.approx(10.0, rel=0.01)
+
+    def test_empty_input(self):
+        assert grouping_cardinality(0, 10) == 0.0
+
+    def test_single_value_domain(self):
+        assert grouping_cardinality(500, 1) == 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.floats(min_value=1, max_value=1e6),
+        d=st.floats(min_value=1, max_value=1e6),
+    )
+    def test_bounds(self, n, d):
+        groups = grouping_cardinality(n, d)
+        assert 0 < groups <= min(n, d) * (1 + 1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n1=st.floats(min_value=1, max_value=1e5),
+        n2=st.floats(min_value=1, max_value=1e5),
+        d=st.floats(min_value=1, max_value=1e5),
+    )
+    def test_monotone_in_input(self, n1, n2, d):
+        lo, hi = sorted([n1, n2])
+        assert grouping_cardinality(lo, d) <= grouping_cardinality(hi, d) * (1 + 1e-9)
+
+
+class TestDistinctHelpers:
+    def test_distinct_after_caps(self):
+        assert distinct_after(["a", "b"], {"a": 10, "b": 10}, 50) == 50
+
+    def test_distinct_after_product(self):
+        assert distinct_after(["a", "b"], {"a": 3, "b": 4}, 1000) == 12
+
+    def test_distinct_after_default(self):
+        assert distinct_after(["a"], {}, 100) == 100
+
+    def test_domain_product_uncapped(self):
+        assert domain_product(["a", "b"], {"a": 100, "b": 100}) == 10_000
+
+    def test_domain_product_overflow_guard(self):
+        assert domain_product(["a", "b"], {"a": 1e9, "b": 1e9}) == 1e12

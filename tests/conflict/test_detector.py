@@ -1,0 +1,106 @@
+"""Tests for the conflict detector (TES computation, rules, applicability)."""
+
+import pytest
+
+from repro.aggregates import count_star, sum_
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra.expressions import Attr
+from repro.conflict import detect
+from repro.query.spec import JoinEdge, Query, RelationInfo
+from repro.query.tree import TreeLeaf, TreeNode
+from repro.rewrites.pushdown import OpKind
+
+
+def rel(i):
+    name = f"r{i}"
+    return RelationInfo(name, (f"{name}.x", f"{name}.y"), 100.0)
+
+
+def chain_query(ops_):
+    """r0 -op0- r1 -op1- r2 ... left-deep tree."""
+    n = len(ops_) + 1
+    relations = [rel(i) for i in range(n)]
+    edges = []
+    tree = TreeLeaf(0)
+    for i, op in enumerate(ops_):
+        gj = (
+            AggVector([AggItem(f"gj{i}", sum_(f"r{i + 1}.y"))])
+            if op is OpKind.GROUPJOIN
+            else None
+        )
+        edges.append(
+            JoinEdge(i, op, Attr(f"r{i}.x").eq(Attr(f"r{i + 1}.x")), 0.1, gj)
+        )
+        tree = TreeNode(i, tree, TreeLeaf(i + 1))
+    visible = "r0.y"
+    return Query(relations, edges, tree, (visible,), AggVector([AggItem("c", count_star())]))
+
+
+class TestDetection:
+    def test_inner_chain_has_no_rules(self):
+        query = chain_query([OpKind.INNER, OpKind.INNER])
+        annotated, graph = detect(query)
+        assert all(not a.rules for a in annotated)
+        assert graph.n == 3
+
+    def test_tes_equals_ses_for_simple_edges(self):
+        query = chain_query([OpKind.INNER, OpKind.INNER])
+        annotated, _ = detect(query)
+        by_id = {a.edge_id: a for a in annotated}
+        assert by_id[0].l_tes == 0b001 and by_id[0].r_tes == 0b010
+        assert by_id[1].l_tes == 0b010 and by_id[1].r_tes == 0b100
+
+    def test_groupjoin_frozen_tes(self):
+        query = chain_query([OpKind.INNER, OpKind.GROUPJOIN])
+        annotated, _ = detect(query)
+        gj = [a for a in annotated if a.op is OpKind.GROUPJOIN][0]
+        assert gj.l_tes == 0b011  # whole left subtree
+        assert gj.r_tes == 0b100
+
+    def test_inner_above_outerjoin_gets_rules(self):
+        # (r0 LEFT-OUTER r1) INNER r2: assoc(E, B) is false -> a rule exists
+        # forbidding the inner join from being applied to r1 alone.
+        query = chain_query([OpKind.LEFT_OUTER, OpKind.INNER])
+        annotated, _ = detect(query)
+        inner = [a for a in annotated if a.edge_id == 1][0]
+        assert inner.rules  # conflict rules present
+
+    def test_applicability_blocks_invalid_reordering(self):
+        query = chain_query([OpKind.LEFT_OUTER, OpKind.INNER])
+        annotated, _ = detect(query)
+        inner = [a for a in annotated if a.edge_id == 1][0]
+        # Joining {r1} with {r2} would push the inner join below the
+        # outerjoin: the conflict rule (from !assoc(E,B)) demands r0 present.
+        assert not inner.applicable(0b010, 0b100)
+        assert inner.applicable(0b011, 0b100)
+
+    def test_full_outerjoins_associate(self):
+        # (r0 K r1) K r2 with equality predicates: assoc holds, so joining
+        # {r1} with {r2} first is allowed.
+        query = chain_query([OpKind.FULL_OUTER, OpKind.FULL_OUTER])
+        annotated, _ = detect(query)
+        second = [a for a in annotated if a.edge_id == 1][0]
+        assert second.applicable(0b010, 0b100)
+
+    def test_orientation_enforced_for_tes(self):
+        query = chain_query([OpKind.LEFT_OUTER])
+        annotated, _ = detect(query)
+        edge = annotated[0]
+        assert edge.applicable(0b01, 0b10)
+        assert not edge.applicable(0b10, 0b01)
+
+
+class TestRuleSemantics:
+    def test_rule_satisfaction(self):
+        from repro.conflict.detector import ConflictRule
+
+        rule = ConflictRule(antecedent=0b010, consequent=0b001)
+        assert rule.satisfied_by(0b100)  # antecedent untouched
+        assert rule.satisfied_by(0b011)  # consequent contained
+        assert not rule.satisfied_by(0b010)  # touched but incomplete
+
+    def test_hyperedge_export(self):
+        query = chain_query([OpKind.INNER])
+        annotated, graph = detect(query)
+        assert len(graph.edges) == 1
+        assert graph.edges[0].label == 0

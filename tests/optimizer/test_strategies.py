@@ -1,0 +1,157 @@
+"""Unit tests for the DP-table insertion strategies."""
+
+import pytest
+
+from repro.optimizer.planinfo import PlanInfo
+from repro.optimizer.strategies import (
+    DphypStrategy,
+    EaAllStrategy,
+    EaPruneStrategy,
+    H1Strategy,
+    H2Strategy,
+    make_strategy,
+)
+from repro.plans.nodes import ScanNode
+
+
+def plan(cost, card=10.0, keys=(), dup_free=False, eagerness=0):
+    return PlanInfo(
+        node=ScanNode("r", ("r.a",)),
+        rel_set=1,
+        cost=cost,
+        cardinality=card,
+        keys=tuple(frozenset(k) for k in keys),
+        duplicate_free=dup_free,
+        raw_attrs=frozenset({"r.a"}),
+        distinct={},
+        terms={},
+        scale_cols=(),
+        defaults={},
+        eagerness=eagerness,
+    )
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("dphyp", DphypStrategy),
+            ("ea-all", EaAllStrategy),
+            ("ea-prune", EaPruneStrategy),
+            ("h1", H1Strategy),
+            ("h2", H2Strategy),
+        ],
+    )
+    def test_make_strategy(self, name, cls):
+        assert isinstance(make_strategy(name), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_strategy("magic")
+
+    def test_h2_factor_validation(self):
+        with pytest.raises(ValueError):
+            H2Strategy(0.9)
+
+    def test_only_dphyp_is_lazy(self):
+        assert not DphypStrategy().explore_eager
+        for name in ("ea-all", "ea-prune", "h1", "h2"):
+            assert make_strategy(name).explore_eager
+
+
+class TestSinglePlanStrategies:
+    @pytest.mark.parametrize("strategy", [DphypStrategy(), H1Strategy()])
+    def test_keeps_cheapest(self, strategy):
+        bucket = []
+        strategy.insert(bucket, plan(10.0))
+        strategy.insert(bucket, plan(5.0))
+        strategy.insert(bucket, plan(7.0))
+        assert len(bucket) == 1
+        assert bucket[0].cost == 5.0
+
+
+class TestEaAll:
+    def test_keeps_everything(self):
+        strategy = EaAllStrategy()
+        bucket = []
+        for cost in (10.0, 5.0, 7.0):
+            strategy.insert(bucket, plan(cost))
+        assert len(bucket) == 3
+
+
+class TestEaPrune:
+    def test_dominated_new_plan_discarded(self):
+        strategy = EaPruneStrategy()
+        bucket = [plan(5.0, card=5.0)]
+        strategy.insert(bucket, plan(10.0, card=10.0))
+        assert len(bucket) == 1 and bucket[0].cost == 5.0
+
+    def test_dominated_old_plan_discarded(self):
+        strategy = EaPruneStrategy()
+        bucket = [plan(10.0, card=10.0)]
+        strategy.insert(bucket, plan(5.0, card=5.0))
+        assert len(bucket) == 1 and bucket[0].cost == 5.0
+
+    def test_incomparable_plans_coexist(self):
+        strategy = EaPruneStrategy()
+        bucket = [plan(5.0, card=100.0)]
+        strategy.insert(bucket, plan(10.0, card=1.0))  # cheaper card, higher cost
+        assert len(bucket) == 2
+
+    def test_keys_block_domination(self):
+        strategy = EaPruneStrategy()
+        # The cheaper plan has no keys; the expensive one is duplicate-free
+        # with a key — its FDs are strictly richer, so it must survive.
+        bucket = [plan(5.0, card=5.0)]
+        strategy.insert(bucket, plan(6.0, card=5.0, keys=[{"r.a"}], dup_free=True))
+        assert len(bucket) == 2
+
+    def test_finer_keys_dominate_coarser(self):
+        strategy = EaPruneStrategy()
+        bucket = [plan(6.0, card=5.0, keys=[{"r.a", "r.b"}], dup_free=True)]
+        strategy.insert(bucket, plan(5.0, card=5.0, keys=[{"r.a"}], dup_free=True))
+        assert len(bucket) == 1 and bucket[0].cost == 5.0
+
+    def test_duplicate_freeness_participates(self):
+        strategy = EaPruneStrategy()
+        bucket = [plan(5.0, card=5.0, keys=[{"r.a"}], dup_free=False)]
+        strategy.insert(bucket, plan(6.0, card=5.0, keys=[{"r.a"}], dup_free=True))
+        assert len(bucket) == 2
+
+
+class TestH2:
+    def test_equal_eagerness_plain_cost(self):
+        strategy = H2Strategy(1.1)
+        bucket = [plan(10.0, eagerness=1)]
+        strategy.insert(bucket, plan(9.0, eagerness=1))
+        assert bucket[0].cost == 9.0
+
+    def test_more_eager_wins_within_tolerance(self):
+        strategy = H2Strategy(1.1)
+        bucket = [plan(10.0, eagerness=0)]
+        strategy.insert(bucket, plan(10.5, eagerness=2))  # 10.5 < 1.1 * 10
+        assert bucket[0].cost == 10.5
+
+    def test_more_eager_loses_beyond_tolerance(self):
+        strategy = H2Strategy(1.1)
+        bucket = [plan(10.0, eagerness=0)]
+        strategy.insert(bucket, plan(12.0, eagerness=2))
+        assert bucket[0].cost == 10.0
+
+    def test_less_eager_needs_clear_win(self):
+        strategy = H2Strategy(1.1)
+        bucket = [plan(10.0, eagerness=2)]
+        strategy.insert(bucket, plan(9.5, eagerness=0))  # 1.1*9.5 > 10
+        assert bucket[0].cost == 10.0
+        strategy.insert(bucket, plan(9.0, eagerness=0))  # 1.1*9.0 < 10
+        assert bucket[0].cost == 9.0
+
+
+class TestInsertTop:
+    def test_keeps_single_cheapest(self):
+        strategy = EaAllStrategy()
+        bucket = []
+        strategy.insert_top(bucket, plan(10.0))
+        strategy.insert_top(bucket, plan(5.0))
+        strategy.insert_top(bucket, plan(7.0))
+        assert len(bucket) == 1 and bucket[0].cost == 5.0

@@ -1,0 +1,166 @@
+"""Tests for plan nodes, rendering and the interpreter."""
+
+import pytest
+
+from repro.aggregates import count_star, sum_
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra.expressions import Attr, BinOp, Const
+from repro.algebra.relation import Relation
+from repro.exec import execute
+from repro.plans import render_plan
+from repro.plans.nodes import (
+    GroupByNode,
+    JoinNode,
+    MapNode,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+    count_groupings,
+    direct_grouping_children,
+)
+from repro.rewrites.pushdown import OpKind
+
+
+@pytest.fixture
+def database():
+    return {
+        "r": Relation.from_tuples(["r.k", "r.v"], [(1, 10), (2, 20), (2, 25)]),
+        "s": Relation.from_tuples(["s.k", "s.w"], [(1, 7), (3, 9)]),
+    }
+
+
+def scan_r():
+    return ScanNode("r", ("r.k", "r.v"))
+
+
+def scan_s():
+    return ScanNode("s", ("s.k", "s.w"))
+
+
+class TestNodeSchemas:
+    def test_scan(self):
+        assert scan_r().attributes == ("r.k", "r.v")
+
+    def test_join_schema(self):
+        node = JoinNode(OpKind.INNER, Attr("r.k").eq(Attr("s.k")), scan_r(), scan_s())
+        assert node.attributes == ("r.k", "r.v", "s.k", "s.w")
+
+    def test_semijoin_schema(self):
+        node = JoinNode(OpKind.LEFT_SEMI, Attr("r.k").eq(Attr("s.k")), scan_r(), scan_s())
+        assert node.attributes == ("r.k", "r.v")
+
+    def test_groupjoin_schema(self):
+        vector = AggVector([AggItem("g", sum_("s.w"))])
+        node = JoinNode(
+            OpKind.GROUPJOIN, Attr("r.k").eq(Attr("s.k")), scan_r(), scan_s(),
+            groupjoin_vector=vector,
+        )
+        assert node.attributes == ("r.k", "r.v", "g")
+
+    def test_groupjoin_requires_vector(self):
+        with pytest.raises(ValueError):
+            JoinNode(OpKind.GROUPJOIN, Attr("r.k").eq(Attr("s.k")), scan_r(), scan_s())
+
+    def test_groupby_schema(self):
+        node = GroupByNode(("r.k",), AggVector([AggItem("n", count_star())]), scan_r())
+        assert node.attributes == ("r.k", "n")
+
+    def test_groupby_with_post_schema(self):
+        node = GroupByNode(
+            ("r.k",),
+            AggVector([AggItem("s", sum_("r.v")), AggItem("c", count_star())]),
+            scan_r(),
+            post=(("m", BinOp("/", Attr("s"), Attr("c"))),),
+        )
+        assert node.attributes == ("r.k", "m")
+
+    def test_map_and_project_schema(self):
+        mapped = MapNode((("double", BinOp("*", Attr("r.v"), Const(2))),), scan_r())
+        assert mapped.attributes == ("r.k", "r.v", "double")
+        projected = ProjectNode(("double",), mapped)
+        assert projected.attributes == ("double",)
+
+
+class TestHelpers:
+    def test_count_groupings(self):
+        inner = GroupByNode(("r.k",), AggVector([AggItem("n", count_star())]), scan_r())
+        join = JoinNode(OpKind.INNER, Attr("r.k").eq(Attr("s.k")), inner, scan_s())
+        top = GroupByNode(("r.k",), AggVector([AggItem("m", count_star())]), join)
+        assert count_groupings(top) == 2
+
+    def test_direct_grouping_children(self):
+        inner = GroupByNode(("r.k",), AggVector([AggItem("n", count_star())]), scan_r())
+        join = JoinNode(OpKind.INNER, Attr("r.k").eq(Attr("s.k")), inner, scan_s())
+        assert direct_grouping_children(join) == 1
+        assert direct_grouping_children(inner) == 0
+
+
+class TestRender:
+    def test_render_contains_labels(self):
+        join = JoinNode(OpKind.LEFT_OUTER, Attr("r.k").eq(Attr("s.k")), scan_r(), scan_s())
+        text = render_plan(join)
+        assert "⟕" in text and "r" in text and "s" in text
+
+    def test_render_with_annotations(self):
+        text = render_plan(scan_r(), annotate=lambda n: "card=3")
+        assert "card=3" in text
+
+    def test_render_tree_structure(self):
+        join = JoinNode(OpKind.INNER, Attr("r.k").eq(Attr("s.k")), scan_r(), scan_s())
+        lines = render_plan(join).splitlines()
+        assert len(lines) == 3
+        assert lines[1].startswith("├─")
+        assert lines[2].startswith("└─")
+
+
+class TestExecution:
+    def test_scan(self, database):
+        assert execute(scan_r(), database) == database["r"]
+
+    def test_scan_schema_mismatch(self, database):
+        with pytest.raises(ValueError):
+            execute(ScanNode("r", ("wrong",)), database)
+
+    def test_select(self, database):
+        node = SelectNode(BinOp(">", Attr("r.v"), Const(15)), scan_r())
+        assert len(execute(node, database)) == 2
+
+    def test_all_join_kinds_execute(self, database):
+        pred = Attr("r.k").eq(Attr("s.k"))
+        sizes = {}
+        for op in (OpKind.INNER, OpKind.LEFT_OUTER, OpKind.FULL_OUTER,
+                   OpKind.LEFT_SEMI, OpKind.LEFT_ANTI):
+            node = JoinNode(op, pred, scan_r(), scan_s())
+            sizes[op] = len(execute(node, database))
+        assert sizes[OpKind.INNER] == 1
+        assert sizes[OpKind.LEFT_OUTER] == 3
+        assert sizes[OpKind.FULL_OUTER] == 4
+        assert sizes[OpKind.LEFT_SEMI] == 1
+        assert sizes[OpKind.LEFT_ANTI] == 2
+
+    def test_outerjoin_defaults_applied(self, database):
+        pred = Attr("r.k").eq(Attr("s.k"))
+        node = JoinNode(
+            OpKind.LEFT_OUTER, pred, scan_r(), scan_s(), right_defaults=(("s.w", 0),)
+        )
+        result = execute(node, database)
+        padded = [row for row in result if row["r.k"] == 2]
+        assert all(row["s.w"] == 0 for row in padded)
+
+    def test_groupby_with_post(self, database):
+        node = GroupByNode(
+            ("r.k",),
+            AggVector([AggItem("s", sum_("r.v")), AggItem("c", count_star())]),
+            scan_r(),
+            post=(("m", BinOp("/", Attr("s"), Attr("c"))),),
+        )
+        result = execute(node, database)
+        by_k = {row["r.k"]: row["m"] for row in result}
+        assert by_k[1] == 10 and by_k[2] == 22.5
+
+    def test_unknown_node_rejected(self, database):
+        class Fake:
+            pass
+
+        with pytest.raises(TypeError):
+            execute(Fake(), database)

@@ -1,0 +1,143 @@
+"""Tests for the query specification and initial operator trees."""
+
+import pytest
+
+from repro.aggregates import count_star, sum_
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra.expressions import Attr
+from repro.query.spec import JoinEdge, Query, RelationInfo
+from repro.query.tree import TreeLeaf, TreeNode, tree_depth, tree_leaves, tree_operators
+from repro.rewrites.pushdown import OpKind
+
+
+def rel(i, card=100.0, distinct=None, keys=()):
+    name = f"r{i}"
+    attrs = (f"{name}.id", f"{name}.g", f"{name}.a")
+    return RelationInfo(name, attrs, card, distinct or {}, keys)
+
+
+def simple_query(op=OpKind.INNER, keys0=(), keys1=()):
+    relations = [
+        RelationInfo("r0", ("r0.id", "r0.g", "r0.a"), 100.0, {}, keys0),
+        RelationInfo("r1", ("r1.id", "r1.g", "r1.a"), 200.0, {}, keys1),
+    ]
+    gj = AggVector([AggItem("gj1", sum_("r1.a"))]) if op is OpKind.GROUPJOIN else None
+    edges = [JoinEdge(0, op, Attr("r0.id").eq(Attr("r1.id")), 0.01, gj)]
+    tree = TreeNode(0, TreeLeaf(0), TreeLeaf(1))
+    group_by = ("r0.g",)
+    aggregates = AggVector([AggItem("cnt", count_star()), AggItem("s", sum_("r0.a"))])
+    return Query(relations, edges, tree, group_by, aggregates)
+
+
+class TestTree:
+    def test_tree_leaves_bitset(self):
+        tree = TreeNode(0, TreeLeaf(0), TreeNode(1, TreeLeaf(2), TreeLeaf(1)))
+        assert tree_leaves(tree) == 0b111
+        assert tree_leaves(tree.left) == 0b001
+
+    def test_tree_operators(self):
+        tree = TreeNode(0, TreeLeaf(0), TreeNode(1, TreeLeaf(2), TreeLeaf(1)))
+        assert [node.edge_id for node in tree_operators(tree)] == [0, 1]
+
+    def test_tree_depth(self):
+        assert tree_depth(TreeLeaf(0)) == 0
+        tree = TreeNode(0, TreeLeaf(0), TreeNode(1, TreeLeaf(2), TreeLeaf(1)))
+        assert tree_depth(tree) == 2
+
+
+class TestRelationInfo:
+    def test_distinct_count_caps_at_cardinality(self):
+        info = rel(0, card=50.0, distinct={"r0.g": 80.0})
+        assert info.distinct_count("r0.g") == 50.0
+
+    def test_distinct_count_defaults_to_cardinality(self):
+        info = rel(0, card=50.0)
+        assert info.distinct_count("r0.a") == 50.0
+
+    def test_keys_declared_only(self):
+        info = rel(0, card=10.0, distinct={"r0.a": 10.0})
+        assert info.all_keys() == ()
+        assert not info.duplicate_free
+        keyed = rel(0, keys=(frozenset({"r0.id"}),))
+        assert keyed.all_keys() == (frozenset({"r0.id"}),)
+        assert keyed.duplicate_free
+
+
+class TestJoinEdge:
+    def test_groupjoin_requires_vector(self):
+        with pytest.raises(ValueError):
+            JoinEdge(0, OpKind.GROUPJOIN, Attr("a").eq(Attr("b")), 0.5)
+
+    def test_selectivity_validation(self):
+        with pytest.raises(ValueError):
+            JoinEdge(0, OpKind.INNER, Attr("a").eq(Attr("b")), 0.0)
+        with pytest.raises(ValueError):
+            JoinEdge(0, OpKind.INNER, Attr("a").eq(Attr("b")), 1.5)
+
+
+class TestQuery:
+    def test_vertex_lookup(self):
+        q = simple_query()
+        assert q.vertex_of("r0.g") == 0
+        assert q.vertex_of("r1.a") == 1
+
+    def test_duplicate_attribute_rejected(self):
+        shared = RelationInfo("x", ("dup.a",), 1.0)
+        shared2 = RelationInfo("y", ("dup.a",), 1.0)
+        with pytest.raises(ValueError):
+            Query(
+                [shared, shared2],
+                [JoinEdge(0, OpKind.INNER, Attr("dup.a").eq(Attr("dup.a")), 0.5)],
+                TreeNode(0, TreeLeaf(0), TreeLeaf(1)),
+                (),
+                AggVector([AggItem("c", count_star())]),
+            )
+
+    def test_unknown_group_attr_rejected(self):
+        with pytest.raises(ValueError):
+            relations = [rel(0), rel(1)]
+            Query(
+                relations,
+                [JoinEdge(0, OpKind.INNER, Attr("r0.id").eq(Attr("r1.id")), 0.5)],
+                TreeNode(0, TreeLeaf(0), TreeLeaf(1)),
+                ("nope.g",),
+                AggVector([AggItem("c", count_star())]),
+            )
+
+    def test_vertices_of_groupjoin_output_is_edge_mask(self):
+        q = simple_query(op=OpKind.GROUPJOIN)
+        assert q.vertices_of(["gj1"]) == 0b11
+
+    def test_relation_attrs(self):
+        q = simple_query()
+        assert "r0.g" in q.relation_attrs(0b01)
+        assert "r1.g" not in q.relation_attrs(0b01)
+
+    def test_needed_above_includes_group_and_join_attrs(self):
+        q = simple_query()
+        needed = q.needed_above(0b01)
+        assert "r0.g" in needed  # grouping attribute
+        assert "r0.id" in needed  # crossing join predicate
+        assert "r0.a" not in needed  # only aggregated, not needed raw
+
+    def test_needed_above_full_set_is_group_only(self):
+        q = simple_query()
+        assert q.needed_above(0b11) == frozenset({"r0.g"})
+
+    def test_normalization_exposed(self):
+        from repro.aggregates import avg
+
+        relations = [rel(0), rel(1)]
+        q = Query(
+            relations,
+            [JoinEdge(0, OpKind.INNER, Attr("r0.id").eq(Attr("r1.id")), 0.5)],
+            TreeNode(0, TreeLeaf(0), TreeLeaf(1)),
+            ("r0.g",),
+            AggVector([AggItem("m", avg("r0.a"))]),
+        )
+        assert q.normalized.vector.names() == ("m#s", "m#c")
+
+    def test_groupjoin_scaling_requirements(self):
+        q = simple_query(op=OpKind.GROUPJOIN)
+        reqs = q.groupjoin_scaling_requirements()
+        assert reqs == [(0b10, True)]  # sum is duplicate sensitive

@@ -1,0 +1,214 @@
+"""Property-based validation of the Fig. 3 equivalences.
+
+For random relations, random aggregation vectors and every operator/side
+combination, the eager right-hand side must equal the lazy left-hand side.
+This computationally validates Eqvs. 10–41 (and the appendix proofs).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aggregates import avg, count, count_star, max_, min_, sum_
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra.expressions import Attr
+from repro.algebra.relation import Relation
+from repro.algebra.values import NULL
+from repro.rewrites.eager import eager_groupby, eager_split, lazy_groupby
+from repro.rewrites.pushdown import OpKind
+
+PRED = Attr("j1").eq(Attr("j2"))
+G = ["g1", "g2"]
+G_LEFT_ONLY = ["g1"]
+
+small_value = st.one_of(st.integers(min_value=-3, max_value=3), st.just(NULL))
+small_key = st.integers(min_value=0, max_value=3)
+
+
+@st.composite
+def side_relation(draw, prefix: str, max_rows: int = 6):
+    n = draw(st.integers(min_value=0, max_value=max_rows))
+    rows = [
+        (
+            draw(small_key),  # grouping attribute
+            draw(st.one_of(small_key, st.just(NULL))),  # join attribute
+            draw(small_value),  # aggregated attribute
+        )
+        for _ in range(n)
+    ]
+    g, j, a = f"g{prefix}", f"j{prefix}", f"a{prefix}"
+    return Relation.from_tuples([g, j, a], rows)
+
+
+def full_vector():
+    return AggVector(
+        [
+            AggItem("n", count_star()),
+            AggItem("s1", sum_("a1")),
+            AggItem("c1", count("a1")),
+            AggItem("lo1", min_("a1")),
+            AggItem("s2", sum_("a2")),
+            AggItem("c2", count("a2")),
+            AggItem("hi2", max_("a2")),
+        ]
+    )
+
+
+def left_only_vector():
+    return AggVector(
+        [
+            AggItem("n", count_star()),
+            AggItem("s1", sum_("a1")),
+            AggItem("c1", count("a1")),
+            AggItem("lo1", min_("a1")),
+        ]
+    )
+
+
+TWO_SIDED_OPS = [OpKind.INNER, OpKind.LEFT_OUTER, OpKind.FULL_OUTER]
+LEFT_ONLY_OPS = [OpKind.LEFT_SEMI, OpKind.LEFT_ANTI]
+
+
+class TestEagerOneSide:
+    @pytest.mark.parametrize("op", TWO_SIDED_OPS, ids=lambda o: o.value)
+    @pytest.mark.parametrize("side", [1, 2])
+    @settings(max_examples=60, deadline=None)
+    @given(e1=side_relation("1"), e2=side_relation("2"))
+    def test_two_sided_operators(self, op, side, e1, e2):
+        vector = full_vector()
+        lazy = lazy_groupby(op, e1, e2, PRED, G, vector)
+        eager = eager_groupby(op, e1, e2, PRED, G, vector, side=side)
+        assert eager is not None
+        assert eager == lazy
+
+    @pytest.mark.parametrize("op", LEFT_ONLY_OPS, ids=lambda o: o.value)
+    @settings(max_examples=60, deadline=None)
+    @given(e1=side_relation("1"), e2=side_relation("2"))
+    def test_left_only_operators(self, op, e1, e2):
+        vector = left_only_vector()
+        lazy = lazy_groupby(op, e1, e2, PRED, G_LEFT_ONLY, vector)
+        eager = eager_groupby(op, e1, e2, PRED, G_LEFT_ONLY, vector, side=1)
+        assert eager is not None
+        assert eager == lazy
+
+    @pytest.mark.parametrize("op", LEFT_ONLY_OPS, ids=lambda o: o.value)
+    def test_left_only_operators_reject_side_2(self, op):
+        e1 = Relation.from_tuples(["g1", "j1", "a1"], [(1, 1, 1)])
+        e2 = Relation.from_tuples(["g2", "j2", "a2"], [(1, 1, 1)])
+        assert eager_groupby(op, e1, e2, PRED, G_LEFT_ONLY, left_only_vector(), side=2) is None
+
+
+class TestEagerSplit:
+    @pytest.mark.parametrize("op", TWO_SIDED_OPS, ids=lambda o: o.value)
+    @settings(max_examples=60, deadline=None)
+    @given(e1=side_relation("1"), e2=side_relation("2"))
+    def test_split_both_sides(self, op, e1, e2):
+        vector = full_vector()
+        lazy = lazy_groupby(op, e1, e2, PRED, G, vector)
+        eager = eager_split(op, e1, e2, PRED, G, vector)
+        assert eager is not None
+        assert eager == lazy
+
+    def test_split_rejected_for_left_only_ops(self):
+        e1 = Relation.from_tuples(["g1", "j1", "a1"], [(1, 1, 1)])
+        e2 = Relation.from_tuples(["g2", "j2", "a2"], [(1, 1, 1)])
+        assert eager_split(OpKind.LEFT_SEMI, e1, e2, PRED, G_LEFT_ONLY, left_only_vector()) is None
+
+
+class TestGroupjoin:
+    """Eqvs. 39–41: pushing grouping into the groupjoin's left argument."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(e1=side_relation("1"), e2=side_relation("2"))
+    def test_groupjoin_eager_left(self, e1, e2):
+        gj_vector = AggVector([AggItem("g", sum_("a2")), AggItem("m", count_star())])
+        # F references left attributes and the groupjoin outputs g/m.
+        vector = AggVector(
+            [
+                AggItem("n", count_star()),
+                AggItem("s1", sum_("a1")),
+                AggItem("sg", sum_("g")),
+                AggItem("sm", sum_("m")),
+                AggItem("hg", max_("g")),
+            ]
+        )
+        lazy = lazy_groupby(
+            OpKind.GROUPJOIN, e1, e2, PRED, G_LEFT_ONLY, vector, groupjoin_vector=gj_vector
+        )
+        eager = eager_groupby(
+            OpKind.GROUPJOIN, e1, e2, PRED, G_LEFT_ONLY, vector, side=1,
+            groupjoin_vector=gj_vector,
+        )
+        assert eager is not None
+        assert eager == lazy
+
+    def test_groupjoin_rejects_side_2(self):
+        e1 = Relation.from_tuples(["g1", "j1", "a1"], [(1, 1, 1)])
+        e2 = Relation.from_tuples(["g2", "j2", "a2"], [(1, 1, 1)])
+        gj_vector = AggVector([AggItem("g", sum_("a2"))])
+        vector = AggVector([AggItem("sg", sum_("g"))])
+        assert (
+            eager_groupby(
+                OpKind.GROUPJOIN, e1, e2, PRED, G_LEFT_ONLY, vector, side=2,
+                groupjoin_vector=gj_vector,
+            )
+            is None
+        )
+
+
+class TestAvgHandling:
+    """avg must be normalised to sum/countNN and reconstructed (Sec. 2.1.2)."""
+
+    @pytest.mark.parametrize("op", TWO_SIDED_OPS, ids=lambda o: o.value)
+    @pytest.mark.parametrize("side", [1, 2])
+    @settings(max_examples=40, deadline=None)
+    @given(e1=side_relation("1"), e2=side_relation("2"))
+    def test_avg_pushdown(self, op, side, e1, e2):
+        vector = AggVector([AggItem("m1", avg("a1")), AggItem("m2", avg("a2"))])
+        lazy = lazy_groupby(op, e1, e2, PRED, G, vector)
+        eager = eager_groupby(op, e1, e2, PRED, G, vector, side=side)
+        assert eager is not None
+        assert eager == lazy
+
+
+class TestDistinctAggregates:
+    """Distinct aggregates: agnostic on the opposite side, blocking on their own."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(e1=side_relation("1"), e2=side_relation("2"))
+    def test_distinct_on_other_side_allows_pushdown(self, e1, e2):
+        vector = AggVector(
+            [AggItem("sd2", sum_("a2", distinct=True)), AggItem("s1", sum_("a1"))]
+        )
+        lazy = lazy_groupby(OpKind.INNER, e1, e2, PRED, G, vector)
+        eager = eager_groupby(OpKind.INNER, e1, e2, PRED, G, vector, side=1)
+        assert eager is not None
+        assert eager == lazy
+
+    def test_distinct_on_pushed_side_blocks(self):
+        e1 = Relation.from_tuples(["g1", "j1", "a1"], [(1, 1, 1)])
+        e2 = Relation.from_tuples(["g2", "j2", "a2"], [(1, 1, 1)])
+        vector = AggVector([AggItem("sd1", sum_("a1", distinct=True))])
+        assert eager_groupby(OpKind.INNER, e1, e2, PRED, G, vector, side=1) is None
+
+    @settings(max_examples=40, deadline=None)
+    @given(e1=side_relation("1"), e2=side_relation("2"))
+    def test_count_distinct_on_other_side(self, e1, e2):
+        vector = AggVector(
+            [AggItem("cd1", count("a1", distinct=True)), AggItem("s2", sum_("a2"))]
+        )
+        lazy = lazy_groupby(OpKind.FULL_OUTER, e1, e2, PRED, G, vector)
+        eager = eager_groupby(OpKind.FULL_OUTER, e1, e2, PRED, G, vector, side=2)
+        assert eager is not None
+        assert eager == lazy
+
+
+class TestSplittability:
+    def test_cross_side_aggregate_blocks_everything(self):
+        from repro.algebra.expressions import BinOp
+
+        e1 = Relation.from_tuples(["g1", "j1", "a1"], [(1, 1, 1)])
+        e2 = Relation.from_tuples(["g2", "j2", "a2"], [(1, 1, 1)])
+        vector = AggVector([AggItem("x", sum_(BinOp("+", Attr("a1"), Attr("a2"))))])
+        for side in (1, 2):
+            assert eager_groupby(OpKind.INNER, e1, e2, PRED, G, vector, side=side) is None
+        assert eager_split(OpKind.INNER, e1, e2, PRED, G, vector) is None

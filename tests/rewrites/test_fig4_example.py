@@ -1,0 +1,98 @@
+"""Replication of the paper's worked example (Fig. 4) for Eqvs. 10 and 12."""
+
+from repro.aggregates import count_star, sum_
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra import operators as ops
+from repro.algebra.expressions import Attr
+from repro.algebra.relation import Relation
+from repro.rewrites.eager import eager_groupby, lazy_groupby
+from repro.rewrites.pushdown import OpKind
+
+
+def fig4_e1():
+    return Relation.from_tuples(
+        ["g1", "j1", "a1"], [(1, 1, 2), (1, 2, 4), (1, 2, 8)]
+    )
+
+
+def fig4_e2():
+    return Relation.from_tuples(
+        ["g2", "j2", "a2"], [(1, 1, 2), (1, 1, 4), (1, 2, 8)]
+    )
+
+
+def vector():
+    return AggVector(
+        [
+            AggItem("c", count_star()),
+            AggItem("b1", sum_("a1")),
+            AggItem("b2", sum_("a2")),
+        ]
+    )
+
+
+PRED = Attr("j1").eq(Attr("j2"))
+G = ["g1", "g2"]
+
+
+class TestEqv10InnerJoin:
+    """Example 1 (Sec. 3.1.1): the inner join case."""
+
+    def test_lazy_side_produces_e4(self):
+        result = lazy_groupby(OpKind.INNER, fig4_e1(), fig4_e2(), PRED, G, vector())
+        expected = Relation.from_tuples(["g1", "g2", "c", "b1", "b2"], [(1, 1, 4, 16, 22)])
+        assert result == expected
+
+    def test_intermediate_e5_inner_grouping(self):
+        """Γ_{g1,j1; F1 ∘ c1:count(*)}(e1) — relation e5 of Fig. 4."""
+        inner = AggVector([AggItem("c1", count_star()), AggItem("b1'", sum_("a1"))])
+        grouped = ops.group_by(fig4_e1(), ["g1", "j1"], inner)
+        expected = Relation.from_tuples(
+            ["g1", "j1", "c1", "b1'"], [(1, 1, 1, 2), (1, 2, 2, 12)]
+        )
+        assert grouped == expected
+
+    def test_eager_rhs_matches_lazy_lhs(self):
+        lazy = lazy_groupby(OpKind.INNER, fig4_e1(), fig4_e2(), PRED, G, vector())
+        eager = eager_groupby(OpKind.INNER, fig4_e1(), fig4_e2(), PRED, G, vector(), side=1)
+        assert eager is not None
+        assert eager == lazy
+
+
+class TestEqv12FullOuterjoin:
+    """Example 2 (Sec. 3.1.2): the full outerjoin with defaults."""
+
+    def e1_full(self):
+        # Rows below the separating line of Fig. 4 (an extra unmatched tuple).
+        return Relation.from_tuples(
+            ["g1", "j1", "a1"], [(1, 1, 2), (1, 2, 4), (1, 2, 8), (2, 5, 16)]
+        )
+
+    def e2_full(self):
+        return Relation.from_tuples(
+            ["g2", "j2", "a2"], [(1, 1, 2), (1, 1, 4), (1, 2, 8), (2, 7, 16)]
+        )
+
+    def test_eager_full_outerjoin_matches_lazy(self):
+        lazy = lazy_groupby(OpKind.FULL_OUTER, self.e1_full(), self.e2_full(), PRED, G, vector())
+        eager = eager_groupby(
+            OpKind.FULL_OUTER, self.e1_full(), self.e2_full(), PRED, G, vector(), side=1
+        )
+        assert eager is not None
+        assert eager == lazy
+
+    def test_orphaned_right_tuples_get_default_c1_equal_1(self):
+        """All c1 values of orphaned e2 tuples become 1 (Sec. 3.1.2)."""
+        from repro.rewrites.pushdown import plan_pushdown
+
+        f1 = AggVector([AggItem("c", count_star()), AggItem("b1", sum_("a1"))])
+        f2 = AggVector([AggItem("b2", sum_("a2"))])
+        spec = plan_pushdown(["g1", "j1"], f1, f2, side=1)
+        assert spec is not None
+        assert spec.count_attr is not None
+        assert spec.defaults[spec.count_attr] == 1
+        # count(*)'s inner stage defaults to 1, sum's to NULL on {⊥}.
+        from repro.algebra.values import is_null
+
+        assert spec.defaults["c'"] == 1
+        assert is_null(spec.defaults["b1'"])

@@ -1,0 +1,50 @@
+"""Tests for Eqv. 42 — eliminating the top grouping over singleton groups."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.aggregates import avg, count, count_star, max_, min_, sum_
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra import operators as ops
+from repro.algebra.relation import Relation
+from repro.algebra.values import NULL
+from repro.rewrites.top_elimination import eliminate_top_grouping, singleton_group_extensions
+
+
+def vector():
+    return AggVector(
+        [
+            AggItem("n", count_star()),
+            AggItem("s", sum_("v")),
+            AggItem("c", count("v")),
+            AggItem("lo", min_("v")),
+            AggItem("hi", max_("v")),
+            AggItem("m", avg("v")),
+        ]
+    )
+
+
+class TestEqv42:
+    def test_simple_key_grouping(self):
+        rel = Relation.from_tuples(["k", "v"], [(1, 10), (2, NULL), (3, 30)])
+        grouped = ops.group_by(rel, ["k"], vector())
+        eliminated = eliminate_top_grouping(rel, ["k"], vector())
+        assert eliminated == grouped
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        values=st.lists(
+            st.one_of(st.integers(min_value=-5, max_value=5), st.just(NULL)),
+            min_size=0,
+            max_size=8,
+        )
+    )
+    def test_property_on_key_grouped_input(self, values):
+        rows = [(i, v) for i, v in enumerate(values)]
+        rel = Relation.from_tuples(["k", "v"], rows)
+        grouped = ops.group_by(rel, ["k"], vector())
+        eliminated = eliminate_top_grouping(rel, ["k"], vector())
+        assert eliminated == grouped
+
+    def test_extensions_shape(self):
+        exts = singleton_group_extensions(vector())
+        assert [name for name, _ in exts] == ["n", "s", "c", "lo", "hi", "m"]

@@ -1,0 +1,113 @@
+"""Tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.sql.lexer import SqlSyntaxError, tokenize
+from repro.sql.parser import (
+    Binary,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    parse_select,
+)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT sElEcT select")
+        assert all(t.kind == "keyword" and t.value == "select" for t in tokens[:-1])
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("LineItem")
+        assert tokens[0].kind == "ident" and tokens[0].value == "LineItem"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert [t.value for t in tokens[:-1]] == ["42", "3.14"]
+
+    def test_strings(self):
+        tokens = tokenize("'BUILDING'")
+        assert tokens[0].kind == "string" and tokens[0].value == "BUILDING"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_two_char_symbols(self):
+        tokens = tokenize("<= >= <> !=")
+        assert [t.value for t in tokens[:-1]] == ["<=", ">=", "<>", "!="]
+
+    def test_unknown_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select @")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestParser:
+    def test_minimal_query(self):
+        stmt = parse_select("SELECT count(*) FROM t")
+        assert stmt.base.table == "t"
+        assert stmt.items[0].expr == FuncCall("count", None)
+
+    def test_aliases(self):
+        stmt = parse_select("SELECT count(*) c FROM t AS x JOIN u y ON x.a = y.b")
+        assert stmt.items[0].alias == "c"
+        assert stmt.base.alias == "x"
+        assert stmt.joins[0].table.alias == "y"
+
+    def test_join_kinds(self):
+        stmt = parse_select(
+            "SELECT count(*) FROM a JOIN b ON a.x = b.x "
+            "LEFT OUTER JOIN c ON b.y = c.y FULL JOIN d ON c.z = d.z"
+        )
+        assert [j.kind for j in stmt.joins] == ["inner", "left", "full"]
+
+    def test_where_and_group_by(self):
+        stmt = parse_select(
+            "SELECT sum(a.v) FROM a WHERE a.x = 1 AND a.y > 2 GROUP BY a.g, a.h"
+        )
+        assert stmt.where is not None
+        assert [ref.column for ref in stmt.group_by] == ["g", "h"]
+
+    def test_aggregate_variants(self):
+        stmt = parse_select(
+            "SELECT count(*), count(DISTINCT a.v), sum(a.v * 2), avg(a.v) FROM a"
+        )
+        calls = [item.expr for item in stmt.items]
+        assert calls[0] == FuncCall("count", None)
+        assert calls[1].distinct
+        assert isinstance(calls[2].argument, Binary)
+        assert calls[3].name == "avg"
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_select("SELECT sum(a.v + a.w * 2) FROM a")
+        arg = stmt.items[0].expr.argument
+        assert arg.op == "+"
+        assert arg.right.op == "*"
+
+    def test_parenthesised_expression(self):
+        stmt = parse_select("SELECT sum((a.v + a.w) * 2) FROM a")
+        arg = stmt.items[0].expr.argument
+        assert arg.op == "*"
+
+    def test_string_literal_in_where(self):
+        stmt = parse_select("SELECT count(*) FROM a WHERE a.seg = 'BUILDING'")
+        assert stmt.where.right == Literal("BUILDING")
+
+    def test_count_star_only_for_count(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT sum(*) FROM a")
+
+    def test_missing_on_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT count(*) FROM a JOIN b")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT count(*) FROM a LIMIT 5")
+
+    def test_unqualified_column(self):
+        stmt = parse_select("SELECT count(*) FROM a GROUP BY g")
+        assert stmt.group_by[0] == ColumnRef(None, "g")

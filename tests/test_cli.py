@@ -1,0 +1,51 @@
+"""Tests for the ``python -m repro`` command-line EXPLAIN tool."""
+
+import pytest
+
+from repro.__main__ import build_argument_parser, main
+
+SQL = (
+    "SELECT ns.n_name, count(*) AS cnt FROM nation ns "
+    "JOIN supplier s ON ns.n_nationkey = s.s_nationkey GROUP BY ns.n_name"
+)
+
+
+class TestArgumentParser:
+    def test_defaults(self):
+        args = build_argument_parser().parse_args([SQL])
+        assert args.strategy == "ea-prune"
+        assert args.factor == 1.03
+        assert args.scale_factor == 1.0
+
+    def test_strategy_choices(self):
+        with pytest.raises(SystemExit):
+            build_argument_parser().parse_args(["--strategy", "magic", SQL])
+
+
+class TestMain:
+    def test_explain(self, capsys):
+        assert main([SQL]) == 0
+        out = capsys.readouterr().out
+        assert "Cout=" in out
+        assert "Γ" in out or "Π" in out  # a grouping or its elimination
+
+    def test_compare(self, capsys):
+        assert main(["--compare", SQL]) == 0
+        out = capsys.readouterr().out
+        for strategy in ("dphyp", "ea-all", "ea-prune", "h1", "h2"):
+            assert strategy in out
+
+    def test_strategy_option(self, capsys):
+        assert main(["--strategy", "h2", "--factor", "1.1", SQL]) == 0
+        assert "strategy=h2" in capsys.readouterr().out
+
+    def test_scale_factor(self, capsys):
+        assert main(["--scale-factor", "0.1", SQL]) == 0
+
+    def test_bad_sql_reports_error(self, capsys):
+        assert main(["SELECT FROM nowhere"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_table_reports_error(self, capsys):
+        assert main(["SELECT count(*) FROM nowhere GROUP BY x"]) == 1
+        assert "error:" in capsys.readouterr().err

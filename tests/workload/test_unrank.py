@@ -1,0 +1,61 @@
+"""Tests for binary-tree unranking (Liebehenschel-style generation)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workload.unrank import (
+    count_trees,
+    leaf_count,
+    random_tree_shape,
+    rank_tree,
+    unrank_tree,
+)
+
+
+CATALAN = [1, 1, 2, 5, 14, 42, 132, 429, 1430]
+
+
+class TestCounting:
+    @pytest.mark.parametrize("leaves,expected", list(enumerate(CATALAN, start=1)))
+    def test_catalan_numbers(self, leaves, expected):
+        assert count_trees(leaves) == expected
+
+    def test_zero_leaves_rejected(self):
+        with pytest.raises(ValueError):
+            count_trees(0)
+
+
+class TestUnranking:
+    def test_single_leaf(self):
+        assert unrank_tree(1, 0) is None
+
+    def test_two_leaves(self):
+        assert unrank_tree(2, 0) == (None, None)
+
+    @pytest.mark.parametrize("leaves", range(1, 8))
+    def test_bijectivity(self, leaves):
+        """rank(unrank(r)) == r for every rank — unranking is a bijection."""
+        seen = set()
+        for rank in range(count_trees(leaves)):
+            shape = unrank_tree(leaves, rank)
+            assert leaf_count(shape) == leaves
+            assert rank_tree(shape) == rank
+            seen.add(repr(shape))
+        assert len(seen) == count_trees(leaves)
+
+    def test_out_of_range_rank_rejected(self):
+        with pytest.raises(ValueError):
+            unrank_tree(3, 2)
+        with pytest.raises(ValueError):
+            unrank_tree(3, -1)
+
+    def test_random_shape_uniformity(self):
+        """χ²-style sanity check: all 5 shapes with 4 leaves appear with
+        roughly equal frequency."""
+        rng = random.Random(7)
+        counts = Counter(repr(random_tree_shape(4, rng)) for _ in range(5000))
+        assert len(counts) == 5
+        for value in counts.values():
+            assert 800 < value < 1200
