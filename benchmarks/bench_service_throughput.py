@@ -1,0 +1,130 @@
+"""Service-layer throughput: cold single-query vs. warm-cache batches.
+
+Not a paper figure — this measures the serving layer added on top of the
+reproduction: the plan cache and the parallel batch driver
+(:mod:`repro.service`).  Three regimes over the same generated workload
+(Sec. 5 methodology, shapes repeated the way parameterised production
+traffic repeats them):
+
+1. **cold serial** — one ``optimize()`` call per query, no cache: the
+   baseline a naive serving loop would achieve,
+2. **cold batch** — first :func:`repro.service.run_batch` over the
+   workload: within-batch dedup plus parallel workers,
+3. **warm batch** — the identical batch again: every query is a cache
+   hit.
+
+Acceptance targets: warm-batch throughput >= 5x cold single-query
+throughput, and a 100% cache hit rate on the second batch.
+
+Run standalone (CI smoke)::
+
+    PYTHONPATH=src python benchmarks/bench_service_throughput.py
+
+or under pytest::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service_throughput.py -q
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # allow running without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.optimizer import optimize
+from repro.service import PlanCache, run_batch
+from repro.workload import generate_workload
+
+#: >= 100 queries per the acceptance criterion; override for smoke runs.
+WORKLOAD_SIZE = int(os.environ.get("REPRO_SERVICE_QUERIES", "120"))
+N_RELATIONS = int(os.environ.get("REPRO_SERVICE_N", "5"))
+SPEEDUP_TARGET = 5.0
+
+
+def measure(workers: int | None = None, size: int = WORKLOAD_SIZE) -> dict:
+    """Run the three regimes and return their metrics."""
+    rng = random.Random(7919)
+    unique = max(1, size // 4)
+    workload = generate_workload(size, N_RELATIONS, rng, unique=unique)
+
+    started = time.perf_counter()
+    for query in workload:
+        optimize(query)
+    cold_serial_seconds = time.perf_counter() - started
+
+    cache = PlanCache(capacity=2 * size)
+    cold = run_batch(workload, workers=workers, cache=cache)
+    warm = run_batch(workload, workers=workers, cache=cache)
+
+    return {
+        "size": size,
+        "unique": unique,
+        "workers": cold.workers,
+        "cold_serial_qps": size / cold_serial_seconds,
+        "cold_batch": cold,
+        "warm_batch": warm,
+        "cache": cache,
+    }
+
+
+def report_lines(metrics: dict) -> list:
+    cold, warm = metrics["cold_batch"], metrics["warm_batch"]
+    speedup = warm.queries_per_second / metrics["cold_serial_qps"]
+    return [
+        f"workload: {metrics['size']} queries "
+        f"({metrics['unique']} distinct shapes, n={N_RELATIONS}), "
+        f"{metrics['workers']} workers",
+        f"{'cold serial':14s} {metrics['cold_serial_qps']:12,.1f} q/s",
+        f"{'cold batch':14s} {cold.queries_per_second:12,.1f} q/s   "
+        f"hit rate {cold.hit_rate:4.0%}   optimized {cold.total - cold.hits}",
+        f"{'warm batch':14s} {warm.queries_per_second:12,.1f} q/s   "
+        f"hit rate {warm.hit_rate:4.0%}   optimized {warm.total - warm.hits}",
+        f"warm / cold-serial speedup: {speedup:,.1f}x  (target >= {SPEEDUP_TARGET:.0f}x)",
+    ]
+
+
+def test_service_throughput():
+    from benchmarks.conftest import register_report
+
+    metrics = measure()
+    register_report("Service — batch throughput (plan cache + workers)", report_lines(metrics))
+
+    warm = metrics["warm_batch"]
+    assert warm.hit_rate == 1.0, "second identical batch must be all cache hits"
+    assert warm.queries_per_second >= SPEEDUP_TARGET * metrics["cold_serial_qps"], (
+        f"warm batch {warm.queries_per_second:,.1f} q/s below "
+        f"{SPEEDUP_TARGET}x cold serial {metrics['cold_serial_qps']:,.1f} q/s"
+    )
+
+
+def test_batch_matches_single_query_costs():
+    """The driver must not change *what* is planned, only how often."""
+    rng = random.Random(1234)
+    workload = generate_workload(12, N_RELATIONS, rng, unique=6)
+    report = run_batch(workload, cache=PlanCache(capacity=64))
+    for item, query in zip(report.items, workload):
+        assert item.cost == optimize(query).cost
+
+
+def main() -> int:
+    smoke = "--smoke" in sys.argv
+    size = 24 if smoke else WORKLOAD_SIZE
+    metrics = measure(size=size)
+    for line in report_lines(metrics):
+        print(line)
+    warm = metrics["warm_batch"]
+    ok = warm.hit_rate == 1.0 and (
+        smoke or warm.queries_per_second >= SPEEDUP_TARGET * metrics["cold_serial_qps"]
+    )
+    print("PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,7 @@ paper's 10,000-queries-per-size setting):
 
 * ``REPRO_QUERIES``   — random queries per relation count (default 5)
 * ``REPRO_MAX_N``     — largest relation count for the sweeps (default 10)
-* ``REPRO_MAX_N_EA``  — largest n for the exhaustive EA-All (default 7)
+* ``REPRO_MAX_N_EA``  — largest n for the exhaustive EA-All (default 6)
 
 Each benchmark registers a paper-style report that is printed in the
 terminal summary, so ``pytest benchmarks/ --benchmark-only`` shows the

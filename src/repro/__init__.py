@@ -14,7 +14,9 @@ Typical entry points::
     from repro.plans import render_plan
     from repro.exec import execute
 
-See README.md for a guided tour and DESIGN.md for the architecture.
+See README.md for a guided tour and docs/architecture.md for the
+architecture, including the batch-optimization service layer
+(:mod:`repro.service`).
 """
 
 __version__ = "1.0.0"
@@ -29,6 +31,7 @@ __all__ = [
     "cardinality",
     "plans",
     "optimizer",
+    "service",
     "workload",
     "tpch",
     "sql",

@@ -1,16 +1,26 @@
-"""Command-line EXPLAIN tool: optimize SQL against the TPC-H catalog.
+"""Command-line front door: EXPLAIN one query or drive a whole batch.
 
-Usage::
+Two subcommands (``explain`` is the default, so the original invocation
+style keeps working):
+
+``explain`` — optimize SQL against the TPC-H catalog::
 
     python -m repro "SELECT ns.n_name, count(*) FROM nation ns \
         JOIN supplier s ON ns.n_nationkey = s.s_nationkey GROUP BY ns.n_name"
     python -m repro --strategy h2 --factor 1.05 --scale-factor 10 "..."
     python -m repro --compare "..."        # all five strategies side by side
+
+``batch`` — run a workload through the service layer (plan cache +
+parallel workers), printing per-batch throughput and cache statistics::
+
+    python -m repro batch --count 100 --relations 6 --unique 25 --repeat 2
+    python -m repro batch --sql-file queries.sql --workers 4
 """
 
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 
 from repro.optimizer import optimize
@@ -18,15 +28,10 @@ from repro.plans import render_plan
 from repro.sql import Catalog, parse_query
 
 STRATEGIES = ("dphyp", "ea-all", "ea-prune", "h1", "h2")
+SUBCOMMANDS = ("explain", "batch")
 
 
-def build_argument_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Optimize a SQL query with eager aggregation "
-        "(Eich & Moerkotte, ICDE 2015) against the TPC-H catalog.",
-    )
-    parser.add_argument("sql", help="the SELECT statement to optimize")
+def _add_strategy_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--strategy",
         choices=STRATEGIES,
@@ -37,6 +42,17 @@ def build_argument_parser() -> argparse.ArgumentParser:
         "--factor", type=float, default=1.03,
         help="H2 eagerness tolerance factor F (default: 1.03)",
     )
+
+
+def build_argument_parser() -> argparse.ArgumentParser:
+    """The ``explain`` subcommand's parser (also the bare default)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimize a SQL query with eager aggregation "
+        "(Eich & Moerkotte, ICDE 2015) against the TPC-H catalog.",
+    )
+    parser.add_argument("sql", help="the SELECT statement to optimize")
+    _add_strategy_options(parser)
     parser.add_argument(
         "--scale-factor", type=float, default=1.0,
         help="TPC-H scale factor for the catalog statistics (default: 1)",
@@ -48,7 +64,61 @@ def build_argument_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv=None) -> int:
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="Optimize a workload through the plan cache and the "
+        "parallel batch driver, reporting throughput and cache hit rates.",
+    )
+    source = parser.add_argument_group("workload source")
+    source.add_argument(
+        "--sql-file",
+        help="file of SELECT statements (one per line, '#' comments) "
+        "optimized against the TPC-H catalog; default is a random workload",
+    )
+    source.add_argument(
+        "--scale-factor", type=float, default=1.0,
+        help="TPC-H scale factor for --sql-file statistics (default: 1)",
+    )
+    source.add_argument(
+        "--count", type=int, default=100,
+        help="random workload: number of queries per batch (default: 100)",
+    )
+    source.add_argument(
+        "--relations", type=int, default=5,
+        help="random workload: relations per query (default: 5)",
+    )
+    source.add_argument(
+        "--unique", type=int, default=None,
+        help="random workload: distinct query shapes cycled to --count "
+        "(default: all distinct)",
+    )
+    source.add_argument(
+        "--seed", type=int, default=42,
+        help="random workload seed (default: 42)",
+    )
+    _add_strategy_options(parser)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: min(cpu count, 8); 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=512,
+        help="plan cache capacity in entries (default: 512)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the plan cache (measures raw batch throughput)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=2,
+        help="run the same batch this many times — the second run shows "
+        "warm-cache behaviour (default: 2)",
+    )
+    return parser
+
+
+def run_explain(argv) -> int:
     args = build_argument_parser().parse_args(argv)
     catalog = Catalog.from_tpch(scale_factor=args.scale_factor)
     try:
@@ -59,13 +129,16 @@ def main(argv=None) -> int:
 
     if args.compare:
         print(f"{'strategy':10s} {'Cout':>16s} {'time':>10s}")
+        from repro.optimizer import prepare
+
+        prepared = prepare(query)
         for strategy in STRATEGIES:
-            result = optimize(query, strategy, factor=args.factor)
+            result = optimize(query, strategy, factor=args.factor, prepared=prepared)
             print(
                 f"{strategy:10s} {result.cost:16,.0f} "
                 f"{result.elapsed_seconds * 1000:8.2f}ms"
             )
-        best = optimize(query, "ea-prune", factor=args.factor)
+        best = optimize(query, "ea-prune", factor=args.factor, prepared=prepared)
     else:
         best = optimize(query, args.strategy, factor=args.factor)
         print(
@@ -75,6 +148,80 @@ def main(argv=None) -> int:
     print()
     print(render_plan(best.plan.node))
     return 0
+
+
+def _load_sql_workload(path: str, scale_factor: float):
+    catalog = Catalog.from_tpch(scale_factor=scale_factor)
+    queries = []
+    with open(path) as handle:
+        for line in handle:
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            queries.append(parse_query(text, catalog))
+    return queries
+
+
+def run_batch_command(argv) -> int:
+    from repro.service import PlanCache, run_batch
+    from repro.workload import generate_workload
+
+    args = build_batch_parser().parse_args(argv)
+    if args.sql_file:
+        try:
+            queries = _load_sql_workload(args.sql_file, args.scale_factor)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if not queries:
+            print("error: no queries in --sql-file", file=sys.stderr)
+            return 1
+    else:
+        rng = random.Random(args.seed)
+        try:
+            queries = generate_workload(args.count, args.relations, rng, unique=args.unique)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+
+    cache = None if args.no_cache else PlanCache(capacity=args.cache_size)
+    print(
+        f"workload: {len(queries)} queries, strategy={args.strategy}, "
+        f"cache={'off' if cache is None else f'{cache.capacity} entries'}"
+    )
+    for round_number in range(1, max(1, args.repeat) + 1):
+        report = run_batch(
+            queries, args.strategy, args.factor, workers=args.workers, cache=cache
+        )
+        # Without a cache, reuse can only come from in-batch dedup — don't
+        # call that a cache hit.
+        reuse_label = "cache hits" if cache is not None else "deduped"
+        print(
+            f"batch {round_number}: {report.total} queries in "
+            f"{report.wall_seconds:.3f}s  ({report.queries_per_second:,.1f} q/s)  "
+            f"optimized={report.total - report.hits}  "
+            f"{reuse_label}={report.hits} ({report.hit_rate:.0%})  "
+            f"workers={report.workers}"
+        )
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"cache: {len(cache)}/{cache.capacity} entries  hits={stats.hits}  "
+            f"misses={stats.misses}  evictions={stats.evictions}  "
+            f"hit_rate={stats.hit_rate:.0%}"
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        command, rest = argv[0], argv[1:]
+    else:
+        command, rest = "explain", argv
+    if command == "batch":
+        return run_batch_command(rest)
+    return run_explain(rest)
 
 
 if __name__ == "__main__":

@@ -13,7 +13,7 @@ plan building shared (Fig. 5):
 =============  =====================================================
 """
 
-from repro.optimizer.driver import OptimizationResult, optimize
+from repro.optimizer.driver import OptimizationResult, PreparedQuery, optimize, prepare
 from repro.optimizer.planinfo import PlanBuilder, PlanInfo
 from repro.optimizer.strategies import (
     DphypStrategy,
@@ -26,7 +26,9 @@ from repro.optimizer.strategies import (
 
 __all__ = [
     "optimize",
+    "prepare",
     "OptimizationResult",
+    "PreparedQuery",
     "PlanBuilder",
     "PlanInfo",
     "make_strategy",

@@ -14,11 +14,12 @@ This is the paper's Fig. 5 skeleton with the eager-aggregation extensions:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.algebra.expressions import conjunction
 from repro.conflict.detector import AnnotatedEdge, detect
+from repro.hypergraph.graph import Hypergraph
 from repro.hypergraph.enumerate import enumerate_ccps
 from repro.optimizer.planinfo import PlanBuilder, PlanInfo
 from repro.optimizer.strategies import Strategy, make_strategy
@@ -36,10 +37,37 @@ class OptimizationResult:
     ccp_count: int
     plans_built: int
     table_sizes: Dict[int, int]
+    cache_hit: bool = False
 
     @property
     def cost(self) -> float:
         return self.plan.cost
+
+    def as_cache_hit(self) -> "OptimizationResult":
+        """A copy marked as served from a plan cache."""
+        return replace(self, cache_hit=True)
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """The strategy-independent pre-pass: conflict rules + hypergraph.
+
+    Conflict detection (TES/rule computation) and hypergraph construction
+    depend only on the query, not on the strategy or statistics snapshot,
+    so a caller comparing strategies — or a batch driver re-optimizing the
+    same shape after a statistics change — runs them once and hands the
+    result to every :func:`optimize` call.
+    """
+
+    query: Query
+    annotated: Tuple[AnnotatedEdge, ...]
+    graph: Hypergraph
+
+
+def prepare(query: Query) -> PreparedQuery:
+    """Run conflict detection and build the hypergraph for *query*."""
+    annotated, graph = detect(query)
+    return PreparedQuery(query=query, annotated=tuple(annotated), graph=graph)
 
 
 class _JoinSpec:
@@ -55,12 +83,44 @@ class _JoinSpec:
         self.swap = swap
 
 
-def optimize(query: Query, strategy: str | Strategy = "ea-prune", factor: float = 1.03) -> OptimizationResult:
-    """Optimize *query* with the given strategy and return the final plan."""
+def optimize(
+    query: Query,
+    strategy: str | Strategy = "ea-prune",
+    factor: float = 1.03,
+    prepared: Optional[PreparedQuery] = None,
+    cache=None,
+) -> OptimizationResult:
+    """Optimize *query* with the given strategy and return the final plan.
+
+    *prepared* reuses a :func:`prepare` pre-pass (conflict detection +
+    hypergraph) across strategies or repeated runs.  *cache* is an optional
+    :class:`repro.service.cache.PlanCache`: hits return immediately (marked
+    ``cache_hit=True``), misses are stored after optimization.
+    """
     chosen = strategy if isinstance(strategy, Strategy) else make_strategy(strategy, factor)
+
+    key = None
+    if cache is not None:
+        from repro.service.fingerprint import cache_key
+        from repro.service.rebind import rebind_result
+
+        key = cache_key(query, chosen)
+        hit = cache.lookup(key)
+        if hit is not None:
+            result, binding = hit
+            if binding is not None:
+                # The entry may come from a renamed-but-isomorphic query;
+                # re-express its plan in *this* query's names.
+                result = rebind_result(result, binding, query)
+            return result.as_cache_hit()
+
     start = time.perf_counter()
 
-    annotated, graph = detect(query)
+    if prepared is not None and prepared.query is not query:
+        raise ValueError("prepared pre-pass belongs to a different query")
+    annotated, graph = (
+        (prepared.annotated, prepared.graph) if prepared is not None else detect(query)
+    )
     builder = PlanBuilder(query)
     all_mask = query.all_relations_mask
 
@@ -103,7 +163,7 @@ def optimize(query: Query, strategy: str | Strategy = "ea-prune", factor: float 
         raise RuntimeError("no plan found — query hypergraph not fully connectable")
     best = min(final, key=lambda p: p.cost)
     elapsed = time.perf_counter() - start
-    return OptimizationResult(
+    result = OptimizationResult(
         plan=best,
         strategy=chosen.name,
         elapsed_seconds=elapsed,
@@ -111,6 +171,16 @@ def optimize(query: Query, strategy: str | Strategy = "ea-prune", factor: float 
         plans_built=plans_built,
         table_sizes={mask: len(plans) for mask, plans in table.items()},
     )
+    if cache is not None and key is not None:
+        from repro.service.rebind import query_binding
+
+        cache.put(
+            key,
+            result,
+            relations=(rel.source_table for rel in query.relations),
+            binding=query_binding(query),
+        )
+    return result
 
 
 def _resolve_edge(

@@ -27,6 +27,10 @@ class RelationInfo:
             guarantee (Sec. 2.3: "specified in the database schema"), and
             inferring it from approximate statistics would make
             top-grouping elimination (Eqv. 42) unsound.
+        source: the catalog base table this relation's statistics came
+            from, when ``name`` is a query-local alias.  Plan-cache
+            invalidation tracks tables by this name; None means ``name``
+            is the table itself.
     """
 
     name: str
@@ -34,6 +38,12 @@ class RelationInfo:
     cardinality: float
     distinct: Mapping[str, float] = field(default_factory=dict)
     keys: Tuple[FrozenSet[str], ...] = ()
+    source: Optional[str] = None
+
+    @property
+    def source_table(self) -> str:
+        """The base-table name catalog invalidation should match on."""
+        return self.source or self.name
 
     def distinct_count(self, attr: str) -> float:
         base = self.distinct.get(attr, self.cardinality)
@@ -228,6 +238,16 @@ class Query:
             if src_in and src_mask & ~mask & self.all_relations_mask:
                 needed.update(src_in)
         return frozenset(needed)
+
+    def fingerprint(self) -> str:
+        """Structural identity of this query (see :mod:`repro.service.fingerprint`).
+
+        Stable under relation/attribute renaming and predicate reordering —
+        the key the service layer caches plans under.
+        """
+        from repro.service.fingerprint import query_fingerprint
+
+        return query_fingerprint(self)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,231 @@
+"""The parallel batch driver: optimize a workload, not a query.
+
+``optimize()`` is a one-query-at-a-time library call; a serving system
+sees *workloads* — bursts of queries from many users, full of repeated
+shapes.  :func:`optimize_many` closes that gap:
+
+* **dedup before dispatch** — items are keyed by the structural
+  fingerprint (:mod:`repro.service.fingerprint`); each distinct key is
+  optimized at most once per batch, and an optional :class:`PlanCache`
+  carries results across batches,
+* **process parallelism** — distinct misses fan out over a
+  ``multiprocessing`` pool (pure-Python DP enumeration is CPU-bound, so
+  threads would serialise on the GIL),
+* **streaming results** — items are yielded in submission order as soon
+  as their plan is available, each with per-query timing and a
+  ``cache_hit`` flag.
+
+The expensive path stays the library's: workers call the very same
+:func:`repro.optimizer.optimize`.  The driver only decides *what not to
+recompute*.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.optimizer.driver import OptimizationResult, optimize
+from repro.optimizer.strategies import Strategy
+from repro.query.spec import Query
+from repro.service.cache import CacheStats, PlanCache
+from repro.service.fingerprint import PlanCacheKey, cache_key
+from repro.service.rebind import query_binding, rebind_result
+
+#: cap on the default worker count — DP enumeration is memory-hungry and
+#: beyond this the pool's pickling overhead dominates for small queries.
+_MAX_DEFAULT_WORKERS = 8
+
+
+@dataclass
+class BatchItem:
+    """One workload entry's outcome, in submission order."""
+
+    index: int
+    key: PlanCacheKey
+    result: OptimizationResult
+    elapsed_seconds: float
+    cache_hit: bool
+
+    @property
+    def cost(self) -> float:
+        return self.result.cost
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of :func:`run_batch`."""
+
+    items: List[BatchItem]
+    wall_seconds: float
+    workers: int
+    cache_stats: Optional[CacheStats] = None
+
+    @property
+    def total(self) -> int:
+        return len(self.items)
+
+    @property
+    def hits(self) -> int:
+        return sum(1 for item in self.items if item.cache_hit)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of items served without a fresh optimizer run."""
+        return self.hits / self.total if self.items else 0.0
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.total / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+
+    @property
+    def optimize_seconds(self) -> float:
+        """CPU seconds actually spent in the DP driver (misses only)."""
+        return sum(item.result.elapsed_seconds for item in self.items if not item.cache_hit)
+
+
+def default_workers() -> int:
+    try:
+        available = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        available = os.cpu_count() or 1
+    return max(1, min(available, _MAX_DEFAULT_WORKERS))
+
+
+def _optimize_payload(
+    payload: Tuple[Query, "str | Strategy", float]
+) -> OptimizationResult:
+    """Pool worker: one plain optimizer run (module-level for pickling)."""
+    query, strategy, factor = payload
+    return optimize(query, strategy, factor)
+
+
+def optimize_many(
+    queries: Sequence[Query],
+    strategy: "str | Strategy" = "ea-prune",
+    factor: float = 1.03,
+    workers: Optional[int] = None,
+    cache: Optional[PlanCache] = None,
+) -> Iterator[BatchItem]:
+    """Optimize *queries*, yielding a :class:`BatchItem` per entry in order.
+
+    Every item whose plan was not freshly computed — served from *cache*
+    or sharing the run of an identical earlier item in the same batch —
+    carries ``cache_hit=True``.  With ``workers <= 1`` (or a single miss)
+    everything runs in-process; otherwise distinct misses are spread over
+    a process pool.  The cache is consulted and populated only in the
+    dispatching process, so workers stay oblivious to it.
+    """
+    if workers is None:
+        workers = default_workers()
+
+    keys = [cache_key(query, strategy, factor) for query in queries]
+
+    # Schedule: probe the cache once per distinct key; collect the misses
+    # (first occurrence wins) in submission order.  Resolved entries keep
+    # the binding of the query the plan is currently expressed in, so
+    # duplicates under *different* names can be rebound when served.
+    resolved: Dict[PlanCacheKey, Tuple[OptimizationResult, float, Tuple]] = {}
+    scheduled: set = set()
+    miss_order: List[PlanCacheKey] = []
+    miss_payload: List[Tuple[Query, "str | Strategy", float]] = []
+    for query, key in zip(queries, keys):
+        if key in scheduled:
+            continue
+        scheduled.add(key)
+        if cache is not None:
+            started = time.perf_counter()
+            hit = cache.lookup(key)
+            if hit is not None:
+                result, binding = hit
+                if binding is not None:
+                    # The entry may come from a renamed-but-isomorphic
+                    # query; re-express its plan in this query's names.
+                    result = rebind_result(result, binding, query)
+                resolved[key] = (
+                    result.as_cache_hit(),
+                    time.perf_counter() - started,
+                    query_binding(query),
+                )
+                continue
+        miss_order.append(key)
+        miss_payload.append((query, strategy, factor))
+
+    def finish(key: PlanCacheKey, query: Query, result: OptimizationResult) -> None:
+        if cache is not None:
+            cache.put(
+                key,
+                result,
+                relations=(rel.source_table for rel in query.relations),
+                binding=query_binding(query),
+            )
+        resolved[key] = (result, result.elapsed_seconds, query_binding(query))
+
+    computed: set = set()
+
+    def emit(index: int, key: PlanCacheKey) -> BatchItem:
+        # The first item to surface a freshly computed plan reports the
+        # run; every other serving of the same result is a (batch or
+        # cross-batch) cache hit with negligible cost.
+        result, elapsed, binding = resolved[key]
+        result = rebind_result(result, binding, queries[index])
+        first_run = not result.cache_hit and key not in computed
+        if first_run:
+            computed.add(key)
+        return BatchItem(
+            index=index,
+            key=key,
+            result=result if first_run else result.as_cache_hit(),
+            # cross-batch hits report the cache probe time; within-batch
+            # duplicates share an in-flight result for free.
+            elapsed_seconds=elapsed if first_run or result.cache_hit else 0.0,
+            cache_hit=not first_run,
+        )
+
+    if workers <= 1 or len(miss_payload) <= 1:
+        # Serial path: compute lazily so results still stream in order.
+        pending = dict(zip(miss_order, miss_payload))
+        for index, key in enumerate(keys):
+            if key not in resolved:
+                query, strat, f = pending[key]
+                finish(key, query, optimize(query, strat, f))
+            yield emit(index, key)
+        return
+
+    processes = min(workers, len(miss_payload))
+    context = multiprocessing.get_context()
+    with context.Pool(processes=processes) as pool:
+        # imap preserves submission order, so results for miss_order[i]
+        # arrive exactly when the emit loop first needs them.
+        arriving = pool.imap(_optimize_payload, miss_payload, chunksize=1)
+        pulled = 0
+        for index, key in enumerate(keys):
+            while key not in resolved:
+                result = next(arriving)
+                finish(miss_order[pulled], miss_payload[pulled][0], result)
+                pulled += 1
+            yield emit(index, key)
+
+
+def run_batch(
+    queries: Sequence[Query],
+    strategy: "str | Strategy" = "ea-prune",
+    factor: float = 1.03,
+    workers: Optional[int] = None,
+    cache: Optional[PlanCache] = None,
+) -> BatchReport:
+    """Drive :func:`optimize_many` to completion and summarise it."""
+    if workers is None:
+        workers = default_workers()
+    started = time.perf_counter()
+    items = list(optimize_many(queries, strategy, factor, workers=workers, cache=cache))
+    wall = time.perf_counter() - started
+    return BatchReport(
+        items=items,
+        wall_seconds=wall,
+        workers=workers,
+        cache_stats=cache.stats.snapshot() if cache is not None else None,
+    )

@@ -1,0 +1,203 @@
+"""An LRU plan cache with statistics and catalog invalidation.
+
+DP plan generation is by far the most expensive step of serving a query
+(Fig. 16: seconds per query at larger relation counts), while the inputs
+repeat heavily in production traffic — parameterised queries differ only
+in constants, and dashboards re-issue identical shapes.  Caching the
+:class:`~repro.optimizer.driver.OptimizationResult` under the structural
+fingerprint of :mod:`repro.service.fingerprint` turns those repeats into
+dictionary lookups.
+
+Correctness hinges on invalidation: a cached plan embeds cost and
+cardinality decisions derived from catalog statistics, so the key includes
+a statistics snapshot (stale statistics miss instead of serving a stale
+plan) and the cache additionally supports *eager* invalidation — dropping
+every entry that touches a relation whenever the catalog announces a
+change (:meth:`PlanCache.watch`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.service.fingerprint import PlanCacheKey
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimizer.driver import OptimizationResult
+
+
+@dataclass
+class CacheStats:
+    """Counters exposed by :attr:`PlanCache.stats`."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.hits, self.misses, self.puts, self.evictions, self.invalidations)
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, puts={self.puts}, "
+            f"evictions={self.evictions}, invalidations={self.invalidations}, "
+            f"hit_rate={self.hit_rate:.1%})"
+        )
+
+
+@dataclass
+class _Entry:
+    result: "OptimizationResult"
+    relations: FrozenSet[str] = field(default_factory=frozenset)
+    #: naming of the query the result was computed for (service.rebind.Binding);
+    #: None means "serve verbatim" (caller guarantees name compatibility).
+    binding: Optional[Tuple] = None
+
+
+class PlanCache:
+    """A bounded, thread-safe, least-recently-used plan cache.
+
+    Thread safety matters because the batch driver consults the cache from
+    the dispatching thread while results stream back; a plain lock
+    suffices — entries are immutable once stored.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[PlanCacheKey, _Entry]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = CacheStats()
+
+    # -- core protocol -------------------------------------------------------
+    def get(self, key: PlanCacheKey) -> Optional["OptimizationResult"]:
+        """The cached result for *key*, refreshing its recency; else None."""
+        found = self.lookup(key)
+        return found[0] if found is not None else None
+
+    def lookup(
+        self, key: PlanCacheKey
+    ) -> Optional[Tuple["OptimizationResult", Optional[Tuple]]]:
+        """Like :meth:`get`, but returns ``(result, binding)``.
+
+        The binding is the source query's naming as stored at :meth:`put`
+        time; a caller serving a differently-named query must rebind the
+        result (:func:`repro.service.rebind.rebind_result`) before use.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry.result, entry.binding
+
+    def put(
+        self,
+        key: PlanCacheKey,
+        result: "OptimizationResult",
+        relations: Iterable[str] = (),
+        binding: Optional[Tuple] = None,
+    ) -> None:
+        """Store *result* under *key*.
+
+        *relations* are the base-table names the plan scans — the handle
+        eager invalidation grabs when the catalog changes.  *binding* is
+        the source query's naming (see :func:`repro.service.rebind.query_binding`)
+        so hits for renamed-but-isomorphic queries can be rebound.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = _Entry(result, frozenset(relations), binding)
+            self.stats.puts += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: PlanCacheKey) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # -- invalidation --------------------------------------------------------
+    def invalidate(self, relation: Optional[str] = None) -> int:
+        """Drop entries touching *relation* (or everything when None).
+
+        Returns the number of entries removed.  Matching is by the
+        relation names recorded at :meth:`put` time, case-insensitive to
+        mirror catalog lookup semantics.
+        """
+        with self._lock:
+            if relation is None:
+                removed = len(self._entries)
+                self._entries.clear()
+            else:
+                needle = relation.lower()
+                doomed = [
+                    key
+                    for key, entry in self._entries.items()
+                    if any(name.lower() == needle for name in entry.relations)
+                ]
+                for key in doomed:
+                    del self._entries[key]
+                removed = len(doomed)
+            self.stats.invalidations += removed
+            return removed
+
+    def watch(self, catalog) -> None:
+        """Subscribe to *catalog* so statistics changes evict stale plans.
+
+        The catalog calls back with the changed table name; entries whose
+        plans scan that table are dropped.  (Entries keyed under the old
+        statistics would miss anyway via the snapshot — watching reclaims
+        their memory immediately and keeps the hit-rate signal honest.)
+        """
+        catalog.subscribe(self.invalidate)
+
+    # -- introspection -------------------------------------------------------
+    def keys(self) -> Tuple[PlanCacheKey, ...]:
+        with self._lock:
+            return tuple(self._entries)
+
+    def relations_of(self, key: PlanCacheKey) -> FrozenSet[str]:
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.relations if entry is not None else frozenset()
+
+    def describe(self) -> Dict[str, float]:
+        """A flat metrics dict (for logging / monitoring endpoints)."""
+        with self._lock:
+            return {
+                "size": float(len(self._entries)),
+                "capacity": float(self.capacity),
+                "hits": float(self.stats.hits),
+                "misses": float(self.stats.misses),
+                "puts": float(self.stats.puts),
+                "evictions": float(self.stats.evictions),
+                "invalidations": float(self.stats.invalidations),
+                "hit_rate": self.stats.hit_rate,
+            }

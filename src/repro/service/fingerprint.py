@@ -1,0 +1,191 @@
+"""Query fingerprints: cache keys that survive renaming and reordering.
+
+A plan cache is only useful when syntactically different spellings of the
+same optimization problem map to the same key.  Two :class:`~repro.query.spec.Query`
+objects describe the same problem whenever they differ only in
+
+* **relation / attribute names** — the optimizer never looks at names,
+  only at vertex indices and attribute positions, and
+* **predicate spelling** — operand order of commutative operators
+  (``a = b`` vs ``b = a``), conjunct order inside ``AND``/``OR``, and the
+  direction of comparisons (``a < b`` vs ``b > a``).
+
+The fingerprint therefore serializes the query *structurally*: attributes
+become ``?<vertex>#<position>`` tokens, expressions are canonicalised
+S-expressions (commutative operands sorted, comparisons flipped to
+``<``/``<=``), and join operators are embedded at their position in the
+initial operator tree so edge ids never leak into the key.
+
+Statistics are deliberately kept out of the fingerprint and hashed into a
+separate **cardinality snapshot**: a catalog update (new row counts,
+changed selectivities) changes the snapshot but not the fingerprint, which
+lets a cache distinguish "same query, stale statistics" from "new query".
+
+The full cache key is fingerprint + snapshot + strategy (Sec. 4's plan
+generators produce different plans, so they must not share entries).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.algebra.expressions import Attr, BinOp, Case, Const, Expr, IsNull, Logical, Not
+from repro.aggregates.calls import AggCall
+from repro.aggregates.vector import AggVector
+from repro.optimizer.strategies import Strategy, make_strategy
+from repro.query.spec import Query
+from repro.query.tree import Tree, TreeLeaf
+
+#: comparison directions normalised away: ``a > b`` ≡ ``b < a``.
+_FLIP = {">": "<", ">=": "<="}
+#: operators whose operand order is semantically irrelevant.
+_COMMUTATIVE = {"=", "<>", "+", "*"}
+
+
+@dataclass(frozen=True)
+class PlanCacheKey:
+    """Hashable cache key: structure + statistics + plan generator."""
+
+    fingerprint: str
+    snapshot: str
+    strategy: str
+    factor: Optional[float] = None
+
+    def digest(self) -> str:
+        """A single stable hex digest (handy for logging / sharding)."""
+        payload = f"{self.fingerprint}|{self.snapshot}|{self.strategy}|{self.factor}"
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class _Canonicalizer:
+    """Maps one query's attribute names to position tokens."""
+
+    def __init__(self, query: Query):
+        self.query = query
+        self._attr_token: Dict[str, str] = {}
+        for vertex, rel in enumerate(query.relations):
+            for position, attr in enumerate(rel.attributes):
+                self._attr_token[attr] = f"?{vertex}#{position}"
+
+    def attr(self, name: str) -> str:
+        # Groupjoin outputs are optimizer-chosen aliases, not relation
+        # attributes — they carry no relation name and stay literal.
+        return self._attr_token.get(name, f"!{name}")
+
+    # -- expressions ---------------------------------------------------------
+    def expr(self, expr: Expr) -> str:
+        if isinstance(expr, Attr):
+            return self.attr(expr.name)
+        if isinstance(expr, Const):
+            return f"const({expr.value!r})"
+        if isinstance(expr, BinOp):
+            op, left, right = expr.op, expr.left, expr.right
+            if op in _FLIP:
+                op, left, right = _FLIP[op], right, left
+            parts = [self.expr(left), self.expr(right)]
+            if op in _COMMUTATIVE:
+                parts.sort()
+            return f"({op} {parts[0]} {parts[1]})"
+        if isinstance(expr, Logical):
+            parts = sorted(self.expr(operand) for operand in expr.operands)
+            return f"({expr.op} " + " ".join(parts) + ")"
+        if isinstance(expr, Not):
+            return f"(not {self.expr(expr.operand)})"
+        if isinstance(expr, IsNull):
+            return f"(isnull {self.expr(expr.operand)})"
+        if isinstance(expr, Case):
+            return (
+                f"(case {self.expr(expr.condition)} "
+                f"{self.expr(expr.then)} {self.expr(expr.otherwise)})"
+            )
+        raise TypeError(f"cannot canonicalise expression {expr!r}")
+
+    # -- aggregates ----------------------------------------------------------
+    def call(self, call: AggCall) -> str:
+        arg = self.expr(call.arg) if call.arg is not None else "*"
+        distinct = "distinct " if call.distinct else ""
+        return f"{call.kind.value}({distinct}{arg})"
+
+    def vector(self, vector: AggVector) -> str:
+        return "[" + ", ".join(f"{item.name}={self.call(item.call)}" for item in vector) + "]"
+
+    # -- the initial operator tree -------------------------------------------
+    def tree(self, tree: Tree) -> str:
+        if isinstance(tree, TreeLeaf):
+            return f"R{tree.vertex}"
+        edge = self.query.edge(tree.edge_id)
+        vector = "" if edge.groupjoin_vector is None else f" {self.vector(edge.groupjoin_vector)}"
+        return (
+            f"({edge.op.name} {self.expr(edge.predicate)}{vector} "
+            f"{self.tree(tree.left)} {self.tree(tree.right)})"
+        )
+
+
+def query_fingerprint(query: Query) -> str:
+    """Structural fingerprint of *query* (sha256 hex).
+
+    Invariant under relation/attribute renaming, commutative operand
+    order, conjunct order and comparison direction; sensitive to tree
+    shape, operators, predicate structure, grouping and aggregation.
+    """
+    canon = _Canonicalizer(query)
+    parts: List[str] = [f"n={len(query.relations)}"]
+    parts.append("arity=" + ",".join(str(len(rel.attributes)) for rel in query.relations))
+    parts.append("tree=" + canon.tree(query.tree))
+    floating = sorted(
+        f"({query.edge(eid).op.name} {canon.expr(query.edge(eid).predicate)})"
+        for eid in query.floating_edge_ids
+    )
+    parts.append("floating=" + ";".join(floating))
+    parts.append("local=" + ";".join(
+        f"{vertex}:{canon.expr(pred)}"
+        for vertex, (pred, _sel) in sorted(query.local_predicates.items())
+    ))
+    parts.append("group=" + ",".join(sorted(canon.attr(a) for a in query.group_by)))
+    parts.append("agg=" + canon.vector(query.aggregates))
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+def cardinality_snapshot(query: Query) -> str:
+    """Digest of every statistic the cost model consumes (sha256 hex).
+
+    Covers relation cardinalities, per-attribute distinct counts (by
+    position), declared keys, and edge / local-predicate selectivities.
+    Unchanged by renaming; changed by any catalog statistics update.
+    """
+    parts: List[str] = []
+    for vertex, rel in enumerate(query.relations):
+        positions = {attr: i for i, attr in enumerate(rel.attributes)}
+        distinct = ",".join(
+            f"{i}:{rel.distinct_count(attr):.6g}" for attr, i in positions.items()
+        )
+        keys = ";".join(sorted(
+            ",".join(sorted(str(positions[a]) for a in key)) for key in rel.keys
+        ))
+        parts.append(f"{vertex}|{rel.cardinality:.6g}|{distinct}|{keys}")
+    parts.append("sel=" + ",".join(f"{edge.selectivity:.9g}" for edge in query.edges))
+    parts.append("localsel=" + ",".join(
+        f"{vertex}:{sel:.9g}" for vertex, (_pred, sel) in sorted(query.local_predicates.items())
+    ))
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+def strategy_label(strategy: "str | Strategy", factor: float = 1.03) -> Tuple[str, Optional[float]]:
+    """Normalise a strategy spec to (name, effective factor) for keying."""
+    chosen = strategy if isinstance(strategy, Strategy) else make_strategy(strategy, factor)
+    return chosen.name, getattr(chosen, "factor", None)
+
+
+def cache_key(
+    query: Query, strategy: "str | Strategy" = "ea-prune", factor: float = 1.03
+) -> PlanCacheKey:
+    """The full plan-cache key for optimizing *query* with *strategy*."""
+    name, effective_factor = strategy_label(strategy, factor)
+    return PlanCacheKey(
+        fingerprint=query_fingerprint(query),
+        snapshot=cardinality_snapshot(query),
+        strategy=name,
+        factor=effective_factor,
+    )

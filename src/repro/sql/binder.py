@@ -118,7 +118,7 @@ def _build_scope(stmt: SelectStmt, catalog: Catalog) -> _Scope:
         keys = tuple(frozenset(f"{alias}.{c}" for c in key) for key in stats.keys)
         by_alias[alias] = len(relations)
         relations.append(
-            RelationInfo(alias, attrs, stats.cardinality, distinct, keys)
+            RelationInfo(alias, attrs, stats.cardinality, distinct, keys, source=stats.name)
         )
         for column in stats.columns:
             columns.setdefault(column, []).append(alias)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -21,13 +21,25 @@ class TableStats:
 
 
 class Catalog:
-    """A set of tables the binder can resolve."""
+    """A set of tables the binder can resolve.
+
+    Registering (or re-registering with fresh statistics) a table notifies
+    subscribers — the hook :class:`repro.service.cache.PlanCache` uses to
+    evict plans whose statistics went stale.
+    """
 
     def __init__(self):
         self._tables: Dict[str, TableStats] = {}
+        self._listeners: List[Callable[[str], object]] = []
+
+    def subscribe(self, callback: Callable[[str], object]) -> None:
+        """Call *callback(table_name)* whenever a table (re)registers."""
+        self._listeners.append(callback)
 
     def register(self, stats: TableStats) -> None:
         self._tables[stats.name.lower()] = stats
+        for callback in list(self._listeners):
+            callback(stats.name)
 
     def lookup(self, name: str) -> Optional[TableStats]:
         return self._tables.get(name.lower())

@@ -10,7 +10,7 @@ end-to-end correctness tests.
 """
 
 from repro.workload.unrank import count_trees, random_tree_shape, unrank_tree
-from repro.workload.generator import WorkloadConfig, generate_query
+from repro.workload.generator import WorkloadConfig, generate_query, generate_workload
 from repro.workload.data import generate_database
 
 __all__ = [
@@ -19,5 +19,6 @@ __all__ = [
     "random_tree_shape",
     "WorkloadConfig",
     "generate_query",
+    "generate_workload",
     "generate_database",
 ]

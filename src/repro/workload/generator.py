@@ -77,6 +77,30 @@ def generate_query(
     return Query(relations, edges, tree, group_by, aggregates)
 
 
+def generate_workload(
+    count: int,
+    n_relations: int,
+    rng: random.Random,
+    config: Optional[WorkloadConfig] = None,
+    unique: Optional[int] = None,
+) -> List[Query]:
+    """A batch of *count* random queries for the service-layer drivers.
+
+    *unique* bounds the number of distinct query shapes: production
+    traffic repeats shapes heavily (parameterised queries, dashboards),
+    so the default workload cycles ``unique`` distinct queries to length
+    *count*, shuffled — the repetition pattern plan caches feed on.
+    ``unique=None`` (or >= count) yields all-distinct queries.
+    """
+    if count < 1:
+        raise ValueError(f"workload size must be >= 1, got {count}")
+    distinct = count if unique is None else max(1, min(unique, count))
+    shapes = [generate_query(n_relations, rng, config) for _ in range(distinct)]
+    batch = [shapes[i % distinct] for i in range(count)]
+    rng.shuffle(batch)
+    return batch
+
+
 def _random_relation(index: int, rng: random.Random, config: WorkloadConfig) -> RelationInfo:
     name = f"r{index}"
     cardinality = float(

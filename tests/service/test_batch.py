@@ -1,0 +1,119 @@
+"""Batch driver: ordering, dedup, cache reuse, and parallel equivalence."""
+
+import random
+
+import pytest
+
+from repro.optimizer import optimize
+from repro.service import PlanCache, optimize_many, run_batch
+from repro.workload import generate_query, generate_workload
+
+
+def workload(count, unique=None, n=4, seed=7):
+    return generate_workload(count, n, random.Random(seed), unique=unique)
+
+
+class TestSerialDriver:
+    def test_results_in_submission_order_with_matching_costs(self):
+        queries = workload(6)
+        items = list(optimize_many(queries, workers=1))
+        assert [item.index for item in items] == list(range(6))
+        for item, query in zip(items, queries):
+            assert item.cost == optimize(query).cost
+            assert item.result.strategy == "ea-prune"
+
+    def test_within_batch_dedup_without_cache(self):
+        queries = workload(9, unique=3)
+        items = list(optimize_many(queries, workers=1, cache=None))
+        assert sum(1 for item in items if not item.cache_hit) == 3
+        assert sum(1 for item in items if item.cache_hit) == 6
+        # Duplicates share the identical plan.
+        by_key = {}
+        for item in items:
+            by_key.setdefault(item.key, set()).add(item.cost)
+        assert all(len(costs) == 1 for costs in by_key.values())
+
+    def test_strategy_parameter_respected(self):
+        queries = workload(3)
+        items = list(optimize_many(queries, strategy="dphyp", workers=1))
+        assert all(item.result.strategy == "dphyp" for item in items)
+
+
+class TestCacheReuse:
+    def test_second_batch_is_all_hits(self):
+        queries = workload(8, unique=4)
+        cache = PlanCache(capacity=64)
+        first = run_batch(queries, workers=1, cache=cache)
+        second = run_batch(queries, workers=1, cache=cache)
+        assert first.hits == 4 and first.total == 8
+        assert second.hit_rate == 1.0
+        assert second.optimize_seconds == 0.0
+        assert cache.stats.puts == 4
+
+    def test_hits_marked_and_timed(self):
+        queries = workload(4, unique=2)
+        cache = PlanCache(capacity=64)
+        list(optimize_many(queries, workers=1, cache=cache))
+        items = list(optimize_many(queries, workers=1, cache=cache))
+        assert all(item.cache_hit for item in items)
+        assert all(item.result.cache_hit for item in items)
+
+    def test_invalidation_forces_recomputation(self):
+        queries = workload(3, unique=1)
+        cache = PlanCache(capacity=64)
+        run_batch(queries, workers=1, cache=cache)
+        relation = queries[0].relations[0].name
+        assert cache.invalidate(relation) == 1
+        report = run_batch(queries, workers=1, cache=cache)
+        assert report.hits == 2  # one fresh run, two within-batch reuses
+
+    def test_cache_shared_across_strategies_without_collision(self):
+        queries = workload(2, unique=1)
+        cache = PlanCache(capacity=64)
+        run_batch(queries, strategy="ea-prune", workers=1, cache=cache)
+        report = run_batch(queries, strategy="dphyp", workers=1, cache=cache)
+        assert report.hits == 1  # dphyp must re-optimize, not reuse ea-prune
+        assert cache.stats.puts == 2
+
+
+class TestParallelDriver:
+    def test_parallel_matches_serial_costs(self):
+        queries = workload(6, n=4, seed=11)
+        serial = [item.cost for item in optimize_many(queries, workers=1)]
+        parallel = [item.cost for item in optimize_many(queries, workers=2)]
+        assert parallel == serial
+
+    def test_parallel_with_cache_and_duplicates(self):
+        queries = workload(10, unique=4, seed=13)
+        cache = PlanCache(capacity=64)
+        report = run_batch(queries, workers=2, cache=cache)
+        assert report.total == 10
+        assert report.total - report.hits == 4
+        for item, query in zip(report.items, queries):
+            assert item.cost == optimize(query).cost
+
+    def test_streaming_preserves_order(self):
+        queries = workload(5, seed=17)
+        indices = [item.index for item in optimize_many(queries, workers=2)]
+        assert indices == [0, 1, 2, 3, 4]
+
+
+class TestReport:
+    def test_report_metrics(self):
+        queries = workload(6, unique=2, seed=19)
+        report = run_batch(queries, workers=1, cache=PlanCache(capacity=8))
+        assert report.total == 6
+        assert report.hits == 4
+        assert report.hit_rate == pytest.approx(4 / 6)
+        assert report.wall_seconds > 0
+        assert report.queries_per_second > 0
+        assert report.optimize_seconds > 0
+        assert report.cache_stats is not None
+        assert report.cache_stats.puts == 2
+
+    def test_single_query_batch(self):
+        query = generate_query(3, random.Random(23))
+        report = run_batch([query], workers=1)
+        assert report.total == 1
+        assert report.hits == 0
+        assert report.items[0].cost == optimize(query).cost

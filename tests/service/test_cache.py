@@ -1,0 +1,151 @@
+"""PlanCache behaviour: hits, LRU eviction, invalidation, catalog hook."""
+
+import pytest
+
+from repro.service import PlanCache
+from repro.service.fingerprint import PlanCacheKey
+from repro.sql.catalog import Catalog, TableStats
+
+
+def key(tag: str, snapshot: str = "snap") -> PlanCacheKey:
+    return PlanCacheKey(fingerprint=tag, snapshot=snapshot, strategy="ea-prune")
+
+
+class Plan:
+    """Stand-in for an OptimizationResult (the cache never inspects it)."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+
+class TestHitsAndMisses:
+    def test_miss_then_hit(self):
+        cache = PlanCache(capacity=4)
+        k = key("q1")
+        assert cache.get(k) is None
+        cache.put(k, Plan("p1"), relations=["orders"])
+        assert cache.get(k).tag == "p1"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_snapshot_is_part_of_the_key(self):
+        cache = PlanCache(capacity=4)
+        cache.put(key("q1", "old-stats"), Plan("stale"))
+        assert cache.get(key("q1", "new-stats")) is None
+
+    def test_stats_idle(self):
+        assert PlanCache().stats.hit_rate == 0.0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+
+
+class TestEviction:
+    def test_lru_evicts_oldest(self):
+        cache = PlanCache(capacity=2)
+        cache.put(key("a"), Plan("a"))
+        cache.put(key("b"), Plan("b"))
+        cache.put(key("c"), Plan("c"))
+        assert cache.get(key("a")) is None
+        assert cache.get(key("b")) is not None
+        assert cache.get(key("c")) is not None
+        assert cache.stats.evictions == 1
+        assert len(cache) == 2
+
+    def test_get_refreshes_recency(self):
+        cache = PlanCache(capacity=2)
+        cache.put(key("a"), Plan("a"))
+        cache.put(key("b"), Plan("b"))
+        cache.get(key("a"))  # a becomes most recent
+        cache.put(key("c"), Plan("c"))
+        assert cache.get(key("a")) is not None
+        assert cache.get(key("b")) is None
+
+    def test_put_overwrites_in_place(self):
+        cache = PlanCache(capacity=2)
+        cache.put(key("a"), Plan("v1"))
+        cache.put(key("a"), Plan("v2"))
+        assert len(cache) == 1
+        assert cache.get(key("a")).tag == "v2"
+        assert cache.stats.evictions == 0
+
+
+class TestInvalidation:
+    def make_cache(self):
+        cache = PlanCache(capacity=8)
+        cache.put(key("q1"), Plan("p1"), relations=["orders", "lineitem"])
+        cache.put(key("q2"), Plan("p2"), relations=["customer"])
+        cache.put(key("q3"), Plan("p3"), relations=["ORDERS"])
+        return cache
+
+    def test_invalidate_by_relation(self):
+        cache = self.make_cache()
+        assert cache.invalidate("orders") == 2  # q1 and q3, case-insensitive
+        assert cache.get(key("q1")) is None
+        assert cache.get(key("q2")) is not None
+        assert cache.stats.invalidations == 2
+
+    def test_invalidate_everything(self):
+        cache = self.make_cache()
+        assert cache.invalidate() == 3
+        assert len(cache) == 0
+
+    def test_invalidate_unknown_relation_is_noop(self):
+        cache = self.make_cache()
+        assert cache.invalidate("nation") == 0
+        assert len(cache) == 3
+
+    def test_relations_recorded(self):
+        cache = self.make_cache()
+        assert cache.relations_of(key("q1")) == frozenset({"orders", "lineitem"})
+        assert cache.relations_of(key("missing")) == frozenset()
+
+
+class TestCatalogHook:
+    def stats(self, name: str, rows: float) -> TableStats:
+        return TableStats(name=name, columns=("a", "b"), cardinality=rows)
+
+    def test_catalog_change_evicts_watching_cache(self):
+        catalog = Catalog()
+        catalog.register(self.stats("orders", 100.0))
+
+        cache = PlanCache(capacity=8)
+        cache.watch(catalog)
+        cache.put(key("q1"), Plan("p1"), relations=["orders"])
+        cache.put(key("q2"), Plan("p2"), relations=["customer"])
+
+        catalog.register(self.stats("orders", 500.0))  # statistics update
+        assert cache.get(key("q1")) is None
+        assert cache.get(key("q2")) is not None
+        assert cache.stats.invalidations == 1
+
+    def test_unrelated_change_keeps_entries(self):
+        catalog = Catalog()
+        cache = PlanCache(capacity=8)
+        cache.watch(catalog)
+        cache.put(key("q1"), Plan("p1"), relations=["orders"])
+        catalog.register(self.stats("nation", 25.0))
+        assert cache.get(key("q1")) is not None
+
+
+class TestIntrospection:
+    def test_describe_metrics(self):
+        cache = PlanCache(capacity=4)
+        cache.put(key("a"), Plan("a"))
+        cache.get(key("a"))
+        cache.get(key("b"))
+        metrics = cache.describe()
+        assert metrics["size"] == 1.0
+        assert metrics["capacity"] == 4.0
+        assert metrics["hits"] == 1.0
+        assert metrics["misses"] == 1.0
+        assert metrics["hit_rate"] == 0.5
+
+    def test_clear(self):
+        cache = PlanCache(capacity=4)
+        cache.put(key("a"), Plan("a"))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.keys() == ()

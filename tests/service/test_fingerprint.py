@@ -1,0 +1,148 @@
+"""Fingerprint stability: renaming and reordering must not change the key."""
+
+from repro.aggregates.calls import count_star, sum_
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra.expressions import Attr, BinOp, Const, Logical
+from repro.query.spec import JoinEdge, Query, RelationInfo
+from repro.query.tree import TreeLeaf, TreeNode
+from repro.rewrites.pushdown import OpKind
+from repro.service import cache_key, cardinality_snapshot, query_fingerprint
+
+
+def make_relation(name, cardinality=1000.0):
+    attrs = (f"{name}.id", f"{name}.j", f"{name}.g", f"{name}.a")
+    return RelationInfo(
+        name=name,
+        attributes=attrs,
+        cardinality=cardinality,
+        distinct={f"{name}.id": cardinality, f"{name}.g": 10.0},
+        keys=(frozenset({f"{name}.id"}),),
+    )
+
+
+def make_query(
+    names=("r0", "r1", "r2"),
+    swap_equality=False,
+    flip_comparison=False,
+    local_order=(0, 1),
+    op0=OpKind.INNER,
+    join_attr0="j",
+    group_suffix="g",
+    selectivity0=0.01,
+    cardinality0=1000.0,
+):
+    """A 3-relation query, parameterised so tests can vary one axis at a time."""
+    a, b, c = names
+    relations = [make_relation(a, cardinality0), make_relation(b), make_relation(c)]
+
+    left, right = Attr(f"{a}.{join_attr0}"), Attr(f"{b}.j")
+    predicate0 = right.eq(left) if swap_equality else left.eq(right)
+    edge0 = JoinEdge(0, op0, predicate0, selectivity0)
+
+    if flip_comparison:
+        predicate1 = BinOp(">", Attr(f"{c}.g"), Attr(f"{b}.g"))
+    else:
+        predicate1 = BinOp("<", Attr(f"{b}.g"), Attr(f"{c}.g"))
+    edge1 = JoinEdge(1, OpKind.INNER, predicate1, 0.1)
+
+    tree = TreeNode(1, TreeNode(0, TreeLeaf(0), TreeLeaf(1)), TreeLeaf(2))
+
+    conjuncts = [Attr(f"{a}.g").eq(Const(3)), Attr(f"{a}.a").eq(Const(7))]
+    local = Logical("and", tuple(conjuncts[i] for i in local_order))
+
+    return Query(
+        relations,
+        [edge0, edge1],
+        tree,
+        group_by=(f"{a}.{group_suffix}",),
+        aggregates=AggVector([AggItem("cnt", count_star()), AggItem("s", sum_(f"{c}.a"))]),
+        local_predicates={0: (local, 0.05)},
+    )
+
+
+class TestRenamingStability:
+    def test_renamed_relations_share_fingerprint(self):
+        assert query_fingerprint(make_query()) == query_fingerprint(
+            make_query(names=("alpha", "beta", "gamma"))
+        )
+
+    def test_renamed_relations_share_snapshot(self):
+        assert cardinality_snapshot(make_query()) == cardinality_snapshot(
+            make_query(names=("alpha", "beta", "gamma"))
+        )
+
+    def test_renamed_relations_share_cache_key(self):
+        assert cache_key(make_query()) == cache_key(make_query(names=("x", "y", "z")))
+
+    def test_query_method_matches_function(self):
+        query = make_query()
+        assert query.fingerprint() == query_fingerprint(query)
+
+
+class TestReorderingStability:
+    def test_equality_operand_order_is_canonical(self):
+        assert query_fingerprint(make_query()) == query_fingerprint(
+            make_query(swap_equality=True)
+        )
+
+    def test_comparison_direction_is_canonical(self):
+        # b.g < c.g and c.g > b.g are the same predicate.
+        assert query_fingerprint(make_query()) == query_fingerprint(
+            make_query(flip_comparison=True)
+        )
+
+    def test_conjunct_order_is_canonical(self):
+        assert query_fingerprint(make_query()) == query_fingerprint(
+            make_query(local_order=(1, 0))
+        )
+
+
+class TestSensitivity:
+    def test_different_join_attribute_changes_fingerprint(self):
+        assert query_fingerprint(make_query()) != query_fingerprint(
+            make_query(join_attr0="a")
+        )
+
+    def test_different_operator_changes_fingerprint(self):
+        assert query_fingerprint(make_query()) != query_fingerprint(
+            make_query(op0=OpKind.LEFT_OUTER)
+        )
+
+    def test_different_grouping_changes_fingerprint(self):
+        assert query_fingerprint(make_query()) != query_fingerprint(
+            make_query(group_suffix="j")
+        )
+
+
+class TestSnapshotSeparation:
+    def test_statistics_change_snapshot_not_fingerprint(self):
+        base, changed = make_query(), make_query(cardinality0=5000.0)
+        assert query_fingerprint(base) == query_fingerprint(changed)
+        assert cardinality_snapshot(base) != cardinality_snapshot(changed)
+        assert cache_key(base) != cache_key(changed)
+
+    def test_selectivity_changes_snapshot_not_fingerprint(self):
+        base, changed = make_query(), make_query(selectivity0=0.5)
+        assert query_fingerprint(base) == query_fingerprint(changed)
+        assert cardinality_snapshot(base) != cardinality_snapshot(changed)
+
+
+class TestStrategyKeying:
+    def test_strategies_do_not_share_keys(self):
+        query = make_query()
+        assert cache_key(query, "ea-prune") != cache_key(query, "dphyp")
+
+    def test_h2_factor_participates(self):
+        query = make_query()
+        assert cache_key(query, "h2", factor=1.03) != cache_key(query, "h2", factor=1.5)
+
+    def test_factor_irrelevant_for_non_h2(self):
+        query = make_query()
+        assert cache_key(query, "ea-prune", factor=1.03) == cache_key(
+            query, "ea-prune", factor=1.5
+        )
+
+    def test_digest_is_stable_hex(self):
+        digest = cache_key(make_query()).digest()
+        assert len(digest) == 64
+        int(digest, 16)  # valid hex

@@ -49,3 +49,44 @@ class TestMain:
     def test_unknown_table_reports_error(self, capsys):
         assert main(["SELECT count(*) FROM nowhere GROUP BY x"]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_explicit_explain_subcommand(self, capsys):
+        assert main(["explain", SQL]) == 0
+        assert "Cout=" in capsys.readouterr().out
+
+
+class TestBatchSubcommand:
+    def test_random_workload_warms_cache(self, capsys):
+        assert main([
+            "batch", "--count", "6", "--relations", "3", "--unique", "2",
+            "--workers", "1", "--repeat", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batch 1:" in out and "batch 2:" in out
+        assert "cache hits=6 (100%)" in out  # second batch fully cached
+        assert "cache: 2/" in out
+
+    def test_no_cache_flag(self, capsys):
+        assert main([
+            "batch", "--count", "4", "--relations", "3", "--workers", "1",
+            "--repeat", "1", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cache=off" in out
+        assert "cache:" not in out
+        assert "deduped=" in out  # in-batch reuse is not a cache hit
+        assert "cache hits" not in out
+
+    def test_sql_file_workload(self, tmp_path, capsys):
+        sql_file = tmp_path / "queries.sql"
+        sql_file.write_text("# comment\n" + SQL + "\n\n" + SQL + "\n")
+        assert main([
+            "batch", "--sql-file", str(sql_file), "--workers", "1", "--repeat", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2 queries" in out
+        assert "optimized=1" in out  # identical statements dedup to one run
+
+    def test_missing_sql_file_reports_error(self, capsys):
+        assert main(["batch", "--sql-file", "/nonexistent.sql"]) == 1
+        assert "error:" in capsys.readouterr().err
