@@ -132,13 +132,14 @@ def run_explain(argv) -> int:
         from repro.optimizer import prepare
 
         prepared = prepare(query)
+        results = {}
         for strategy in STRATEGIES:
-            result = optimize(query, strategy, factor=args.factor, prepared=prepared)
+            results[strategy] = optimize(query, strategy, factor=args.factor, prepared=prepared)
             print(
-                f"{strategy:10s} {result.cost:16,.0f} "
-                f"{result.elapsed_seconds * 1000:8.2f}ms"
+                f"{strategy:10s} {results[strategy].cost:16,.0f} "
+                f"{results[strategy].elapsed_seconds * 1000:8.2f}ms"
             )
-        best = optimize(query, "ea-prune", factor=args.factor, prepared=prepared)
+        best = results["ea-prune"]
     else:
         best = optimize(query, args.strategy, factor=args.factor)
         print(

@@ -44,8 +44,13 @@ class OptimizationResult:
         return self.plan.cost
 
     def as_cache_hit(self) -> "OptimizationResult":
-        """A copy marked as served from a plan cache."""
-        return replace(self, cache_hit=True)
+        """A copy marked as served from a plan cache.
+
+        ``elapsed_seconds`` is zeroed — serving the copy cost a dictionary
+        lookup, not the original run's time.  ``ccp_count``, ``plans_built``
+        and ``table_sizes`` still describe the run that produced the plan.
+        """
+        return replace(self, cache_hit=True, elapsed_seconds=0.0)
 
 
 @dataclass(frozen=True)
@@ -102,17 +107,11 @@ def optimize(
     key = None
     if cache is not None:
         from repro.service.fingerprint import cache_key
-        from repro.service.rebind import rebind_result
 
         key = cache_key(query, chosen)
-        hit = cache.lookup(key)
-        if hit is not None:
-            result, binding = hit
-            if binding is not None:
-                # The entry may come from a renamed-but-isomorphic query;
-                # re-express its plan in *this* query's names.
-                result = rebind_result(result, binding, query)
-            return result.as_cache_hit()
+        served = cache.serve(key, query)
+        if served is not None:
+            return served
 
     start = time.perf_counter()
 
@@ -172,14 +171,7 @@ def optimize(
         table_sizes={mask: len(plans) for mask, plans in table.items()},
     )
     if cache is not None and key is not None:
-        from repro.service.rebind import query_binding
-
-        cache.put(
-            key,
-            result,
-            relations=(rel.source_table for rel in query.relations),
-            binding=query_binding(query),
-        )
+        cache.store(key, query, result)
     return result
 
 

@@ -239,16 +239,6 @@ class Query:
                 needed.update(src_in)
         return frozenset(needed)
 
-    def fingerprint(self) -> str:
-        """Structural identity of this query (see :mod:`repro.service.fingerprint`).
-
-        Stable under relation/attribute renaming and predicate reordering —
-        the key the service layer caches plans under.
-        """
-        from repro.service.fingerprint import query_fingerprint
-
-        return query_fingerprint(self)
-
     def __repr__(self) -> str:
         return (
             f"Query({len(self.relations)} relations, {len(self.edges)} edges, "

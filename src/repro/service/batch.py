@@ -138,30 +138,16 @@ def optimize_many(
         scheduled.add(key)
         if cache is not None:
             started = time.perf_counter()
-            hit = cache.lookup(key)
-            if hit is not None:
-                result, binding = hit
-                if binding is not None:
-                    # The entry may come from a renamed-but-isomorphic
-                    # query; re-express its plan in this query's names.
-                    result = rebind_result(result, binding, query)
-                resolved[key] = (
-                    result.as_cache_hit(),
-                    time.perf_counter() - started,
-                    query_binding(query),
-                )
+            served = cache.serve(key, query)
+            if served is not None:
+                resolved[key] = (served, time.perf_counter() - started, query_binding(query))
                 continue
         miss_order.append(key)
         miss_payload.append((query, strategy, factor))
 
     def finish(key: PlanCacheKey, query: Query, result: OptimizationResult) -> None:
         if cache is not None:
-            cache.put(
-                key,
-                result,
-                relations=(rel.source_table for rel in query.relations),
-                binding=query_binding(query),
-            )
+            cache.store(key, query, result)
         resolved[key] = (result, result.elapsed_seconds, query_binding(query))
 
     computed: set = set()

@@ -2,11 +2,14 @@
 
 DP plan generation is by far the most expensive step of serving a query
 (Fig. 16: seconds per query at larger relation counts), while the inputs
-repeat heavily in production traffic — parameterised queries differ only
-in constants, and dashboards re-issue identical shapes.  Caching the
+repeat heavily in production traffic — dashboards and applications
+re-issue the same query shapes, differing at most in relation/attribute
+naming or predicate spelling.  Caching the
 :class:`~repro.optimizer.driver.OptimizationResult` under the structural
 fingerprint of :mod:`repro.service.fingerprint` turns those repeats into
-dictionary lookups.
+dictionary lookups.  (Constant *values* are part of the fingerprint:
+queries differing in constants are different problems — their plans embed
+the constants — so they intentionally miss.)
 
 Correctness hinges on invalidation: a cached plan embeds cost and
 cardinality decisions derived from catalog statistics, so the key includes
@@ -21,7 +24,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.service.fingerprint import PlanCacheKey
 
@@ -108,6 +111,41 @@ class PlanCache:
             self.stats.hits += 1
             return entry.result, entry.binding
 
+    def serve(self, key: PlanCacheKey, query) -> Optional["OptimizationResult"]:
+        """The cached result for *key*, re-expressed in *query*'s names.
+
+        The one serving entry point shared by :func:`repro.optimizer.optimize`
+        and the batch driver: probes once (statistics update exactly as
+        :meth:`lookup`), rebinds the stored plan to *query*'s naming when the
+        entry came from a renamed-but-isomorphic query, and marks the copy
+        as a cache hit.  Returns None on miss.
+        """
+        from repro.service.rebind import rebind_result
+
+        found = self.lookup(key)
+        if found is None:
+            return None
+        result, binding = found
+        if binding is not None:
+            result = rebind_result(result, binding, query)
+        return result.as_cache_hit()
+
+    def store(self, key: PlanCacheKey, query, result: "OptimizationResult") -> None:
+        """Store a freshly computed *result* for *query* under *key*.
+
+        The counterpart of :meth:`serve`: records the base tables the plan
+        scans (the handle eager invalidation grabs) and *query*'s naming
+        (so renamed-but-isomorphic hits can be rebound).
+        """
+        from repro.service.rebind import query_binding
+
+        self.put(
+            key,
+            result,
+            relations=(rel.source_table for rel in query.relations),
+            binding=query_binding(query),
+        )
+
     def put(
         self,
         key: PlanCacheKey,
@@ -168,15 +206,19 @@ class PlanCache:
             self.stats.invalidations += removed
             return removed
 
-    def watch(self, catalog) -> None:
+    def watch(self, catalog) -> Callable[[], None]:
         """Subscribe to *catalog* so statistics changes evict stale plans.
 
         The catalog calls back with the changed table name; entries whose
         plans scan that table are dropped.  (Entries keyed under the old
         statistics would miss anyway via the snapshot — watching reclaims
         their memory immediately and keeps the hit-rate signal honest.)
+
+        Returns the catalog's unsubscribe handle; call it to detach the
+        cache (e.g. before discarding a short-lived cache so the catalog
+        does not keep it alive).
         """
-        catalog.subscribe(self.invalidate)
+        return catalog.subscribe(self.invalidate)
 
     # -- introspection -------------------------------------------------------
     def keys(self) -> Tuple[PlanCacheKey, ...]:

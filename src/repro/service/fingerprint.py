@@ -36,7 +36,7 @@ from repro.aggregates.calls import AggCall
 from repro.aggregates.vector import AggVector
 from repro.optimizer.strategies import Strategy, make_strategy
 from repro.query.spec import Query
-from repro.query.tree import Tree, TreeLeaf
+from repro.query.tree import Tree, TreeLeaf, tree_operators
 
 #: comparison directions normalised away: ``a > b`` ≡ ``b < a``.
 _FLIP = {">": "<", ">=": "<="}
@@ -122,6 +122,13 @@ class _Canonicalizer:
             f"{self.tree(tree.left)} {self.tree(tree.right)})"
         )
 
+    # -- floating (cycle-closing) edges --------------------------------------
+    def floating_edge(self, edge_id: int) -> str:
+        """The canonical ``(op predicate)`` form shared by fingerprint and
+        snapshot — both must key a floating edge identically."""
+        edge = self.query.edge(edge_id)
+        return f"({edge.op.name} {self.expr(edge.predicate)})"
+
 
 def query_fingerprint(query: Query) -> str:
     """Structural fingerprint of *query* (sha256 hex).
@@ -134,10 +141,7 @@ def query_fingerprint(query: Query) -> str:
     parts: List[str] = [f"n={len(query.relations)}"]
     parts.append("arity=" + ",".join(str(len(rel.attributes)) for rel in query.relations))
     parts.append("tree=" + canon.tree(query.tree))
-    floating = sorted(
-        f"({query.edge(eid).op.name} {canon.expr(query.edge(eid).predicate)})"
-        for eid in query.floating_edge_ids
-    )
+    floating = sorted(canon.floating_edge(eid) for eid in query.floating_edge_ids)
     parts.append("floating=" + ";".join(floating))
     parts.append("local=" + ";".join(
         f"{vertex}:{canon.expr(pred)}"
@@ -154,7 +158,17 @@ def cardinality_snapshot(query: Query) -> str:
     Covers relation cardinalities, per-attribute distinct counts (by
     position), declared keys, and edge / local-predicate selectivities.
     Unchanged by renaming; changed by any catalog statistics update.
+
+    Each selectivity is keyed to its edge's *canonical structural
+    identity* — tree edges by their position in the same pre-order
+    traversal :func:`query_fingerprint` serializes, floating edges by
+    their canonical ``(op predicate)`` form — never by edge-list storage
+    order.  The fingerprint is storage-order invariant, so a
+    storage-ordered selectivity list would let two different problems
+    (same structure, selectivities attached to different predicates)
+    share a full cache key and serve each other's plans.
     """
+    canon = _Canonicalizer(query)
     parts: List[str] = []
     for vertex, rel in enumerate(query.relations):
         positions = {attr: i for i, attr in enumerate(rel.attributes)}
@@ -165,7 +179,18 @@ def cardinality_snapshot(query: Query) -> str:
             ",".join(sorted(str(positions[a]) for a in key)) for key in rel.keys
         ))
         parts.append(f"{vertex}|{rel.cardinality:.6g}|{distinct}|{keys}")
-    parts.append("sel=" + ",".join(f"{edge.selectivity:.9g}" for edge in query.edges))
+
+    # tree_operators (STO) yields operator nodes in the same pre-order
+    # _Canonicalizer.tree serializes, so slot i here pairs with the
+    # fingerprint's i-th tree operator — never with edge-list order.
+    parts.append("treesel=" + ",".join(
+        f"{query.edge(node.edge_id).selectivity:.9g}" for node in tree_operators(query.tree)
+    ))
+    floating = sorted(
+        f"{canon.floating_edge(eid)}:{query.edge(eid).selectivity:.9g}"
+        for eid in query.floating_edge_ids
+    )
+    parts.append("floatsel=" + ";".join(floating))
     parts.append("localsel=" + ",".join(
         f"{vertex}:{sel:.9g}" for vertex, (_pred, sel) in sorted(query.local_predicates.items())
     ))

@@ -32,14 +32,35 @@ class Catalog:
         self._tables: Dict[str, TableStats] = {}
         self._listeners: List[Callable[[str], object]] = []
 
-    def subscribe(self, callback: Callable[[str], object]) -> None:
-        """Call *callback(table_name)* whenever a table (re)registers."""
+    def subscribe(self, callback: Callable[[str], object]) -> Callable[[], None]:
+        """Call *callback(table_name)* whenever a table (re)registers.
+
+        Returns an unsubscribe handle; calling it detaches the callback
+        (idempotent), releasing the catalog's reference to it.
+        """
         self._listeners.append(callback)
+        detached = False
+
+        def unsubscribe() -> None:
+            # One-shot: a second call must not detach another subscription
+            # that registered an equal callback.
+            nonlocal detached
+            if detached:
+                return
+            detached = True
+            self._listeners.remove(callback)
+
+        return unsubscribe
 
     def register(self, stats: TableStats) -> None:
         self._tables[stats.name.lower()] = stats
         for callback in list(self._listeners):
-            callback(stats.name)
+            try:
+                callback(stats.name)
+            except Exception:
+                # A misbehaving subscriber must not fail table registration
+                # or starve the remaining subscribers.
+                continue
 
     def lookup(self, name: str) -> Optional[TableStats]:
         return self._tables.get(name.lower())

@@ -58,6 +58,18 @@ class TestCacheReuse:
         assert all(item.cache_hit for item in items)
         assert all(item.result.cache_hit for item in items)
 
+    def test_cache_hit_results_report_zero_elapsed(self):
+        queries = workload(2, unique=1)
+        cache = PlanCache(capacity=64)
+        fresh = optimize(queries[0], cache=cache)
+        served = optimize(queries[1], cache=cache)
+        assert fresh.elapsed_seconds > 0
+        assert served.cache_hit
+        assert served.elapsed_seconds == 0.0  # a lookup, not a re-run
+        # The work counters still describe the run that built the plan.
+        assert served.ccp_count == fresh.ccp_count
+        assert served.plans_built == fresh.plans_built
+
     def test_invalidation_forces_recomputation(self):
         queries = workload(3, unique=1)
         cache = PlanCache(capacity=64)

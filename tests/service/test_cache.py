@@ -129,6 +129,40 @@ class TestCatalogHook:
         catalog.register(self.stats("nation", 25.0))
         assert cache.get(key("q1")) is not None
 
+    def test_watch_returns_unsubscribe_handle(self):
+        catalog = Catalog()
+        cache = PlanCache(capacity=8)
+        unsubscribe = cache.watch(catalog)
+        cache.put(key("q1"), Plan("p1"), relations=["orders"])
+        unsubscribe()
+        catalog.register(self.stats("orders", 500.0))
+        assert cache.get(key("q1")) is not None  # detached: no eviction
+        unsubscribe()  # idempotent
+
+    def test_double_unsubscribe_keeps_equal_subscriptions(self):
+        catalog = Catalog()
+        cache = PlanCache(capacity=8)
+        first = cache.watch(catalog)
+        cache.watch(catalog)  # a second, equal callback
+        first()
+        first()  # one-shot: must not detach the second subscription
+        cache.put(key("q1"), Plan("p1"), relations=["orders"])
+        catalog.register(self.stats("orders", 500.0))
+        assert cache.get(key("q1")) is None  # still watching
+
+    def test_raising_subscriber_does_not_break_registration(self):
+        catalog = Catalog()
+        seen = []
+
+        def bad(_name):
+            raise RuntimeError("boom")
+
+        catalog.subscribe(bad)
+        catalog.subscribe(seen.append)
+        catalog.register(self.stats("orders", 100.0))  # must not raise
+        assert catalog.lookup("orders") is not None
+        assert seen == ["orders"]  # later subscribers still notified
+
 
 class TestIntrospection:
     def test_describe_metrics(self):

@@ -74,10 +74,6 @@ class TestRenamingStability:
     def test_renamed_relations_share_cache_key(self):
         assert cache_key(make_query()) == cache_key(make_query(names=("x", "y", "z")))
 
-    def test_query_method_matches_function(self):
-        query = make_query()
-        assert query.fingerprint() == query_fingerprint(query)
-
 
 class TestReorderingStability:
     def test_equality_operand_order_is_canonical(self):
@@ -125,6 +121,75 @@ class TestSnapshotSeparation:
         base, changed = make_query(), make_query(selectivity0=0.5)
         assert query_fingerprint(base) == query_fingerprint(changed)
         assert cardinality_snapshot(base) != cardinality_snapshot(changed)
+
+
+class TestSelectivityStructuralKeying:
+    """Selectivities must be keyed to edges structurally, not by storage order.
+
+    The fingerprint is storage-order invariant, so a snapshot that hashes
+    selectivities in edge-list order loses the predicate→selectivity
+    association: two different problems whose edge lists are permuted can
+    share a full cache key and silently serve each other's plans.
+    """
+
+    @staticmethod
+    def _tree_query(inner_sel, outer_sel, swap_storage=False):
+        """P joins r0–r1 (inner tree position), Q joins (r0r1)–r2 (root)."""
+        relations = [make_relation(n) for n in ("r0", "r1", "r2")]
+        p = Attr("r0.j").eq(Attr("r1.j"))
+        q = BinOp("<", Attr("r1.g"), Attr("r2.g"))
+        if swap_storage:
+            # edge 0 = Q at the root, edge 1 = P at the inner position.
+            edges = [JoinEdge(0, OpKind.INNER, q, outer_sel), JoinEdge(1, OpKind.INNER, p, inner_sel)]
+            tree = TreeNode(0, TreeNode(1, TreeLeaf(0), TreeLeaf(1)), TreeLeaf(2))
+        else:
+            edges = [JoinEdge(0, OpKind.INNER, p, inner_sel), JoinEdge(1, OpKind.INNER, q, outer_sel)]
+            tree = TreeNode(1, TreeNode(0, TreeLeaf(0), TreeLeaf(1)), TreeLeaf(2))
+        return Query(relations, edges, tree, group_by=("r0.g",), aggregates=AggVector([AggItem("cnt", count_star())]))
+
+    def test_tree_position_selectivity_swap_changes_key(self):
+        # Both queries store selectivities as [0.9, 0.001] in edge-list
+        # order, but A puts 0.001 on the inner join and B puts 0.9 there.
+        a = self._tree_query(inner_sel=0.001, outer_sel=0.9, swap_storage=True)
+        b = self._tree_query(inner_sel=0.9, outer_sel=0.001, swap_storage=False)
+        assert query_fingerprint(a) == query_fingerprint(b)  # same structure
+        assert cardinality_snapshot(a) != cardinality_snapshot(b)
+        assert cache_key(a) != cache_key(b)
+
+    def test_tree_edge_storage_order_is_irrelevant(self):
+        # The same problem spelled with permuted edge ids must share the key.
+        a = self._tree_query(inner_sel=0.001, outer_sel=0.9, swap_storage=False)
+        b = self._tree_query(inner_sel=0.001, outer_sel=0.9, swap_storage=True)
+        assert cache_key(a) == cache_key(b)
+
+    @staticmethod
+    def _cyclic_query(p_sel, q_sel, swap_storage=False):
+        """A cycle: tree edges r0–r1 and (r0r1)–r2, floating P and Q on r0–r2."""
+        relations = [make_relation(n) for n in ("r0", "r1", "r2")]
+        p = Attr("r0.a").eq(Attr("r2.a"))
+        q = Attr("r0.g").eq(Attr("r2.g"))
+        tree_e0 = JoinEdge(0, OpKind.INNER, Attr("r0.j").eq(Attr("r1.j")), 0.01)
+        tree_e1 = JoinEdge(1, OpKind.INNER, Attr("r1.g").eq(Attr("r2.g")), 0.1)
+        if swap_storage:
+            floating = [JoinEdge(2, OpKind.INNER, q, q_sel), JoinEdge(3, OpKind.INNER, p, p_sel)]
+        else:
+            floating = [JoinEdge(2, OpKind.INNER, p, p_sel), JoinEdge(3, OpKind.INNER, q, q_sel)]
+        tree = TreeNode(1, TreeNode(0, TreeLeaf(0), TreeLeaf(1)), TreeLeaf(2))
+        return Query(relations, [tree_e0, tree_e1, *floating], tree, group_by=("r0.g",), aggregates=AggVector([AggItem("cnt", count_star())]))
+
+    def test_floating_edge_selectivity_swap_changes_key(self):
+        # Storage-ordered selectivities are [.., .., 0.001, 0.9] for both,
+        # but A attaches 0.001 to predicate P and B attaches it to Q.
+        a = self._cyclic_query(p_sel=0.001, q_sel=0.9, swap_storage=True)
+        b = self._cyclic_query(p_sel=0.9, q_sel=0.001, swap_storage=False)
+        assert query_fingerprint(a) == query_fingerprint(b)  # same structure
+        assert cardinality_snapshot(a) != cardinality_snapshot(b)
+        assert cache_key(a) != cache_key(b)
+
+    def test_floating_edge_storage_order_is_irrelevant(self):
+        a = self._cyclic_query(p_sel=0.001, q_sel=0.9, swap_storage=False)
+        b = self._cyclic_query(p_sel=0.001, q_sel=0.9, swap_storage=True)
+        assert cache_key(a) == cache_key(b)
 
 
 class TestStrategyKeying:
