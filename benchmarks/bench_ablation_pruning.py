@@ -17,11 +17,15 @@ import statistics
 import pytest
 
 from benchmarks.conftest import register_report, workload
-from repro.optimizer import optimize
+from repro.api import OptimizerConfig, PlannerSession
 from repro.optimizer.strategies import EaPruneStrategy
 
 SIZES = (4, 5, 6)
 CRITERIA = ("cost-only", "cost-card", "full")
+
+#: shared uncached session — benchmarks time the optimizer, so plan-cache
+#: hits would corrupt every measurement.
+SESSION = PlannerSession(config=OptimizerConfig(cache_capacity=None))
 
 
 def _sweep():
@@ -30,13 +34,13 @@ def _sweep():
         regressions = {c: [] for c in CRITERIA}
         table_sizes = {c: [] for c in CRITERIA}
         for query in workload(n):
-            optimal = optimize(query, "ea-all")
+            optimal = SESSION.optimize(query, strategy="ea-all")
             for criteria in CRITERIA:
-                result = optimize(query, EaPruneStrategy(criteria))
+                result = SESSION.optimize(query, strategy=EaPruneStrategy(criteria))
                 regressions[criteria].append(
                     result.cost / optimal.cost if optimal.cost > 0 else 1.0
                 )
-                table_sizes[criteria].append(sum(result.table_sizes.values()))
+                table_sizes[criteria].append(sum(result.result.table_sizes.values()))
         rows.append(
             (
                 n,
@@ -78,8 +82,9 @@ def test_ablation_cost_only_can_lose_optimality(benchmark):
         worst = 1.0
         for n in (4, 5, 6, 7):
             for query in workload(n):
-                optimal = optimize(query, "ea-all") if n <= 6 else optimize(query, "ea-prune")
-                pruned = optimize(query, EaPruneStrategy("cost-only"))
+                optimal = (SESSION.optimize(query, strategy="ea-all") if n <= 6
+                           else SESSION.optimize(query, strategy="ea-prune"))
+                pruned = SESSION.optimize(query, strategy=EaPruneStrategy("cost-only"))
                 if optimal.cost > 0:
                     worst = max(worst, pruned.cost / optimal.cost)
         return worst

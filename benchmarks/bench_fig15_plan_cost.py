@@ -11,9 +11,13 @@ import statistics
 import pytest
 
 from benchmarks.conftest import MAX_N, register_report, workload
-from repro.optimizer import optimize
+from repro.api import OptimizerConfig, PlannerSession
 
 SIZES = tuple(range(3, MAX_N + 1))
+
+#: shared uncached session — benchmarks time the optimizer, so plan-cache
+#: hits would corrupt every measurement.
+SESSION = PlannerSession(config=OptimizerConfig(cache_capacity=None))
 
 
 def _sweep():
@@ -21,8 +25,8 @@ def _sweep():
     for n in SIZES:
         ratios = []
         for query in workload(n):
-            lazy = optimize(query, "dphyp").cost
-            optimal = optimize(query, "ea-prune").cost
+            lazy = SESSION.optimize(query, strategy="dphyp").cost
+            optimal = SESSION.optimize(query, strategy="ea-prune").cost
             ratios.append(max(lazy / optimal, 1e-12) if optimal > 0 else 1.0)
         # The ratio distribution is heavy-tailed (the paper reports an
         # outlier of 17,500×), so the geometric mean is the robust summary.
@@ -51,8 +55,8 @@ def test_fig15_pruning_preserves_optimality(benchmark):
 
     def check():
         for query in queries:
-            assert optimize(query, "ea-all").cost == pytest.approx(
-                optimize(query, "ea-prune").cost, rel=1e-9
+            assert SESSION.optimize(query, strategy="ea-all").cost == pytest.approx(
+                SESSION.optimize(query, strategy="ea-prune").cost, rel=1e-9
             )
 
     benchmark.pedantic(check, rounds=1, iterations=1)

@@ -12,9 +12,13 @@ import time
 import pytest
 
 from benchmarks.conftest import MAX_N, MAX_N_EA_ALL, register_report, workload
-from repro.optimizer import optimize
+from repro.api import OptimizerConfig, PlannerSession
 
 _RESULTS = {}
+
+#: shared uncached session — benchmarks time the optimizer, so plan-cache
+#: hits would corrupt every measurement.
+SESSION = PlannerSession(config=OptimizerConfig(cache_capacity=None))
 
 
 def _limit(strategy: str) -> int:
@@ -38,7 +42,7 @@ def test_fig16_runtime(benchmark, strategy, n):
 
     def run():
         for query in queries:
-            optimize(query, strategy)
+            SESSION.optimize(query, strategy=strategy)
 
     benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
     per_query = statistics.median(benchmark.stats.stats.data) / len(queries)

@@ -7,13 +7,15 @@ relations; worst observed factors 10.3 for H1 and 9.7 for H2).
 
 import statistics
 
-import pytest
-
 from benchmarks.conftest import MAX_N, register_report, workload
-from repro.optimizer import optimize
+from repro.api import OptimizerConfig, PlannerSession
 
 SIZES = tuple(range(3, MAX_N + 1))
 FACTORS = (1.01, 1.03, 1.05, 1.1)
+
+#: shared uncached session — benchmarks time the optimizer, so plan-cache
+#: hits would corrupt every measurement.
+SESSION = PlannerSession(config=OptimizerConfig(cache_capacity=None))
 
 
 def _sweep():
@@ -23,13 +25,13 @@ def _sweep():
         for factor in FACTORS:
             ratios[f"h2@{factor}"] = []
         for query in workload(n):
-            optimal = optimize(query, "ea-prune").cost
+            optimal = SESSION.optimize(query, strategy="ea-prune").cost
             if optimal <= 0:
                 continue
-            ratios["h1"].append(optimize(query, "h1").cost / optimal)
+            ratios["h1"].append(SESSION.optimize(query, strategy="h1").cost / optimal)
             for factor in FACTORS:
                 ratios[f"h2@{factor}"].append(
-                    optimize(query, "h2", factor=factor).cost / optimal
+                    SESSION.optimize(query, strategy="h2", factor=factor).cost / optimal
                 )
         rows.append((n, {k: statistics.mean(v) for k, v in ratios.items()}))
     return rows

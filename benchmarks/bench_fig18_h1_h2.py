@@ -10,10 +10,14 @@ import statistics
 import pytest
 
 from benchmarks.conftest import MAX_N, register_report, workload
-from repro.optimizer import optimize
+from repro.api import OptimizerConfig, PlannerSession
 
 SIZES = tuple(range(3, MAX_N + 1, 2))
 _RESULTS = {}
+
+#: shared uncached session — benchmarks time the optimizer, so plan-cache
+#: hits would corrupt every measurement.
+SESSION = PlannerSession(config=OptimizerConfig(cache_capacity=None))
 
 CASES = [(strategy, n) for strategy in ("h1", "h2") for n in SIZES]
 
@@ -24,7 +28,7 @@ def test_fig18_heuristic_runtime(benchmark, strategy, n):
 
     def run():
         for query in queries:
-            optimize(query, strategy, factor=1.03)
+            SESSION.optimize(query, strategy=strategy, factor=1.03)
 
     benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=1)
     _RESULTS[(strategy, n)] = statistics.median(benchmark.stats.stats.data) / len(queries)

@@ -37,8 +37,7 @@ if __name__ == "__main__":  # allow running without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-from repro.optimizer import optimize
-from repro.service import PlanCache, run_batch
+from repro.api import OptimizerConfig, PlannerSession
 from repro.workload import generate_workload
 
 #: >= 100 queries per the acceptance criterion; override for smoke runs.
@@ -53,14 +52,19 @@ def measure(workers: int | None = None, size: int = WORKLOAD_SIZE) -> dict:
     unique = max(1, size // 4)
     workload = generate_workload(size, N_RELATIONS, rng, unique=unique)
 
+    # The naive baseline plans through an *uncached* session so every
+    # query pays the full DP run.
+    baseline = PlannerSession(config=OptimizerConfig(cache_capacity=None))
     started = time.perf_counter()
     for query in workload:
-        optimize(query)
+        baseline.optimize(query)
     cold_serial_seconds = time.perf_counter() - started
 
-    cache = PlanCache(capacity=2 * size)
-    cold = run_batch(workload, workers=workers, cache=cache)
-    warm = run_batch(workload, workers=workers, cache=cache)
+    session = PlannerSession(
+        config=OptimizerConfig(workers=workers, cache_capacity=2 * size)
+    )
+    cold = session.run_batch(workload)
+    warm = session.run_batch(workload)
 
     return {
         "size": size,
@@ -69,7 +73,7 @@ def measure(workers: int | None = None, size: int = WORKLOAD_SIZE) -> dict:
         "cold_serial_qps": size / cold_serial_seconds,
         "cold_batch": cold,
         "warm_batch": warm,
-        "cache": cache,
+        "cache": session.cache,
     }
 
 
@@ -107,9 +111,11 @@ def test_batch_matches_single_query_costs():
     """The driver must not change *what* is planned, only how often."""
     rng = random.Random(1234)
     workload = generate_workload(12, N_RELATIONS, rng, unique=6)
-    report = run_batch(workload, cache=PlanCache(capacity=64))
+    session = PlannerSession(config=OptimizerConfig(cache_capacity=64))
+    report = session.run_batch(workload)
+    single = PlannerSession(config=OptimizerConfig(cache_capacity=None))
     for item, query in zip(report.items, workload):
-        assert item.cost == optimize(query).cost
+        assert item.cost == single.optimize(query).cost
 
 
 def main() -> int:

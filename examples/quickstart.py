@@ -7,9 +7,8 @@ from repro.aggregates.calls import AggCall, AggKind
 from repro.aggregates.vector import AggItem, AggVector
 from repro.algebra.expressions import Attr
 from repro.algebra.relation import Relation
+from repro.api import PlannerSession
 from repro.exec import execute
-from repro.optimizer import optimize
-from repro.plans import render_plan
 from repro.query.canonical import canonical_plan
 from repro.query.spec import JoinEdge, Query, RelationInfo
 from repro.query.tree import TreeLeaf, TreeNode
@@ -90,26 +89,28 @@ def main() -> None:
     print("Query:", query)
     print()
 
-    results = {}
-    for strategy in ("dphyp", "ea-all", "ea-prune", "h1", "h2"):
-        results[strategy] = optimize(query, strategy)
-    baseline = results["dphyp"].cost
+    # One session is the whole pipeline: statement → plan handles → execution.
+    session = PlannerSession(database=tiny_database())
+    statement = session.statement(query)
+    comparison = statement.optimize_all_strategies()
+    baseline = comparison["dphyp"].cost
     print(f"{'strategy':10s} {'Cout':>14s} {'vs DPhyp':>10s} {'time':>9s}")
-    for strategy, result in results.items():
+    for handle in comparison:
         print(
-            f"{strategy:10s} {result.cost:14.1f} {result.cost / baseline:10.3f}"
-            f" {result.elapsed_seconds * 1000:7.2f}ms"
+            f"{handle.strategy:10s} {handle.cost:14.1f} {handle.cost / baseline:10.3f}"
+            f" {handle.result.elapsed_seconds * 1000:7.2f}ms"
         )
     print()
-
-    best = results["ea-prune"]
-    print("Best plan (EA-Prune):")
-    print(render_plan(best.plan.node))
+    print(f"cheapest strategy: {comparison.winner}")
     print()
 
-    database = tiny_database()
-    canonical = execute(canonical_plan(query), database)
-    optimized = execute(best.plan.node, database)
+    best = comparison["ea-prune"]
+    print("Best plan (EA-Prune):")
+    print(best.explain())
+    print()
+
+    canonical = execute(canonical_plan(query), session.database)
+    optimized = best.execute()  # runs against the session's database
     assert optimized == canonical
     print("Executed on the micro database — optimized result matches canonical:")
     print(optimized.pretty())

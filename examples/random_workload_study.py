@@ -12,11 +12,14 @@ import statistics
 import sys
 import time
 
-from repro.optimizer import optimize
+from repro.api import OptimizerConfig, PlannerSession
 from repro.workload import generate_query
 
 SIZES = (3, 5, 7)
 STRATEGIES = ("dphyp", "ea-prune", "h1", "h2")
+
+# Uncached on purpose: the study times fresh optimizer runs.
+SESSION = PlannerSession(config=OptimizerConfig(cache_capacity=None))
 
 
 def main() -> None:
@@ -34,9 +37,9 @@ def main() -> None:
             query = generate_query(n, random.Random(seed * 7 + n))
             for strategy in STRATEGIES:
                 start = time.perf_counter()
-                result = optimize(query, strategy)
+                handle = SESSION.optimize(query, strategy=strategy)
                 times[strategy].append(time.perf_counter() - start)
-                costs[strategy].append(result.cost)
+                costs[strategy].append(handle.cost)
         # normalise costs per query by the optimum (ea-prune)
         rel = {s: [] for s in STRATEGIES}
         for i in range(per_size):

@@ -3,9 +3,7 @@
 Run:  python examples/sql_frontend.py
 """
 
-from repro.optimizer import optimize
-from repro.plans import render_plan
-from repro.sql import Catalog, parse_query
+from repro.api import PlannerSession
 
 EX = """
   SELECT ns.n_name, nc.n_name, count(*) AS cnt
@@ -27,26 +25,27 @@ Q10_LIKE = """
 """
 
 
-def explain(title: str, sql: str, catalog: Catalog) -> None:
+def explain(title: str, sql: str, session: PlannerSession) -> None:
     print("=" * 72)
     print(title)
     print(sql.strip())
     print()
-    query = parse_query(sql, catalog)
+    statement = session.sql(sql)  # parsed + conflict-detected once
     for strategy in ("dphyp", "ea-prune", "h2"):
-        result = optimize(query, strategy)
-        print(f"-- {strategy}: Cout = {result.cost:,.0f} "
-              f"({result.elapsed_seconds * 1000:.2f} ms, {result.ccp_count} ccps)")
-    best = optimize(query, "ea-prune")
+        handle = statement.optimize(strategy=strategy)
+        print(f"-- {strategy}: Cout = {handle.cost:,.0f} "
+              f"({handle.result.elapsed_seconds * 1000:.2f} ms, "
+              f"{handle.result.ccp_count} ccps)")
+    best = statement.optimize(strategy="ea-prune")
     print()
-    print(render_plan(best.plan.node))
+    print(best.explain())
     print()
 
 
 def main() -> None:
-    catalog = Catalog.from_tpch(scale_factor=1.0)
-    explain("Intro example (outerjoin barrier)", EX, catalog)
-    explain("Q10-like (returned items)", Q10_LIKE, catalog)
+    session = PlannerSession.tpch(scale_factor=1.0)
+    explain("Intro example (outerjoin barrier)", EX, session)
+    explain("Q10-like (returned items)", Q10_LIKE, session)
 
 
 if __name__ == "__main__":

@@ -15,9 +15,8 @@ make it valid, and the DP plan generator finds the plan automatically.
 Run:  python examples/tpch_outerjoin_groupby.py
 """
 
+from repro.api import PlannerSession
 from repro.exec import execute
-from repro.optimizer import optimize
-from repro.plans import render_plan
 from repro.query.canonical import canonical_plan
 from repro.tpch import build_ex, micro_database
 
@@ -27,15 +26,17 @@ def main() -> None:
     print("TPC-H Ex query (SF-1 statistics)")
     print()
 
-    lazy = optimize(query, "dphyp")
-    eager = optimize(query, "ea-prune")
+    session = PlannerSession(database=micro_database(query))
+    statement = session.statement(query)  # pre-pass shared by both runs
+    lazy = statement.optimize(strategy="dphyp")
+    eager = statement.optimize(strategy="ea-prune")
 
     print("Lazy plan (DPhyp — grouping stays above the outerjoin):")
-    print(render_plan(lazy.plan.node))
+    print(lazy.explain())
     print(f"  Cout = {lazy.cost:,.0f}")
     print()
     print("Eager plan (EA-Prune — grouping pushed through the barrier):")
-    print(render_plan(eager.plan.node))
+    print(eager.explain())
     print(f"  Cout = {eager.cost:,.0f}")
     print()
     ratio = eager.cost / lazy.cost
@@ -44,10 +45,9 @@ def main() -> None:
     print()
 
     # Execute both plans on deterministic micro data and compare.
-    database = micro_database(query)
-    canonical = execute(canonical_plan(query), database)
-    for name, result in (("lazy", lazy), ("eager", eager)):
-        output = execute(result.plan.node, database)
+    canonical = execute(canonical_plan(query), session.database)
+    for name, handle in (("lazy", lazy), ("eager", eager)):
+        output = handle.execute()
         assert output == canonical, f"{name} plan diverged!"
     print("Both plans executed on micro data; results are identical:")
     print(canonical.pretty())

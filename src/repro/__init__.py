@@ -7,7 +7,16 @@ outerjoins, semijoins, antijoins and groupjoins, and the plan generators
 DPhyp / EA-All / EA-Prune / H1 / H2 that explore the enlarged search
 space.
 
-Typical entry points::
+The front door is :mod:`repro.api`::
+
+    from repro.api import PlannerSession
+
+    session = PlannerSession.tpch(scale_factor=1.0)
+    handle = session.sql("SELECT ... GROUP BY ...").optimize()
+    handle.explain(); handle.cost; handle.execute(database); handle.to_dict()
+
+The layer-level entry points remain available (and are what the session
+delegates to)::
 
     from repro.sql import Catalog, parse_query
     from repro.optimizer import optimize
@@ -19,9 +28,10 @@ architecture, including the batch-optimization service layer
 (:mod:`repro.service`).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "algebra",
     "aggregates",
     "rewrites",

@@ -1,14 +1,15 @@
 """Command-line front door: EXPLAIN one query or drive a whole batch.
 
-Two subcommands (``explain`` is the default, so the original invocation
-style keeps working):
+Both subcommands run through :class:`repro.api.PlannerSession` — the same
+facade library users get (``explain`` is the default, so the original
+invocation style keeps working):
 
 ``explain`` — optimize SQL against the TPC-H catalog::
 
     python -m repro "SELECT ns.n_name, count(*) FROM nation ns \
         JOIN supplier s ON ns.n_nationkey = s.s_nationkey GROUP BY ns.n_name"
     python -m repro --strategy h2 --factor 1.05 --scale-factor 10 "..."
-    python -m repro --compare "..."        # all five strategies side by side
+    python -m repro --compare "..."        # every registered strategy
 
 ``batch`` — run a workload through the service layer (plan cache +
 parallel workers), printing per-batch throughput and cache statistics::
@@ -22,25 +23,39 @@ from __future__ import annotations
 import argparse
 import random
 import sys
+from typing import List
 
-from repro.optimizer import optimize
-from repro.plans import render_plan
-from repro.sql import Catalog, parse_query
+from repro.api import COST_MODELS, STRATEGIES, OptimizerConfig, PlannerSession
+from repro.query.spec import Query
 
-STRATEGIES = ("dphyp", "ea-all", "ea-prune", "h1", "h2")
 SUBCOMMANDS = ("explain", "batch")
 
 
 def _add_strategy_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--strategy",
-        choices=STRATEGIES,
+        choices=STRATEGIES.names(),
         default="ea-prune",
         help="plan generator (default: ea-prune)",
     )
     parser.add_argument(
         "--factor", type=float, default=1.03,
         help="H2 eagerness tolerance factor F (default: 1.03)",
+    )
+    parser.add_argument(
+        "--cost-model",
+        choices=COST_MODELS.names(),
+        default="cout",
+        help="cost model pricing the plans (default: cout)",
+    )
+
+
+def _config_from(args: argparse.Namespace, **overrides) -> OptimizerConfig:
+    return OptimizerConfig(
+        strategy=args.strategy,
+        factor=args.factor,
+        cost_model=args.cost_model,
+        **overrides,
     )
 
 
@@ -59,7 +74,7 @@ def build_argument_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--compare", action="store_true",
-        help="run every strategy and print a cost/time comparison",
+        help="run every registered strategy and print a cost/time comparison",
     )
     return parser
 
@@ -120,57 +135,72 @@ def build_batch_parser() -> argparse.ArgumentParser:
 
 def run_explain(argv) -> int:
     args = build_argument_parser().parse_args(argv)
-    catalog = Catalog.from_tpch(scale_factor=args.scale_factor)
+    session = PlannerSession.tpch(
+        scale_factor=args.scale_factor,
+        config=_config_from(args, cache_capacity=None),
+    )
     try:
-        query = parse_query(args.sql, catalog)
+        statement = session.sql(args.sql)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 
     if args.compare:
+        comparison = statement.optimize_all_strategies()
         print(f"{'strategy':10s} {'Cout':>16s} {'time':>10s}")
-        from repro.optimizer import prepare
-
-        prepared = prepare(query)
-        results = {}
-        for strategy in STRATEGIES:
-            results[strategy] = optimize(query, strategy, factor=args.factor, prepared=prepared)
+        for handle in comparison:
+            marker = " *" if handle.strategy == comparison.winner else ""
             print(
-                f"{strategy:10s} {results[strategy].cost:16,.0f} "
-                f"{results[strategy].elapsed_seconds * 1000:8.2f}ms"
+                f"{handle.strategy:10s} {handle.cost:16,.0f} "
+                f"{handle.result.elapsed_seconds * 1000:8.2f}ms{marker}"
             )
-        best = results["ea-prune"]
+        best = comparison.best
+        print(f"winner: {comparison.winner} (cost {best.cost:,.0f})")
     else:
-        best = optimize(query, args.strategy, factor=args.factor)
+        best = statement.optimize()
         print(
             f"strategy={best.strategy}  Cout={best.cost:,.0f}  "
-            f"time={best.elapsed_seconds * 1000:.2f}ms  ccps={best.ccp_count}"
+            f"time={best.result.elapsed_seconds * 1000:.2f}ms  "
+            f"ccps={best.result.ccp_count}"
         )
     print()
-    print(render_plan(best.plan.node))
+    print(best.explain())
     return 0
 
 
-def _load_sql_workload(path: str, scale_factor: float):
-    catalog = Catalog.from_tpch(scale_factor=scale_factor)
+def _load_sql_workload(path: str, session: PlannerSession) -> List[Query]:
+    """Parse a one-statement-per-line workload file.
+
+    A line that fails to parse raises a :class:`ValueError` locating it as
+    ``<file>:<line>:`` so a typo in a 500-line workload is findable.
+    """
     queries = []
     with open(path) as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             text = line.strip()
             if not text or text.startswith("#"):
                 continue
-            queries.append(parse_query(text, catalog))
+            try:
+                queries.append(session.parse(text))
+            except ValueError as error:
+                raise ValueError(f"{path}:{lineno}: {error}") from error
     return queries
 
 
 def run_batch_command(argv) -> int:
-    from repro.service import PlanCache, run_batch
     from repro.workload import generate_workload
 
     args = build_batch_parser().parse_args(argv)
+    config = _config_from(
+        args,
+        workers=args.workers,
+        cache_capacity=None if args.no_cache else args.cache_size,
+    )
+
     if args.sql_file:
+        session = PlannerSession.tpch(scale_factor=args.scale_factor, config=config)
         try:
-            queries = _load_sql_workload(args.sql_file, args.scale_factor)
+            queries = _load_sql_workload(args.sql_file, session)
         except (OSError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
@@ -178,6 +208,7 @@ def run_batch_command(argv) -> int:
             print("error: no queries in --sql-file", file=sys.stderr)
             return 1
     else:
+        session = PlannerSession(config=config)
         rng = random.Random(args.seed)
         try:
             queries = generate_workload(args.count, args.relations, rng, unique=args.unique)
@@ -185,15 +216,13 @@ def run_batch_command(argv) -> int:
             print(f"error: {error}", file=sys.stderr)
             return 1
 
-    cache = None if args.no_cache else PlanCache(capacity=args.cache_size)
+    cache = session.cache
     print(
-        f"workload: {len(queries)} queries, strategy={args.strategy}, "
+        f"workload: {len(queries)} queries, strategy={config.strategy_name}, "
         f"cache={'off' if cache is None else f'{cache.capacity} entries'}"
     )
     for round_number in range(1, max(1, args.repeat) + 1):
-        report = run_batch(
-            queries, args.strategy, args.factor, workers=args.workers, cache=cache
-        )
+        report = session.run_batch(queries)
         # Without a cache, reuse can only come from in-batch dedup — don't
         # call that a cache hit.
         reuse_label = "cache hits" if cache is not None else "deduped"

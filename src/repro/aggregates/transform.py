@@ -38,7 +38,7 @@ These two transformations are the algebraic core of eager aggregation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.aggregates.calls import AggCall, AggKind
 from repro.aggregates.vector import AggItem, AggVector

@@ -1,0 +1,445 @@
+"""The planner session: the package's one front door.
+
+A :class:`PlannerSession` owns everything a serving process needs —
+a :class:`~repro.sql.Catalog` for name/statistics resolution, an
+:class:`~repro.optimizer.config.OptimizerConfig` with the optimizer
+knobs, a :class:`~repro.service.cache.PlanCache` (auto-watching the
+catalog for invalidation), and optionally a database to execute plans
+against — and exposes the whole pipeline as one fluent flow::
+
+    session = PlannerSession.tpch(scale_factor=1.0)
+    handle = session.sql("SELECT ... GROUP BY ...").optimize()
+    print(handle.cost, handle.explain())
+    payload = handle.to_dict()          # JSON-ready, for serving
+
+Stage by stage: :meth:`PlannerSession.sql` parses, binds, runs conflict
+detection and builds the hypergraph once (a :class:`PreparedStatement`);
+:meth:`PreparedStatement.optimize` runs the DP driver under the session
+config (consulting the session cache) and returns a :class:`PlanHandle`;
+:meth:`PreparedStatement.optimize_all_strategies` reuses the pre-pass
+across every registered strategy and reports the cheapest.  Workloads go
+through :meth:`PlannerSession.run_batch`, which delegates to the service
+layer with the session's cache and config.
+
+Tracing hooks (:meth:`PlannerSession.on`) observe every stage:
+``"prepare"`` / ``"ccp"`` / ``"plan"`` / ``"result"`` map onto
+:class:`~repro.optimizer.driver.OptimizerHooks`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.driver import (
+    OptimizationResult,
+    OptimizerHooks,
+    PreparedQuery,
+    optimize,
+    prepare,
+)
+from repro.optimizer.registry import STRATEGIES
+from repro.optimizer.strategies import Strategy
+from repro.plans.nodes import (
+    GroupByNode,
+    JoinNode,
+    MapNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SelectNode,
+)
+from repro.plans.render import render_plan
+from repro.query.spec import Query
+from repro.service.batch import BatchItem, BatchReport, optimize_many, run_batch
+from repro.service.cache import PlanCache
+from repro.sql.binder import parse_query
+from repro.sql.catalog import Catalog
+
+#: events accepted by :meth:`PlannerSession.on`.
+EVENTS = ("prepare", "ccp", "plan", "result")
+
+
+class PlannerSession:
+    """One configured planning context: catalog + config + cache (+ database).
+
+    *catalog* resolves SQL names and statistics (None for sessions fed
+    programmatically-built :class:`Query` objects).  *config* defaults to
+    :class:`OptimizerConfig`'s defaults (EA-Prune, Cout, a 512-entry
+    cache).  *cache* overrides the config-derived plan cache with a
+    caller-owned one; the session subscribes whichever cache it ends up
+    with to the catalog, so statistics updates invalidate stale plans.
+    *database* (mapping relation name → Relation) is the default
+    execution target for :meth:`PlanHandle.execute`.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        config: Optional[OptimizerConfig] = None,
+        database: Optional[Mapping] = None,
+        cache: Optional[PlanCache] = None,
+    ):
+        self.catalog = catalog
+        self.config = config if config is not None else OptimizerConfig()
+        self.database = database
+        if cache is not None:
+            self.cache: Optional[PlanCache] = cache
+        elif self.config.caching_enabled:
+            self.cache = PlanCache(capacity=self.config.cache_capacity)
+        else:
+            self.cache = None
+        self._unwatch: Optional[Callable[[], None]] = None
+        if self.cache is not None and self.catalog is not None:
+            self._unwatch = self.cache.watch(self.catalog)
+        self._listeners: Dict[str, List[Callable]] = {event: [] for event in EVENTS}
+
+    @classmethod
+    def tpch(cls, scale_factor: float = 1.0, **kwargs) -> "PlannerSession":
+        """A session over the built-in TPC-H catalog."""
+        return cls(catalog=Catalog.from_tpch(scale_factor=scale_factor), **kwargs)
+
+    # -- the fluent pipeline -------------------------------------------------
+    def parse(self, sql: str) -> Query:
+        """Parse and bind *sql* against the session catalog (no pre-pass)."""
+        if self.catalog is None:
+            raise ValueError(
+                "session has no catalog — construct PlannerSession(catalog=...) "
+                "or PlannerSession.tpch() to plan SQL text"
+            )
+        return parse_query(sql, self.catalog)
+
+    def sql(self, sql: str) -> "PreparedStatement":
+        """Parse, bind, conflict-detect and hypergraph *sql* → statement."""
+        return self.statement(self.parse(sql), sql=sql)
+
+    def statement(self, query: Query, sql: Optional[str] = None) -> "PreparedStatement":
+        """Wrap an already-built :class:`Query` in a prepared statement."""
+        prepared = prepare(query)
+        self._emit("prepare", prepared)
+        return PreparedStatement(self, query, prepared, sql=sql)
+
+    def optimize(self, query: Union[str, Query], **overrides) -> "PlanHandle":
+        """One-shot convenience: ``session.sql(...).optimize(...)``.
+
+        *query* is SQL text (needs a catalog) or a :class:`Query`;
+        *overrides* are per-call :class:`OptimizerConfig` fields
+        (``strategy=``, ``factor=``, ``cost_model=``, ...).
+        """
+        statement = self.sql(query) if isinstance(query, str) else self.statement(query)
+        return statement.optimize(**overrides)
+
+    def execute(self, query: Union[str, Query], **overrides):
+        """Optimize and immediately execute against the session database."""
+        return self.optimize(query, **overrides).execute()
+
+    # -- workloads -----------------------------------------------------------
+    def optimize_many(
+        self, queries: Sequence[Query], **overrides
+    ) -> Iterator[BatchItem]:
+        """Stream the service batch driver under the session config/cache."""
+        config = self._derive(overrides)
+        for item in optimize_many(queries, cache=self.cache, config=config):
+            self._emit("result", item.result)
+            yield item
+
+    def run_batch(self, queries: Sequence[Query], **overrides) -> BatchReport:
+        """Run a whole workload and summarise it (see :func:`run_batch`)."""
+        config = self._derive(overrides)
+        report = run_batch(queries, cache=self.cache, config=config)
+        for item in report.items:
+            self._emit("result", item.result)
+        return report
+
+    # -- events --------------------------------------------------------------
+    def on(self, event: str, callback: Callable) -> Callable[[], None]:
+        """Subscribe *callback* to *event*; returns an unsubscribe handle.
+
+        Events: ``"prepare"`` (PreparedQuery), ``"ccp"`` (s1, s2),
+        ``"plan"`` (PlanInfo), ``"result"`` (OptimizationResult).  The
+        ``ccp``/``plan`` events fire only for in-process optimization —
+        batch workers in other processes do not call back.
+        """
+        if event not in self._listeners:
+            raise ValueError(f"unknown event {event!r} (one of {', '.join(EVENTS)})")
+        self._listeners[event].append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._listeners[event].remove(callback)
+            except ValueError:  # already unsubscribed
+                pass
+
+        return unsubscribe
+
+    def _emit(self, event: str, *args) -> None:
+        for callback in tuple(self._listeners[event]):
+            callback(*args)
+
+    def _hooks(self) -> Optional[OptimizerHooks]:
+        """Driver hooks fanning out to listeners; None when nobody listens."""
+        listeners = self._listeners
+        if not any(listeners[event] for event in EVENTS):
+            return None
+        return OptimizerHooks(
+            on_prepare=(lambda prepared: self._emit("prepare", prepared))
+            if listeners["prepare"] else None,
+            on_ccp=(lambda s1, s2: self._emit("ccp", s1, s2))
+            if listeners["ccp"] else None,
+            on_plan=(lambda plan: self._emit("plan", plan))
+            if listeners["plan"] else None,
+            on_result=(lambda result: self._emit("result", result))
+            if listeners["result"] else None,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+    def _derive(self, overrides: dict) -> OptimizerConfig:
+        return self.config.with_overrides(**overrides) if overrides else self.config
+
+    def close(self) -> None:
+        """Detach the cache from the catalog (idempotent)."""
+        if self._unwatch is not None:
+            self._unwatch()
+            self._unwatch = None
+
+    def __enter__(self) -> "PlannerSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        catalog = "-" if self.catalog is None else f"{len(self.catalog.tables())} tables"
+        cache = "off" if self.cache is None else f"{len(self.cache)}/{self.cache.capacity}"
+        return (
+            f"PlannerSession(catalog={catalog}, strategy={self.config.strategy_name}, "
+            f"cost_model={self.config.cost_model_name}, cache={cache})"
+        )
+
+
+class PreparedStatement:
+    """A parsed, bound, conflict-detected query, ready to optimize.
+
+    Binds one :class:`Query` to its strategy-independent pre-pass
+    (:class:`PreparedQuery`), so repeated optimization — across
+    strategies, or after config tweaks — never re-runs conflict detection
+    or hypergraph construction.
+    """
+
+    def __init__(
+        self,
+        session: PlannerSession,
+        query: Query,
+        prepared: PreparedQuery,
+        sql: Optional[str] = None,
+    ):
+        self.session = session
+        self.query = query
+        self.prepared = prepared
+        self.sql = sql
+
+    def optimize(self, **overrides) -> "PlanHandle":
+        """Run the DP driver under the session config (+ *overrides*)."""
+        config = self.session._derive(overrides)
+        result = optimize(
+            self.query,
+            prepared=self.prepared,
+            cache=self.session.cache,
+            config=config,
+            hooks=self.session._hooks(),
+        )
+        return PlanHandle(self, result, config)
+
+    def optimize_all_strategies(
+        self, strategies: Optional[Iterable[Union[str, Strategy]]] = None, **overrides
+    ) -> "StrategyComparison":
+        """Optimize once per strategy (default: every registered one).
+
+        The pre-pass is shared; each strategy keys its own cache entry.
+        Returns a :class:`StrategyComparison` whose :attr:`~StrategyComparison.best`
+        is the minimum-cost handle (first-registered wins ties).
+        """
+        chosen = tuple(strategies) if strategies is not None else STRATEGIES.names()
+        handles = []
+        for strategy in chosen:
+            handles.append(self.optimize(strategy=strategy, **overrides))
+        return StrategyComparison(tuple(handles))
+
+    def explain(self, **overrides) -> str:
+        """Optimize and render the plan (EXPLAIN-style)."""
+        return self.optimize(**overrides).explain()
+
+    def __repr__(self) -> str:
+        return f"PreparedStatement({self.sql or self.query!r})"
+
+
+class StrategyComparison:
+    """Outcome of :meth:`PreparedStatement.optimize_all_strategies`."""
+
+    def __init__(self, handles: Tuple["PlanHandle", ...]):
+        if not handles:
+            raise ValueError("comparison needs at least one strategy")
+        self.handles = handles
+
+    @property
+    def best(self) -> "PlanHandle":
+        """The minimum-cost handle (earliest strategy wins ties)."""
+        return min(self.handles, key=lambda handle: handle.cost)
+
+    @property
+    def winner(self) -> str:
+        """Name of the strategy that produced the cheapest plan."""
+        return self.best.strategy
+
+    def __iter__(self) -> Iterator["PlanHandle"]:
+        return iter(self.handles)
+
+    def __len__(self) -> int:
+        return len(self.handles)
+
+    def __getitem__(self, strategy: str) -> "PlanHandle":
+        for handle in self.handles:
+            if handle.strategy == strategy:
+                return handle
+        raise KeyError(strategy)
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary: per-strategy costs plus the winner."""
+        return {
+            "winner": self.winner,
+            "strategies": [
+                {
+                    "strategy": handle.strategy,
+                    "cost": handle.cost,
+                    "elapsed_seconds": handle.result.elapsed_seconds,
+                    "cache_hit": handle.result.cache_hit,
+                }
+                for handle in self.handles
+            ],
+        }
+
+
+class PlanHandle:
+    """One optimized plan with everything a caller does next.
+
+    Wraps the driver's :class:`OptimizationResult` and keeps the
+    statement (and through it the session) in reach: ``.explain()``
+    renders, ``.execute()`` interprets against the session database,
+    ``.to_dict()`` serialises for JSON serving.
+    """
+
+    def __init__(
+        self,
+        statement: PreparedStatement,
+        result: OptimizationResult,
+        config: OptimizerConfig,
+    ):
+        self.statement = statement
+        self.result = result
+        self.config = config
+
+    # -- the numbers ---------------------------------------------------------
+    @property
+    def cost(self) -> float:
+        return self.result.cost
+
+    @property
+    def strategy(self) -> str:
+        return self.result.strategy
+
+    @property
+    def cardinality(self) -> float:
+        return self.result.plan.cardinality
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.result.cache_hit
+
+    @property
+    def plan(self) -> PlanNode:
+        """The executable plan tree."""
+        return self.result.plan.node
+
+    # -- actions -------------------------------------------------------------
+    def explain(self) -> str:
+        """The plan rendered as an indented EXPLAIN-style tree."""
+        return render_plan(self.plan)
+
+    def execute(self, database: Optional[Mapping] = None):
+        """Interpret the plan against *database* (default: the session's)."""
+        from repro.exec import execute
+
+        target = database if database is not None else self.statement.session.database
+        if target is None:
+            raise ValueError(
+                "no database to execute against — pass execute(database=...) or "
+                "construct the session with PlannerSession(database=...)"
+            )
+        return execute(self.plan, target)
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable description of this plan (for serving)."""
+        result = self.result
+        return {
+            "strategy": result.strategy,
+            "cost_model": self.config.cost_model_name,
+            "cost": result.cost,
+            "cardinality": self.cardinality,
+            "elapsed_seconds": result.elapsed_seconds,
+            "cache_hit": result.cache_hit,
+            "ccp_count": result.ccp_count,
+            "plans_built": result.plans_built,
+            "plan": plan_to_dict(self.plan),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanHandle(strategy={self.strategy}, cost={self.cost:,.0f}, "
+            f"cache_hit={self.cache_hit})"
+        )
+
+
+def plan_to_dict(node: PlanNode) -> dict:
+    """Recursively serialise a plan tree into JSON-ready dicts."""
+    if isinstance(node, ScanNode):
+        return {
+            "op": "scan",
+            "relation": node.relation,
+            "attributes": list(node.attributes),
+        }
+    if isinstance(node, SelectNode):
+        return {
+            "op": "select",
+            "predicate": str(node.predicate),
+            "input": plan_to_dict(node.child),
+        }
+    if isinstance(node, JoinNode):
+        out = {
+            "op": node.op.name.lower(),
+            "predicate": str(node.predicate),
+            "left": plan_to_dict(node.left),
+            "right": plan_to_dict(node.right),
+        }
+        if node.groupjoin_vector is not None:
+            out["groupjoin_vector"] = str(node.groupjoin_vector)
+        return out
+    if isinstance(node, GroupByNode):
+        return {
+            "op": "groupby",
+            "group_by": list(node.group_attrs),
+            "aggregates": str(node.vector),
+            "input": plan_to_dict(node.child),
+        }
+    if isinstance(node, MapNode):
+        return {
+            "op": "map",
+            "extensions": {name: str(expr) for name, expr in node.extensions},
+            "input": plan_to_dict(node.child),
+        }
+    if isinstance(node, ProjectNode):
+        return {
+            "op": "project",
+            "attributes": list(node.attributes),
+            "input": plan_to_dict(node.child),
+        }
+    raise TypeError(f"unknown plan node {node!r}")

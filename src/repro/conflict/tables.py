@@ -22,7 +22,7 @@ Property semantics (predicates: ``p_a`` between e1/e2, ``p_b`` as noted):
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Optional
+from typing import FrozenSet, Optional
 
 from repro.algebra.expressions import Expr, rejects_nulls_on
 from repro.rewrites.pushdown import OpKind

@@ -9,10 +9,10 @@ opaque ``label`` (the operator's edge id) for the plan generator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
 
-from repro.hypergraph.bitset import bits_of, is_subset, lowest_bit, set_of
+from repro.hypergraph.bitset import bits_of, is_subset, lowest_bit
 
 
 @dataclass(frozen=True)

@@ -13,14 +13,29 @@ plan building shared (Fig. 5):
 =============  =====================================================
 """
 
-from repro.optimizer.driver import OptimizationResult, PreparedQuery, optimize, prepare
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.costmodel import CostModel, CoutModel
+from repro.optimizer.driver import (
+    OptimizationResult,
+    OptimizerHooks,
+    PreparedQuery,
+    optimize,
+    prepare,
+)
 from repro.optimizer.planinfo import PlanBuilder, PlanInfo
+from repro.optimizer.registry import (
+    COST_MODELS,
+    STRATEGIES,
+    CostModelRegistry,
+    StrategyRegistry,
+)
 from repro.optimizer.strategies import (
     DphypStrategy,
     EaAllStrategy,
     EaPruneStrategy,
     H1Strategy,
     H2Strategy,
+    Strategy,
     make_strategy,
 )
 
@@ -28,13 +43,22 @@ __all__ = [
     "optimize",
     "prepare",
     "OptimizationResult",
+    "OptimizerConfig",
+    "OptimizerHooks",
     "PreparedQuery",
     "PlanBuilder",
     "PlanInfo",
     "make_strategy",
+    "Strategy",
     "DphypStrategy",
     "EaAllStrategy",
     "EaPruneStrategy",
     "H1Strategy",
     "H2Strategy",
+    "CostModel",
+    "CoutModel",
+    "StrategyRegistry",
+    "CostModelRegistry",
+    "STRATEGIES",
+    "COST_MODELS",
 ]

@@ -15,14 +15,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.algebra.expressions import conjunction
 from repro.conflict.detector import AnnotatedEdge, detect
 from repro.hypergraph.graph import Hypergraph
 from repro.hypergraph.enumerate import enumerate_ccps
+from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.planinfo import PlanBuilder, PlanInfo
-from repro.optimizer.strategies import Strategy, make_strategy
+from repro.optimizer.strategies import Strategy
 from repro.query.spec import Query
 from repro.rewrites.pushdown import OpKind, pushdown_valid_for
 
@@ -75,6 +76,30 @@ def prepare(query: Query) -> PreparedQuery:
     return PreparedQuery(query=query, annotated=tuple(annotated), graph=graph)
 
 
+@dataclass(frozen=True)
+class OptimizerHooks:
+    """Optional tracing/metrics callbacks fired by :func:`optimize`.
+
+    * ``on_prepare(prepared)`` — after the driver runs its own pre-pass
+      (not fired when a caller supplies *prepared*; the session fires it
+      when preparing a statement),
+    * ``on_ccp(s1, s2)`` — once per enumerated csg-cmp-pair,
+    * ``on_plan(plan)`` — once per candidate :class:`PlanInfo` offered to
+      the DP table (access paths, OpTrees variants for inner table
+      entries, finalised plans for the full relation set),
+    * ``on_result(result)`` — once per returned result, cache hits
+      included.
+
+    Absent callbacks cost a single attribute read; the DP hot loops stay
+    untouched when no hooks are installed.
+    """
+
+    on_prepare: Optional[Callable[[PreparedQuery], None]] = None
+    on_ccp: Optional[Callable[[int, int], None]] = None
+    on_plan: Optional[Callable[[PlanInfo], None]] = None
+    on_result: Optional[Callable[["OptimizationResult"], None]] = None
+
+
 class _JoinSpec:
     """Resolved operator for one csg-cmp-pair: op, predicate, selectivity."""
 
@@ -94,49 +119,84 @@ def optimize(
     factor: float = 1.03,
     prepared: Optional[PreparedQuery] = None,
     cache=None,
+    *,
+    config: Optional[OptimizerConfig] = None,
+    hooks: Optional[OptimizerHooks] = None,
 ) -> OptimizationResult:
-    """Optimize *query* with the given strategy and return the final plan.
+    """Optimize *query* and return the final plan.
 
-    *prepared* reuses a :func:`prepare` pre-pass (conflict detection +
-    hypergraph) across strategies or repeated runs.  *cache* is an optional
-    :class:`repro.service.cache.PlanCache`: hits return immediately (marked
-    ``cache_hit=True``), misses are stored after optimization.
+    All optimizer knobs live in *config* (an
+    :class:`~repro.optimizer.config.OptimizerConfig`); the *strategy* /
+    *factor* positional parameters remain as a shim for the seed's call
+    style and are ignored when *config* is given.  *prepared* reuses a
+    :func:`prepare` pre-pass (conflict detection + hypergraph) across
+    strategies or repeated runs.  *cache* is an optional
+    :class:`repro.service.cache.PlanCache`: hits return immediately
+    (marked ``cache_hit=True``), misses are stored after optimization.
+    *hooks* receive tracing callbacks (see :class:`OptimizerHooks`).
     """
-    chosen = strategy if isinstance(strategy, Strategy) else make_strategy(strategy, factor)
+    if config is None:
+        config = OptimizerConfig(strategy=strategy, factor=factor, cache_capacity=None)
+    chosen = config.resolve_strategy()
+    cost_model = config.resolve_cost_model()
+
+    # The pre-pass identity check runs before any cache probe: a mismatched
+    # pre-pass is a caller bug and must raise even when a hit could have
+    # been served.
+    if prepared is not None and prepared.query is not query:
+        raise ValueError("prepared pre-pass belongs to a different query")
+
+    on_result = hooks.on_result if hooks is not None else None
 
     key = None
     if cache is not None:
         from repro.service.fingerprint import cache_key
 
-        key = cache_key(query, chosen)
+        key = cache_key(query, chosen, config.factor, cost_model=cost_model.name)
         served = cache.serve(key, query)
         if served is not None:
+            if on_result is not None:
+                on_result(served)
             return served
 
     start = time.perf_counter()
 
-    if prepared is not None and prepared.query is not query:
-        raise ValueError("prepared pre-pass belongs to a different query")
-    annotated, graph = (
-        (prepared.annotated, prepared.graph) if prepared is not None else detect(query)
-    )
-    builder = PlanBuilder(query)
+    if prepared is not None:
+        annotated, graph = prepared.annotated, prepared.graph
+    else:
+        annotated, graph = detect(query)
+        if hooks is not None and hooks.on_prepare is not None:
+            hooks.on_prepare(
+                PreparedQuery(query=query, annotated=tuple(annotated), graph=graph)
+            )
+    builder = PlanBuilder(query, cost_model=cost_model)
     all_mask = query.all_relations_mask
+
+    on_ccp = hooks.on_ccp if hooks is not None else None
+    on_plan = hooks.on_plan if hooks is not None else None
 
     table: Dict[int, List[PlanInfo]] = {}
     for vertex in range(len(query.relations)):
-        table[1 << vertex] = [builder.leaf(vertex)]
+        leaf = builder.leaf(vertex)
+        table[1 << vertex] = [leaf]
+        if on_plan is not None:
+            on_plan(leaf)
 
     plans_built = len(table)
     ccp_count = 0
 
     if len(query.relations) == 1:
         top: List[PlanInfo] = []
-        chosen.insert_top(top, builder.finish_top(table[1][0]))
+        finished = builder.finish_top(table[1][0])
+        chosen.insert_top(top, finished)
         table[all_mask] = top
+        if on_plan is not None:
+            on_plan(finished)
 
     for s1, s2 in enumerate_ccps(graph):
         ccp_count += 1
+        if on_ccp is not None:
+            on_ccp(s1, s2)
         spec = _resolve_edge(annotated, query, s1, s2)
         if spec is None:
             continue
@@ -153,8 +213,15 @@ def optimize(
                 for plan in _op_trees(builder, chosen, left_plan, right_plan, spec):
                     plans_built += 1
                     if is_top:
-                        chosen.insert_top(bucket, builder.finish_top(plan))
+                        # Report the finalised plan — the candidate the DP
+                        # table actually considers for the full relation set.
+                        plan = builder.finish_top(plan)
+                        if on_plan is not None:
+                            on_plan(plan)
+                        chosen.insert_top(bucket, plan)
                     else:
+                        if on_plan is not None:
+                            on_plan(plan)
                         chosen.insert(bucket, plan)
 
     final = table.get(all_mask, [])
@@ -172,6 +239,8 @@ def optimize(
     )
     if cache is not None and key is not None:
         cache.store(key, query, result)
+    if on_result is not None:
+        on_result(result)
     return result
 
 

@@ -26,7 +26,10 @@ scale columns into the new count column (``count(*) ⊗ c`` = ``sum(c)``).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.optimizer.costmodel import CostModel
 
 from repro.aggregates.calls import AggCall, AggKind
 from repro.aggregates.transform import (
@@ -159,9 +162,19 @@ def _minimal_keys(keys: Sequence[FrozenSet[str]]) -> Tuple[FrozenSet[str], ...]:
 
 
 class PlanBuilder:
-    """Constructs :class:`PlanInfo` objects for one query."""
+    """Constructs :class:`PlanInfo` objects for one query.
 
-    def __init__(self, query: Query):
+    *cost_model* prices each operator (default: the paper's Cout); plan
+    cost composes bottom-up as children's cost + the operator's
+    contribution (see :mod:`repro.optimizer.costmodel`).
+    """
+
+    def __init__(self, query: Query, cost_model: Optional["CostModel"] = None):
+        if cost_model is None:
+            from repro.optimizer.costmodel import CoutModel
+
+            cost_model = CoutModel()
+        self.cost_model = cost_model
         self.query = query
         self._group_counter = 0
         # Source relation mask per normalized aggregate; count(*)-style
@@ -212,7 +225,7 @@ class PlanBuilder:
         return PlanInfo(
             node=node,
             rel_set=mask,
-            cost=0.0,  # Cout: single-table scans are free (Sec. 4.4)
+            cost=self.cost_model.scan(cardinality),  # 0 under Cout (Sec. 4.4)
             cardinality=cardinality,
             keys=_minimal_keys(rel.all_keys()),
             duplicate_free=rel.duplicate_free,
@@ -310,7 +323,7 @@ class PlanBuilder:
 
         # --- statistics ---------------------------------------------------
         cardinality = self._join_cardinality(op, left, right, predicate, selectivity)
-        cost = cardinality + left.cost + right.cost
+        cost = left.cost + right.cost + self.cost_model.join(op, cardinality, left, right)
         keys = self._join_keys(op, left, right, predicate)
         duplicate_free = left.duplicate_free and (
             op in (OpKind.LEFT_SEMI, OpKind.LEFT_ANTI, OpKind.GROUPJOIN)
@@ -357,9 +370,9 @@ class PlanBuilder:
         """Result-size estimate; existence-test terms use *distinct* join
         value counts, which are invariants of the relation set (see
         :mod:`repro.cardinality.estimate`)."""
-        l, r = left.cardinality, right.cardinality
+        l_card, r_card = left.cardinality, right.cardinality
         if op is OpKind.INNER:
-            return join_cardinality(l, r, selectivity)
+            return join_cardinality(l_card, r_card, selectivity)
         join_attrs = attrs_of(predicate)
         d_right = domain_product(
             [a for a in join_attrs if a in right.raw_attrs], right.distinct
@@ -369,19 +382,19 @@ class PlanBuilder:
         )
         if op is OpKind.LEFT_OUTER:
             return outerjoin_cardinality(
-                l, r, selectivity, full=False, right_join_values=d_right
+                l_card, r_card, selectivity, full=False, right_join_values=d_right
             )
         if op is OpKind.FULL_OUTER:
             return outerjoin_cardinality(
-                l, r, selectivity, full=True,
+                l_card, r_card, selectivity, full=True,
                 right_join_values=d_right, left_join_values=d_left,
             )
         if op is OpKind.LEFT_SEMI:
-            return semijoin_cardinality(l, r, selectivity, right_join_values=d_right)
+            return semijoin_cardinality(l_card, r_card, selectivity, right_join_values=d_right)
         if op is OpKind.LEFT_ANTI:
-            return antijoin_cardinality(l, r, selectivity, right_join_values=d_right)
+            return antijoin_cardinality(l_card, r_card, selectivity, right_join_values=d_right)
         if op is OpKind.GROUPJOIN:
-            return l
+            return l_card
         raise AssertionError(op)
 
     def _join_keys(
@@ -476,7 +489,7 @@ class PlanBuilder:
         return PlanInfo(
             node=node,
             rel_set=plan.rel_set,
-            cost=plan.cost + cardinality,  # Cout adds |Γ(e)|
+            cost=plan.cost + self.cost_model.group(cardinality, plan),  # Cout adds |Γ(e)|
             cardinality=cardinality,
             keys=keys,
             duplicate_free=True,
@@ -538,7 +551,7 @@ class PlanBuilder:
         return PlanInfo(
             node=node,
             rel_set=plan.rel_set,
-            cost=plan.cost + cardinality,
+            cost=plan.cost + self.cost_model.group(cardinality, plan),
             cardinality=cardinality,
             keys=(group_attrs,) if group_attrs else (frozenset(),),
             duplicate_free=True,

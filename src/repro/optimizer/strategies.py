@@ -10,9 +10,10 @@ Each strategy answers two questions:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.optimizer.planinfo import PlanInfo
+from repro.optimizer.registry import STRATEGIES
 
 
 class Strategy:
@@ -156,17 +157,37 @@ def _fd_superset(a: PlanInfo, b: PlanInfo) -> bool:
     )
 
 
+# -- registration -----------------------------------------------------------
+# The built-ins register like any third-party strategy would; the driver
+# and everything above it (config, session, CLI --compare) discover them
+# through the registry, never through a hard-coded list.
+
+
+@STRATEGIES.register("dphyp")
+def _dphyp(**_options) -> Strategy:
+    return DphypStrategy()
+
+
+@STRATEGIES.register("ea-all", "all", "ea_all")
+def _ea_all(**_options) -> Strategy:
+    return EaAllStrategy()
+
+
+@STRATEGIES.register("ea-prune", "prune", "ea_prune")
+def _ea_prune(criteria: str = "full", **_options) -> Strategy:
+    return EaPruneStrategy(criteria)
+
+
+@STRATEGIES.register("h1")
+def _h1(**_options) -> Strategy:
+    return H1Strategy()
+
+
+@STRATEGIES.register("h2")
+def _h2(factor: float = 1.03, **_options) -> Strategy:
+    return H2Strategy(factor)
+
+
 def make_strategy(name: str, factor: float = 1.03) -> Strategy:
-    """Factory: ``"dphyp" | "ea-all" | "ea-prune" | "h1" | "h2"``."""
-    lowered = name.lower()
-    if lowered == "dphyp":
-        return DphypStrategy()
-    if lowered in ("ea-all", "all", "ea_all"):
-        return EaAllStrategy()
-    if lowered in ("ea-prune", "prune", "ea_prune"):
-        return EaPruneStrategy()
-    if lowered == "h1":
-        return H1Strategy()
-    if lowered == "h2":
-        return H2Strategy(factor)
-    raise ValueError(f"unknown strategy {name!r}")
+    """Instantiate a registered strategy by name (see :data:`STRATEGIES`)."""
+    return STRATEGIES.create(name, factor=factor)

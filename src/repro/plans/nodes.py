@@ -16,7 +16,7 @@ it.  The node set mirrors the paper's algebra (Fig. 1 + Γ + χ + Π):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.aggregates.vector import AggVector
 from repro.algebra.expressions import Expr

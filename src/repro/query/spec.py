@@ -8,7 +8,7 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
 from repro.aggregates.transform import normalize_avg
 from repro.aggregates.vector import AggVector
 from repro.algebra.expressions import Expr, attrs_of
-from repro.query.tree import Tree, TreeLeaf, TreeNode, tree_leaves, tree_operators
+from repro.query.tree import Tree, TreeLeaf, tree_leaves, tree_operators
 from repro.rewrites.pushdown import OpKind
 
 

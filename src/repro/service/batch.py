@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.driver import OptimizationResult, optimize
 from repro.optimizer.strategies import Strategy
 from repro.query.spec import Query
@@ -96,11 +97,31 @@ def default_workers() -> int:
 
 
 def _optimize_payload(
-    payload: Tuple[Query, "str | Strategy", float]
+    payload: Tuple[Query, OptimizerConfig]
 ) -> OptimizationResult:
     """Pool worker: one plain optimizer run (module-level for pickling)."""
-    query, strategy, factor = payload
-    return optimize(query, strategy, factor)
+    query, config = payload
+    return optimize(query, config=config)
+
+
+def resolve_config(
+    config: Optional[OptimizerConfig],
+    strategy: "str | Strategy",
+    factor: float,
+    workers: Optional[int],
+) -> OptimizerConfig:
+    """Fold the legacy kwargs and the config object into one config.
+
+    *config* wins over the legacy *strategy*/*factor* kwargs; an explicit
+    *workers* argument overrides either.
+    """
+    if config is None:
+        config = OptimizerConfig(
+            strategy=strategy, factor=factor, workers=workers, cache_capacity=None
+        )
+    elif workers is not None and workers != config.workers:
+        config = config.with_overrides(workers=workers)
+    return config
 
 
 def optimize_many(
@@ -109,8 +130,14 @@ def optimize_many(
     factor: float = 1.03,
     workers: Optional[int] = None,
     cache: Optional[PlanCache] = None,
+    config: Optional[OptimizerConfig] = None,
 ) -> Iterator[BatchItem]:
     """Optimize *queries*, yielding a :class:`BatchItem` per entry in order.
+
+    Settings come from *config* (an
+    :class:`~repro.optimizer.config.OptimizerConfig`); the *strategy* /
+    *factor* / *workers* parameters remain as a shim for the seed's call
+    style (see :func:`resolve_config` for precedence).
 
     Every item whose plan was not freshly computed — served from *cache*
     or sharing the run of an identical earlier item in the same batch —
@@ -119,10 +146,13 @@ def optimize_many(
     a process pool.  The cache is consulted and populated only in the
     dispatching process, so workers stay oblivious to it.
     """
-    if workers is None:
-        workers = default_workers()
+    config = resolve_config(config, strategy, factor, workers)
+    workers = config.workers if config.workers is not None else default_workers()
 
-    keys = [cache_key(query, strategy, factor) for query in queries]
+    keys = [
+        cache_key(query, config.strategy, config.factor, cost_model=config.cost_model_name)
+        for query in queries
+    ]
 
     # Schedule: probe the cache once per distinct key; collect the misses
     # (first occurrence wins) in submission order.  Resolved entries keep
@@ -131,7 +161,7 @@ def optimize_many(
     resolved: Dict[PlanCacheKey, Tuple[OptimizationResult, float, Tuple]] = {}
     scheduled: set = set()
     miss_order: List[PlanCacheKey] = []
-    miss_payload: List[Tuple[Query, "str | Strategy", float]] = []
+    miss_payload: List[Tuple[Query, OptimizerConfig]] = []
     for query, key in zip(queries, keys):
         if key in scheduled:
             continue
@@ -143,7 +173,7 @@ def optimize_many(
                 resolved[key] = (served, time.perf_counter() - started, query_binding(query))
                 continue
         miss_order.append(key)
-        miss_payload.append((query, strategy, factor))
+        miss_payload.append((query, config))
 
     def finish(key: PlanCacheKey, query: Query, result: OptimizationResult) -> None:
         if cache is not None:
@@ -176,8 +206,8 @@ def optimize_many(
         pending = dict(zip(miss_order, miss_payload))
         for index, key in enumerate(keys):
             if key not in resolved:
-                query, strat, f = pending[key]
-                finish(key, query, optimize(query, strat, f))
+                query, cfg = pending[key]
+                finish(key, query, optimize(query, config=cfg))
             yield emit(index, key)
         return
 
@@ -202,16 +232,17 @@ def run_batch(
     factor: float = 1.03,
     workers: Optional[int] = None,
     cache: Optional[PlanCache] = None,
+    config: Optional[OptimizerConfig] = None,
 ) -> BatchReport:
     """Drive :func:`optimize_many` to completion and summarise it."""
-    if workers is None:
-        workers = default_workers()
+    config = resolve_config(config, strategy, factor, workers)
+    effective_workers = config.workers if config.workers is not None else default_workers()
     started = time.perf_counter()
-    items = list(optimize_many(queries, strategy, factor, workers=workers, cache=cache))
+    items = list(optimize_many(queries, cache=cache, config=config))
     wall = time.perf_counter() - started
     return BatchReport(
         items=items,
         wall_seconds=wall,
-        workers=workers,
+        workers=effective_workers,
         cache_stats=cache.stats.snapshot() if cache is not None else None,
     )

@@ -21,8 +21,9 @@ separate **cardinality snapshot**: a catalog update (new row counts,
 changed selectivities) changes the snapshot but not the fingerprint, which
 lets a cache distinguish "same query, stale statistics" from "new query".
 
-The full cache key is fingerprint + snapshot + strategy (Sec. 4's plan
-generators produce different plans, so they must not share entries).
+The full cache key is fingerprint + snapshot + strategy + cost model
+(Sec. 4's plan generators produce different plans, and so do differently
+priced searches, so neither may share entries).
 """
 
 from __future__ import annotations
@@ -46,16 +47,20 @@ _COMMUTATIVE = {"=", "<>", "+", "*"}
 
 @dataclass(frozen=True)
 class PlanCacheKey:
-    """Hashable cache key: structure + statistics + plan generator."""
+    """Hashable cache key: structure + statistics + plan generator + cost model."""
 
     fingerprint: str
     snapshot: str
     strategy: str
     factor: Optional[float] = None
+    cost_model: str = "cout"
 
     def digest(self) -> str:
         """A single stable hex digest (handy for logging / sharding)."""
-        payload = f"{self.fingerprint}|{self.snapshot}|{self.strategy}|{self.factor}"
+        payload = (
+            f"{self.fingerprint}|{self.snapshot}|{self.strategy}|{self.factor}"
+            f"|{self.cost_model}"
+        )
         return hashlib.sha256(payload.encode()).hexdigest()
 
 
@@ -204,13 +209,21 @@ def strategy_label(strategy: "str | Strategy", factor: float = 1.03) -> Tuple[st
 
 
 def cache_key(
-    query: Query, strategy: "str | Strategy" = "ea-prune", factor: float = 1.03
+    query: Query,
+    strategy: "str | Strategy" = "ea-prune",
+    factor: float = 1.03,
+    cost_model: str = "cout",
 ) -> PlanCacheKey:
-    """The full plan-cache key for optimizing *query* with *strategy*."""
+    """The full plan-cache key for optimizing *query* with *strategy*.
+
+    *cost_model* is the registered cost-model name — plans priced by
+    different models must not share entries.
+    """
     name, effective_factor = strategy_label(strategy, factor)
     return PlanCacheKey(
         fingerprint=query_fingerprint(query),
         snapshot=cardinality_snapshot(query),
         strategy=name,
         factor=effective_factor,
+        cost_model=cost_model,
     )

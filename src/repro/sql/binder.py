@@ -13,7 +13,7 @@ Responsibilities:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.aggregates.calls import AggCall, AggKind
 from repro.aggregates.vector import AggItem, AggVector

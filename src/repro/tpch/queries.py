@@ -18,7 +18,7 @@ from repro.query.tree import TreeLeaf, TreeNode
 from repro.rewrites.pushdown import OpKind
 from repro.tpch.datagen import micro_table
 from repro.tpch.schema import TABLES
-from repro.tpch.stats import SELECTIVITIES, scaled_cardinality, scaled_distinct
+from repro.tpch.stats import SELECTIVITIES, scaled_distinct
 
 DAY_1995_03_15 = 1_169
 YEAR_1994_START, YEAR_1994_END = 731, 1_096

@@ -7,7 +7,6 @@ from repro.aggregates.vector import AggItem, AggVector
 from repro.algebra import operators as ops
 from repro.algebra.expressions import Attr, BinOp, Const
 from repro.algebra.relation import Relation
-from repro.algebra.rows import Row
 from repro.algebra.values import NULL, is_null
 
 

@@ -1,0 +1,104 @@
+"""`OptimizerConfig`: defaults, eager validation, immutable overrides."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import CoutModel, OptimizerConfig
+from repro.optimizer.strategies import EaPruneStrategy, H2Strategy
+
+
+class TestDefaults:
+    def test_default_values(self):
+        config = OptimizerConfig()
+        assert config.strategy == "ea-prune"
+        assert config.factor == 1.03
+        assert config.cost_model == "cout"
+        assert config.workers is None
+        assert config.cache_capacity == 512
+        assert config.caching_enabled
+
+    def test_resolution(self):
+        config = OptimizerConfig()
+        assert isinstance(config.resolve_strategy(), EaPruneStrategy)
+        assert isinstance(config.resolve_cost_model(), CoutModel)
+        assert config.strategy_name == "ea-prune"
+        assert config.cost_model_name == "cout"
+
+    def test_factor_reaches_h2(self):
+        strategy = OptimizerConfig(strategy="h2", factor=1.1).resolve_strategy()
+        assert isinstance(strategy, H2Strategy)
+        assert strategy.factor == 1.1
+
+    def test_strategy_instance_accepted(self):
+        instance = EaPruneStrategy("cost-only")
+        config = OptimizerConfig(strategy=instance)
+        assert config.resolve_strategy() is instance
+        assert config.strategy_name == "ea-prune[cost-only]"
+
+    def test_cost_model_instance_accepted(self):
+        model = CoutModel()
+        config = OptimizerConfig(cost_model=model)
+        assert config.resolve_cost_model() is model
+        assert config.cost_model_name == "cout"
+
+    @pytest.mark.parametrize("capacity", [None, 0])
+    def test_caching_disabled(self, capacity):
+        assert not OptimizerConfig(cache_capacity=capacity).caching_enabled
+
+
+class TestValidation:
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy 'magic'.*ea-prune"):
+            OptimizerConfig(strategy="magic")
+
+    def test_unknown_cost_model(self):
+        with pytest.raises(ValueError, match="unknown cost model 'free'.*cout"):
+            OptimizerConfig(cost_model="free")
+
+    def test_strategy_type(self):
+        with pytest.raises(TypeError, match="strategy"):
+            OptimizerConfig(strategy=42)
+
+    def test_cost_model_type(self):
+        with pytest.raises(TypeError, match="cost_model"):
+            OptimizerConfig(cost_model=42)
+
+    @pytest.mark.parametrize("factor", [0.99, 0.0, float("nan")])
+    def test_factor_below_one(self, factor):
+        with pytest.raises(ValueError, match="tolerance factor"):
+            OptimizerConfig(factor=factor)
+
+    @pytest.mark.parametrize("workers", [0, -2])
+    def test_bad_workers(self, workers):
+        with pytest.raises(ValueError, match="workers"):
+            OptimizerConfig(workers=workers)
+
+    def test_bad_cache_capacity(self):
+        with pytest.raises(ValueError, match="cache_capacity"):
+            OptimizerConfig(cache_capacity=-1)
+
+    def test_frozen(self):
+        config = OptimizerConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.strategy = "h1"
+
+
+class TestOverrides:
+    def test_with_overrides_derives(self):
+        base = OptimizerConfig()
+        derived = base.with_overrides(strategy="h2", factor=1.1)
+        assert (derived.strategy, derived.factor) == ("h2", 1.1)
+        assert derived.cost_model == base.cost_model
+        # the original is untouched
+        assert (base.strategy, base.factor) == ("ea-prune", 1.03)
+
+    def test_overrides_are_validated(self):
+        with pytest.raises(ValueError, match="tolerance factor"):
+            OptimizerConfig().with_overrides(factor=0.5)
+        with pytest.raises(ValueError, match="unknown strategy"):
+            OptimizerConfig().with_overrides(strategy="magic")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="stragety"):
+            OptimizerConfig().with_overrides(stragety="h1")

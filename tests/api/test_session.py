@@ -1,0 +1,210 @@
+"""`PlannerSession` / `PreparedStatement` / `PlanHandle`: the fluent flow."""
+
+import json
+import random
+
+import pytest
+
+from repro.api import OptimizerConfig, PlannerSession
+from repro.exec import execute
+from repro.query.canonical import canonical_plan
+from repro.sql.catalog import TableStats
+from repro.tpch import build_ex, micro_database
+from repro.workload import generate_workload
+
+SQL = (
+    "SELECT ns.n_name, count(*) AS cnt FROM nation ns "
+    "JOIN supplier s ON ns.n_nationkey = s.s_nationkey GROUP BY ns.n_name"
+)
+
+BUILTINS = ("dphyp", "ea-all", "ea-prune", "h1", "h2")
+
+
+@pytest.fixture
+def session():
+    return PlannerSession.tpch()
+
+
+class TestSessionPipeline:
+    def test_sql_requires_catalog(self):
+        with pytest.raises(ValueError, match="no catalog"):
+            PlannerSession().sql(SQL)
+
+    def test_sql_round_trip_on_tpch_sample_data(self, session):
+        """sql → optimize → execute, cross-checked against the canonical plan."""
+        statement = session.sql(SQL)
+        handle = statement.optimize()
+        database = micro_database(statement.query)
+        result = handle.execute(database)
+        assert result == execute(canonical_plan(statement.query), database)
+
+    def test_session_database_is_the_default_target(self):
+        query = build_ex(scale_factor=1.0)
+        session = PlannerSession(database=micro_database(query))
+        handle = session.statement(query).optimize()
+        assert handle.execute() == execute(canonical_plan(query), session.database)
+
+    def test_execute_without_database_raises(self, session):
+        handle = session.sql(SQL).optimize()
+        with pytest.raises(ValueError, match="no database"):
+            handle.execute()
+
+    def test_one_shot_optimize_accepts_sql(self, session):
+        handle = session.optimize(SQL)
+        assert handle.strategy == "ea-prune"
+        assert handle.cost > 0
+
+    def test_per_call_overrides_leave_session_config_alone(self, session):
+        handle = session.optimize(SQL, strategy="h1")
+        assert handle.strategy == "h1"
+        assert session.config.strategy == "ea-prune"
+
+    def test_explain_renders_a_plan(self, session):
+        text = session.sql(SQL).explain()
+        assert "Γ" in text or "Π" in text
+
+
+class TestStrategyComparison:
+    def test_all_builtin_strategies(self, session):
+        comparison = session.sql(SQL).optimize_all_strategies(strategies=BUILTINS)
+        assert tuple(handle.strategy for handle in comparison) == BUILTINS
+        best = comparison.best
+        assert best.cost == min(handle.cost for handle in comparison)
+        assert comparison.winner == best.strategy
+        # eager aggregation wins on this query: DPhyp cannot be the winner
+        assert comparison["dphyp"].cost > best.cost
+
+    def test_default_covers_every_registered_strategy(self, session):
+        comparison = session.sql(SQL).optimize_all_strategies()
+        names = {handle.strategy for handle in comparison}
+        assert set(BUILTINS) <= names
+
+    def test_to_dict(self, session):
+        comparison = session.sql(SQL).optimize_all_strategies(strategies=("dphyp", "h1"))
+        payload = json.loads(json.dumps(comparison.to_dict()))
+        assert payload["winner"] in ("dphyp", "h1")
+        assert len(payload["strategies"]) == 2
+
+
+class TestSessionCache:
+    def test_second_optimize_is_a_cache_hit(self, session):
+        statement = session.sql(SQL)
+        first = statement.optimize()
+        second = statement.optimize()
+        assert not first.cache_hit
+        assert second.cache_hit
+        assert second.cost == first.cost
+
+    def test_uncached_session(self):
+        session = PlannerSession.tpch(config=OptimizerConfig(cache_capacity=None))
+        assert session.cache is None
+        statement = session.sql(SQL)
+        assert not statement.optimize().cache_hit
+        assert not statement.optimize().cache_hit
+
+    def test_catalog_update_invalidates_cached_plans(self, session):
+        session.sql(SQL).optimize()
+        assert len(session.cache) == 1
+        nation = session.catalog.lookup("nation")
+        session.catalog.register(
+            TableStats(
+                name="nation",
+                columns=nation.columns,
+                cardinality=nation.cardinality * 2,
+                distinct=dict(nation.distinct),
+                keys=nation.keys,
+            )
+        )
+        assert len(session.cache) == 0
+
+    def test_close_detaches_the_catalog_watch(self, session):
+        session.sql(SQL).optimize()
+        session.close()
+        nation = session.catalog.lookup("nation")
+        session.catalog.register(nation)
+        assert len(session.cache) == 1  # no longer invalidated
+
+
+class TestEvents:
+    def test_hooks_fire_across_the_pipeline(self):
+        session = PlannerSession.tpch(config=OptimizerConfig(cache_capacity=None))
+        seen = {"prepare": 0, "ccp": 0, "plan": 0, "result": 0}
+        for event in seen:
+            session.on(event, lambda *args, event=event: seen.__setitem__(event, seen[event] + 1))
+        session.sql(SQL).optimize()
+        assert seen["prepare"] == 1
+        assert seen["ccp"] >= 1
+        assert seen["plan"] >= 2
+        assert seen["result"] == 1
+
+    def test_result_fires_for_cache_hits_too(self, session):
+        results = []
+        session.on("result", results.append)
+        statement = session.sql(SQL)
+        statement.optimize()
+        statement.optimize()
+        assert len(results) == 2
+        assert results[1].cache_hit
+
+    def test_unsubscribe(self, session):
+        results = []
+        unsubscribe = session.on("result", results.append)
+        session.sql(SQL).optimize()
+        unsubscribe()
+        unsubscribe()  # idempotent
+        session.sql(SQL).optimize()
+        assert len(results) == 1
+
+    def test_unknown_event_rejected(self, session):
+        with pytest.raises(ValueError, match="unknown event"):
+            session.on("finish", print)
+
+
+class TestPlanHandleSerialization:
+    def test_to_dict_is_json_ready(self, session):
+        payload = session.sql(SQL).optimize().to_dict()
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["strategy"] == "ea-prune"
+        assert decoded["cost_model"] == "cout"
+        assert decoded["cost"] > 0
+        assert decoded["cache_hit"] is False
+
+    def test_plan_tree_structure(self, session):
+        plan = session.sql(SQL).optimize().to_dict()["plan"]
+        ops = set()
+
+        def walk(node):
+            ops.add(node["op"])
+            for key in ("input", "left", "right"):
+                if key in node:
+                    walk(node[key])
+
+        walk(plan)
+        assert "scan" in ops
+        assert "groupby" in ops
+
+
+class TestSessionBatch:
+    def test_run_batch_uses_the_session_cache(self):
+        session = PlannerSession(config=OptimizerConfig(workers=1, cache_capacity=64))
+        workload = generate_workload(6, 3, random.Random(3), unique=2)
+        cold = session.run_batch(workload)
+        warm = session.run_batch(workload)
+        assert cold.hits == 4  # in-batch dedup of the repeated shapes
+        assert warm.hit_rate == 1.0
+
+    def test_batch_costs_match_single_query_path(self):
+        session = PlannerSession(config=OptimizerConfig(workers=1, cache_capacity=64))
+        single = PlannerSession(config=OptimizerConfig(cache_capacity=None))
+        workload = generate_workload(5, 3, random.Random(11))
+        report = session.run_batch(workload)
+        for item, query in zip(report.items, workload):
+            assert item.cost == single.optimize(query).cost
+
+    def test_batch_emits_result_events(self):
+        session = PlannerSession(config=OptimizerConfig(workers=1, cache_capacity=None))
+        results = []
+        session.on("result", results.append)
+        workload = generate_workload(4, 3, random.Random(5))
+        session.run_batch(workload)
+        assert len(results) == 4

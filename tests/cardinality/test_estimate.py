@@ -1,7 +1,5 @@
 """Tests for the cardinality estimators."""
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

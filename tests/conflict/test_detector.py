@@ -1,7 +1,5 @@
 """Tests for the conflict detector (TES computation, rules, applicability)."""
 
-import pytest
-
 from repro.aggregates import count_star, sum_
 from repro.aggregates.vector import AggItem, AggVector
 from repro.algebra.expressions import Attr

@@ -5,8 +5,6 @@ evaluating both sides on concrete relations; every negative entry is
 backed by a concrete counterexample search.
 """
 
-import itertools
-
 import pytest
 
 from repro.algebra import operators as ops

@@ -1,7 +1,5 @@
 """Tests for attribute-equivalence tracking and closure-aware key checks."""
 
-import pytest
-
 from repro.aggregates import count_star, sum_
 from repro.aggregates.vector import AggItem, AggVector
 from repro.algebra.expressions import Attr, Logical

@@ -7,7 +7,7 @@ from repro.aggregates.calls import AggKind
 from repro.aggregates.vector import AggItem, AggVector
 from repro.algebra.expressions import Attr
 from repro.optimizer.planinfo import PlanBuilder, needs_grouping
-from repro.plans.nodes import GroupByNode, JoinNode, ProjectNode, ScanNode
+from repro.plans.nodes import GroupByNode, ProjectNode, ScanNode
 from repro.query.spec import JoinEdge, Query, RelationInfo
 from repro.query.tree import TreeLeaf, TreeNode
 from repro.rewrites.pushdown import OpKind

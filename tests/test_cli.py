@@ -35,6 +35,31 @@ class TestMain:
         for strategy in ("dphyp", "ea-all", "ea-prune", "h1", "h2"):
             assert strategy in out
 
+    def test_compare_prints_the_minimum_cost_winner(self, capsys):
+        assert main(["--compare", SQL]) == 0
+        out = capsys.readouterr().out
+        winner_lines = [line for line in out.splitlines() if line.startswith("winner: ")]
+        assert len(winner_lines) == 1
+        # eager aggregation beats lazy DPhyp on this query
+        assert "winner: dphyp" not in out
+
+    def test_compare_renders_the_winning_plan(self, capsys):
+        from repro.api import PlannerSession
+
+        assert main(["--compare", SQL]) == 0
+        out = capsys.readouterr().out
+        comparison = PlannerSession.tpch().sql(SQL).optimize_all_strategies()
+        # the rendered tree is the minimum-cost strategy's, not a
+        # hardcoded one: the eager plan groups *below* the join
+        assert comparison.best.explain() in out
+        lazy = comparison["dphyp"].explain()
+        if lazy != comparison.best.explain():
+            assert lazy not in out
+
+    def test_cost_model_option(self, capsys):
+        assert main(["--cost-model", "cout", SQL]) == 0
+        assert "Cout=" in capsys.readouterr().out
+
     def test_strategy_option(self, capsys):
         assert main(["--strategy", "h2", "--factor", "1.1", SQL]) == 0
         assert "strategy=h2" in capsys.readouterr().out
@@ -90,3 +115,10 @@ class TestBatchSubcommand:
     def test_missing_sql_file_reports_error(self, capsys):
         assert main(["batch", "--sql-file", "/nonexistent.sql"]) == 1
         assert "error:" in capsys.readouterr().err
+
+    def test_unparsable_workload_line_is_located(self, tmp_path, capsys):
+        sql_file = tmp_path / "queries.sql"
+        sql_file.write_text("# header\n" + SQL + "\nSELECT FROM nowhere\n")
+        assert main(["batch", "--sql-file", str(sql_file)]) == 1
+        err = capsys.readouterr().err
+        assert f"{sql_file}:3:" in err

@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.query.tree import TreeLeaf, tree_leaves, tree_operators
+from repro.query.tree import tree_leaves, tree_operators
 from repro.rewrites.pushdown import OpKind
 from repro.workload import WorkloadConfig, generate_database, generate_query
 
