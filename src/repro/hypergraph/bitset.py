@@ -36,17 +36,16 @@ def is_subset(small: int, big: int) -> bool:
 def subsets(bitset: int) -> Iterator[int]:
     """Enumerate all non-empty subsets of *bitset* (ascending order).
 
-    Uses the classic ``sub = (sub - 1) & bitset`` trick, reversed so that
-    smaller subsets come first — the order DPhyp's EnumerateCsgRec expects
-    (it must emit a csg before any of its supersets).
+    Uses the ascending variant of the classic subset-enumeration trick,
+    ``sub = (sub - bitset) & bitset``, which visits subsets in increasing
+    numeric order directly — the order DPhyp's EnumerateCsgRec expects (it
+    must emit a csg before any of its supersets) — without materialising
+    them in a list first.
     """
-    sub = bitset & -bitset if bitset else 0
-    collected = []
-    sub = bitset
+    sub = (0 - bitset) & bitset
     while sub:
-        collected.append(sub)
-        sub = (sub - 1) & bitset
-    yield from reversed(collected)
+        yield sub
+        sub = (sub - bitset) & bitset
 
 
 def prefix_below(index: int) -> int:

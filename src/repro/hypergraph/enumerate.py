@@ -12,6 +12,22 @@ the enumerator tracks which vertex sets are *buildable* (have at least one
 plan): the representative-based neighbourhood growth of hypergraph DPhyp can
 visit sets that no join of two connected parts can ever produce, and those
 must not surface as csg-cmp components.
+
+Two implementations live here:
+
+* :class:`_Enumerator` — the hot path.  EnumerateCsgRec / EmitCsg /
+  EnumerateCmpRec are small generators that yield either a csg-cmp-pair or
+  a child generator, and ``run`` drives them from an explicit LIFO stack.
+  That keeps the exact depth-first emission order of the published
+  recursion while making every emitted pair O(1) (the recursive
+  ``yield from`` chains re-yield each pair through O(depth) frames) and
+  removing Python's recursion limit from the picture — chains of hundreds
+  of relations enumerate fine.
+* :class:`_RecursiveEnumerator` — the seed's literal recursive
+  transcription, kept as the executable reference.  Equivalence tests pin
+  the iterative enumerator to it, and ``engine="reference"`` optimizer
+  runs (see :mod:`benchmarks.bench_hotpath`) time against it.  It uses the
+  uncached ``*_scan`` graph methods, so its cost profile is the seed's.
 """
 
 from __future__ import annotations
@@ -21,9 +37,14 @@ from typing import Iterator, Tuple
 from repro.hypergraph.bitset import bits_of, prefix_below, subsets
 from repro.hypergraph.graph import Hypergraph
 
+#: Recursion depth the reference enumerator can safely need per vertex.
+_REFERENCE_MAX_N = 400
+
 
 class _Enumerator:
-    """Stateful DPhyp run over one hypergraph."""
+    """Stateful DPhyp run over one hypergraph (iterative hot path)."""
+
+    __slots__ = ("graph", "buildable")
 
     def __init__(self, graph: Hypergraph):
         self.graph = graph
@@ -32,13 +53,99 @@ class _Enumerator:
         self.buildable = {1 << v for v in range(graph.n)}
 
     def run(self) -> Iterator[Tuple[int, int]]:
+        """Drive the generator frames from an explicit stack.
+
+        Each frame yields csg-cmp-pairs (tuples) and child frames
+        (generators); children are pushed and fully drained before their
+        parent resumes — exactly the published depth-first order.
+        """
+        stack = [self._seeds()]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            frame = stack[-1]
+            for item in frame:
+                if item.__class__ is tuple:
+                    yield item
+                else:
+                    push(item)
+                    break
+            else:
+                pop()
+
+    def _seeds(self):
+        for i in range(self.graph.n - 1, -1, -1):
+            seed = 1 << i
+            yield self._emit_csg(seed)
+            yield self._enumerate_csg_rec(seed, prefix_below(i))
+
+    def _enumerate_csg_rec(self, s1: int, excluded: int):
+        neighborhood = self.graph.neighborhood(s1, excluded)
+        if not neighborhood:
+            return
+        buildable = self.buildable
+        for subset in subsets(neighborhood):
+            if s1 | subset in buildable:
+                yield self._emit_csg(s1 | subset)
+        grown_excluded = excluded | neighborhood
+        for subset in subsets(neighborhood):
+            yield self._enumerate_csg_rec(s1 | subset, grown_excluded)
+
+    def _emit_csg(self, s1: int):
+        graph = self.graph
+        excluded = s1 | prefix_below((s1 & -s1).bit_length() - 1)
+        neighborhood = graph.neighborhood(s1, excluded)
+        for v in sorted(bits_of(neighborhood), reverse=True):
+            s2 = 1 << v
+            if graph.connected(s1, s2):
+                self.buildable.add(s1 | s2)
+                yield s1, s2
+            below = neighborhood & prefix_below(v)
+            yield self._enumerate_cmp_rec(s1, s2, excluded | below)
+
+    def _enumerate_cmp_rec(self, s1: int, s2: int, excluded: int):
+        graph = self.graph
+        neighborhood = graph.neighborhood(s2, excluded)
+        if not neighborhood:
+            return
+        buildable = self.buildable
+        for subset in subsets(neighborhood):
+            grown = s2 | subset
+            if grown in buildable and graph.connected(s1, grown):
+                buildable.add(s1 | grown)
+                yield s1, grown
+        grown_excluded = excluded | neighborhood
+        for subset in subsets(neighborhood):
+            yield self._enumerate_cmp_rec(s1, s2 | subset, grown_excluded)
+
+
+class _RecursiveEnumerator:
+    """The seed's recursive DPhyp transcription (reference implementation).
+
+    Every emitted pair travels back through a ``yield from`` chain of up to
+    O(n) generator frames, and deep recursions can exhaust the interpreter
+    stack — which is why the hot path above is iterative.  Uses the
+    uncached ``connected_scan`` / ``neighborhood_scan`` graph methods so
+    reference timings reflect the pre-index cost profile.
+    """
+
+    def __init__(self, graph: Hypergraph):
+        self.graph = graph
+        self.buildable = {1 << v for v in range(graph.n)}
+
+    def run(self) -> Iterator[Tuple[int, int]]:
+        if self.graph.n > _REFERENCE_MAX_N:
+            raise RecursionError(
+                f"reference enumerator supports n <= {_REFERENCE_MAX_N} "
+                f"(got n={self.graph.n}); use the default iterative enumerator"
+            )
         for i in range(self.graph.n - 1, -1, -1):
             seed = 1 << i
             yield from self.emit_csg(seed)
             yield from self.enumerate_csg_rec(seed, prefix_below(i))
 
     def enumerate_csg_rec(self, s1: int, excluded: int) -> Iterator[Tuple[int, int]]:
-        neighborhood = self.graph.neighborhood(s1, excluded)
+        neighborhood = self.graph.neighborhood_scan(s1, excluded)
         if not neighborhood:
             return
         for subset in subsets(neighborhood):
@@ -51,22 +158,22 @@ class _Enumerator:
     def emit_csg(self, s1: int) -> Iterator[Tuple[int, int]]:
         min_index = (s1 & -s1).bit_length() - 1
         excluded = s1 | prefix_below(min_index)
-        neighborhood = self.graph.neighborhood(s1, excluded)
+        neighborhood = self.graph.neighborhood_scan(s1, excluded)
         for v in sorted(bits_of(neighborhood), reverse=True):
             s2 = 1 << v
-            if self.graph.connected(s1, s2):
+            if self.graph.connected_scan(s1, s2):
                 self.buildable.add(s1 | s2)
                 yield s1, s2
             below = neighborhood & prefix_below(v)
             yield from self.enumerate_cmp_rec(s1, s2, excluded | below)
 
     def enumerate_cmp_rec(self, s1: int, s2: int, excluded: int) -> Iterator[Tuple[int, int]]:
-        neighborhood = self.graph.neighborhood(s2, excluded)
+        neighborhood = self.graph.neighborhood_scan(s2, excluded)
         if not neighborhood:
             return
         for subset in subsets(neighborhood):
             grown = s2 | subset
-            if grown in self.buildable and self.graph.connected(s1, grown):
+            if grown in self.buildable and self.graph.connected_scan(s1, grown):
                 self.buildable.add(s1 | grown)
                 yield s1, grown
         for subset in subsets(neighborhood):
@@ -86,6 +193,16 @@ def enumerate_ccps(graph: Hypergraph) -> Iterator[Tuple[int, int]]:
       complements.
     """
     return _Enumerator(graph).run()
+
+
+def enumerate_ccps_reference(graph: Hypergraph) -> Iterator[Tuple[int, int]]:
+    """The seed's recursive enumerator over uncached graph scans.
+
+    Raises :class:`RecursionError` up front for graphs too deep for the
+    interpreter stack; the default :func:`enumerate_ccps` has no such
+    limit.  Emission order is pinned to :func:`enumerate_ccps` by tests.
+    """
+    return _RecursiveEnumerator(graph).run()
 
 
 def count_ccps(graph: Hypergraph) -> int:

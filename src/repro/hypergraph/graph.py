@@ -5,12 +5,32 @@ hyperedges ``(u, w)`` — pairs of disjoint, non-empty vertex sets.  A *simple*
 edge has ``|u| = |w| = 1``.  The conflict detector maps every operator of
 the initial tree to one hyperedge ``(L-TES, R-TES)``, so hyperedges carry an
 opaque ``label`` (the operator's edge id) for the plan generator.
+
+Hot-path design (see docs/architecture.md): the DPhyp enumerator calls
+``neighborhood`` and ``connected`` once or more per csg-cmp-pair, so both
+are served from per-vertex indexes instead of scans over ``self.edges``:
+
+* ``_simple_neighbors[v]`` — union of simple-edge neighbours of ``v``,
+* ``_sides_by_min[v]`` — every edge *orientation* ``(u, w)`` whose side
+  ``u`` has ``min(u) = v``.  Any edge with ``u ⊆ S`` is findable under one
+  of S's vertices, so membership tests touch only edges incident to S,
+* memo dictionaries for ``connected`` and ``neighborhood`` — both are pure
+  functions of the (immutable) graph, so results are cached across the
+  run.  ``reset_caches()`` drops them (e.g. between benchmark repetitions).
+
+The pre-index linear scans survive as ``connected_scan`` /
+``neighborhood_scan`` — the executable reference implementation used by
+equivalence tests and by the ``engine="reference"`` optimizer path that
+:mod:`benchmarks.bench_hotpath` times speedups against.
+
+``counters`` tracks index probes and memo hits; the optimizer surfaces a
+snapshot of them on :class:`~repro.optimizer.driver.OptimizationResult`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.hypergraph.bitset import bits_of, is_subset, lowest_bit
 
@@ -52,6 +72,10 @@ class Hypergraph:
         # Simple-edge adjacency per vertex accelerates the common case.
         self._simple_neighbors = [0] * n
         self._complex_edges: List[Hyperedge] = []
+        # Both orientations (u, w) of every edge, indexed by min(u); the
+        # complex-only sublist drives the neighbourhood representatives.
+        self._sides_by_min: List[List[Tuple[int, int, Hyperedge]]] = [[] for _ in range(n)]
+        self._complex_sides_by_min: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
         for edge in self.edges:
             if edge.simple:
                 u = lowest_bit(edge.left)
@@ -60,12 +84,32 @@ class Hypergraph:
                 self._simple_neighbors[w] |= edge.left
             else:
                 self._complex_edges.append(edge)
+            for u, w in ((edge.left, edge.right), (edge.right, edge.left)):
+                self._sides_by_min[lowest_bit(u)].append((u, w, edge))
+                if not edge.simple:
+                    self._complex_sides_by_min[lowest_bit(u)].append((u, w))
+        self._connected_cache: Dict[Tuple[int, int], bool] = {}
+        self._neighborhood_cache: Dict[Tuple[int, int], int] = {}
+        self.counters: Dict[str, int] = {
+            "neighborhood_calls": 0,
+            "neighborhood_memo_hits": 0,
+            "connected_calls": 0,
+            "connected_memo_hits": 0,
+            "edge_sides_scanned": 0,
+        }
 
     @classmethod
     def from_pairs(cls, n: int, pairs: Sequence[Tuple[int, int]]) -> "Hypergraph":
         """Build a simple graph from vertex-index pairs (test convenience)."""
         edges = [Hyperedge(1 << u, 1 << w, label=i) for i, (u, w) in enumerate(pairs)]
         return cls(n, edges)
+
+    def reset_caches(self) -> None:
+        """Drop the connected/neighbourhood memos and zero the counters."""
+        self._connected_cache.clear()
+        self._neighborhood_cache.clear()
+        for key in self.counters:
+            self.counters[key] = 0
 
     # -- connectivity -------------------------------------------------------
     def neighborhood(self, s: int, excluded: int) -> int:
@@ -75,6 +119,33 @@ class Hypergraph:
         with ``u ⊆ S`` and ``w ∩ (S ∪ X) = ∅`` contributes only ``min(w)``
         as its representative (Moerkotte & Neumann 2008).
         """
+        counters = self.counters
+        counters["neighborhood_calls"] += 1
+        forbidden = s | excluded
+        # The result depends only on (s, s ∪ X), so memoise on that — it
+        # also folds together calls whose excluded sets differ inside s.
+        key = (s, forbidden)
+        cached = self._neighborhood_cache.get(key)
+        if cached is not None:
+            counters["neighborhood_memo_hits"] += 1
+            return cached
+        result = 0
+        simple = self._simple_neighbors
+        complex_sides = self._complex_sides_by_min
+        scanned = 0
+        for v in bits_of(s):
+            result |= simple[v]
+            for u, w in complex_sides[v]:
+                scanned += 1
+                if not (u & ~s) and not (w & forbidden):
+                    result |= w & -w
+        result &= ~forbidden
+        counters["edge_sides_scanned"] += scanned
+        self._neighborhood_cache[key] = result
+        return result
+
+    def neighborhood_scan(self, s: int, excluded: int) -> int:
+        """Reference ``N(S, X)``: the pre-index linear scan over all edges."""
         forbidden = s | excluded
         result = 0
         for v in bits_of(s):
@@ -87,7 +158,12 @@ class Hypergraph:
         return result
 
     def connecting_edges(self, s1: int, s2: int) -> List[Hyperedge]:
-        """All hyperedges with one side inside *s1* and the other inside *s2*."""
+        """All hyperedges with one side inside *s1* and the other inside *s2*.
+
+        Not on the DP hot path (the driver resolves operators through
+        :class:`repro.optimizer.edgeindex.EdgeResolver`), so this stays
+        the simple order-preserving scan.
+        """
         found = []
         for edge in self.edges:
             if (is_subset(edge.left, s1) and is_subset(edge.right, s2)) or (
@@ -97,7 +173,35 @@ class Hypergraph:
         return found
 
     def connected(self, s1: int, s2: int) -> bool:
-        """Whether some hyperedge connects *s1* and *s2*."""
+        """Whether some hyperedge connects *s1* and *s2* (memoised)."""
+        counters = self.counters
+        counters["connected_calls"] += 1
+        key = (s1, s2) if s1 <= s2 else (s2, s1)
+        cached = self._connected_cache.get(key)
+        if cached is not None:
+            counters["connected_memo_hits"] += 1
+            return cached
+        # Any crossing edge has the min vertex of its s1-side inside s1, so
+        # scanning the smaller side's incident orientations suffices.
+        if s1.bit_count() > s2.bit_count():
+            s1, s2 = s2, s1
+        sides = self._sides_by_min
+        scanned = 0
+        result = False
+        for v in bits_of(s1):
+            for u, w, _edge in sides[v]:
+                scanned += 1
+                if not (u & ~s1) and not (w & ~s2):
+                    result = True
+                    break
+            if result:
+                break
+        counters["edge_sides_scanned"] += scanned
+        self._connected_cache[key] = result
+        return result
+
+    def connected_scan(self, s1: int, s2: int) -> bool:
+        """Reference connectivity test: the pre-index scan over all edges."""
         for edge in self.edges:
             if (is_subset(edge.left, s1) and is_subset(edge.right, s2)) or (
                 is_subset(edge.left, s2) and is_subset(edge.right, s1)

@@ -9,23 +9,46 @@ This is the paper's Fig. 5 skeleton with the eager-aggregation extensions:
    join (Fig. 8), and the chosen strategy decides what survives,
 5. finalise plans for the full relation set (top grouping or Eqv.-42
    elimination) through ``InsertTopLevelPlan``.
+
+Two engines drive the same skeleton (see docs/architecture.md):
+
+* ``engine="indexed"`` (default) — the hot path: iterative enumerator over
+  the indexed/memoised hypergraph, per-edge join specs resolved through
+  :class:`~repro.optimizer.edgeindex.EdgeResolver`, predicate-metadata
+  memos in the :class:`~repro.optimizer.planinfo.PlanBuilder`, and
+  cost-ordered EA-Prune buckets,
+* ``engine="reference"`` — the seed's code path (recursive enumerator,
+  linear edge scans, uncached builder, unordered buckets), kept as the
+  executable spec.  Golden tests assert both engines produce identical
+  costs, ccp counts and table sizes; :mod:`benchmarks.bench_hotpath`
+  times the indexed engine against it.
+
+The engine choice never changes optimizer *output* — it is deliberately
+not part of :class:`~repro.optimizer.config.OptimizerConfig` or the plan
+cache key.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
+from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.algebra.expressions import conjunction
 from repro.conflict.detector import AnnotatedEdge, detect
 from repro.hypergraph.graph import Hypergraph
-from repro.hypergraph.enumerate import enumerate_ccps
+from repro.hypergraph.enumerate import enumerate_ccps, enumerate_ccps_reference
 from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.edgeindex import EdgeResolver, JoinSpec
 from repro.optimizer.planinfo import PlanBuilder, PlanInfo
-from repro.optimizer.strategies import Strategy
+from repro.optimizer.strategies import EaPruneStrategy, Strategy, sweep_prune_caches
 from repro.query.spec import Query
 from repro.rewrites.pushdown import OpKind, pushdown_valid_for
+
+#: Back-compat alias — the resolved-operator record now lives in
+#: :mod:`repro.optimizer.edgeindex`.
+_JoinSpec = JoinSpec
 
 
 @dataclass
@@ -39,6 +62,12 @@ class OptimizationResult:
     plans_built: int
     table_sizes: Dict[int, int]
     cache_hit: bool = False
+    #: Hot-path instrumentation (edge-index scans, memo hits, dominance
+    #: checks) for the run that produced the plan.  Keys are additive
+    #: counters; absent on cache hits only in the sense that they still
+    #: describe the original run.  Populated by :func:`optimize`; empty
+    #: for results constructed elsewhere.
+    stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def cost(self) -> float:
@@ -69,6 +98,15 @@ class PreparedQuery:
     annotated: Tuple[AnnotatedEdge, ...]
     graph: Hypergraph
 
+    def resolver(self) -> EdgeResolver:
+        """A per-edge join-spec resolver for this pre-pass (built lazily
+        and cached — resolvers are pure indexes over ``annotated``)."""
+        cached = self.__dict__.get("_resolver")
+        if cached is None:
+            cached = EdgeResolver(self.annotated, self.query)
+            object.__setattr__(self, "_resolver", cached)
+        return cached
+
 
 def prepare(query: Query) -> PreparedQuery:
     """Run conflict detection and build the hypergraph for *query*."""
@@ -88,7 +126,8 @@ class OptimizerHooks:
       the DP table (access paths, OpTrees variants for inner table
       entries, finalised plans for the full relation set),
     * ``on_result(result)`` — once per returned result, cache hits
-      included.
+      included.  ``result.stats`` carries the hot-path counters, so
+      metrics pipelines hang off this hook without touching the DP loops.
 
     Absent callbacks cost a single attribute read; the DP hot loops stay
     untouched when no hooks are installed.
@@ -100,19 +139,6 @@ class OptimizerHooks:
     on_result: Optional[Callable[["OptimizationResult"], None]] = None
 
 
-class _JoinSpec:
-    """Resolved operator for one csg-cmp-pair: op, predicate, selectivity."""
-
-    __slots__ = ("op", "predicate", "selectivity", "groupjoin_vector", "swap")
-
-    def __init__(self, op, predicate, selectivity, groupjoin_vector, swap):
-        self.op = op
-        self.predicate = predicate
-        self.selectivity = selectivity
-        self.groupjoin_vector = groupjoin_vector
-        self.swap = swap
-
-
 def optimize(
     query: Query,
     strategy: str | Strategy = "ea-prune",
@@ -122,6 +148,7 @@ def optimize(
     *,
     config: Optional[OptimizerConfig] = None,
     hooks: Optional[OptimizerHooks] = None,
+    engine: str = "indexed",
 ) -> OptimizationResult:
     """Optimize *query* and return the final plan.
 
@@ -134,7 +161,11 @@ def optimize(
     :class:`repro.service.cache.PlanCache`: hits return immediately
     (marked ``cache_hit=True``), misses are stored after optimization.
     *hooks* receive tracing callbacks (see :class:`OptimizerHooks`).
+    *engine* selects the hot path (``"indexed"``, default) or the seed
+    code path (``"reference"``); the result is identical either way.
     """
+    if engine not in ("indexed", "reference"):
+        raise ValueError(f"unknown engine {engine!r} (use 'indexed' or 'reference')")
     if config is None:
         config = OptimizerConfig(strategy=strategy, factor=factor, cache_capacity=None)
     chosen = config.resolve_strategy()
@@ -164,16 +195,42 @@ def optimize(
     if prepared is not None:
         annotated, graph = prepared.annotated, prepared.graph
     else:
-        annotated, graph = detect(query)
+        prepared_here = prepare(query)
+        annotated, graph = prepared_here.annotated, prepared_here.graph
         if hooks is not None and hooks.on_prepare is not None:
-            hooks.on_prepare(
-                PreparedQuery(query=query, annotated=tuple(annotated), graph=graph)
-            )
-    builder = PlanBuilder(query, cost_model=cost_model)
+            hooks.on_prepare(prepared_here)
+        prepared = prepared_here
+
+    reference = engine == "reference"
+    if reference and isinstance(chosen, EaPruneStrategy) and chosen.ordered:
+        chosen = EaPruneStrategy(criteria=chosen.criteria, ordered=False)
+
+    # Bound the global FD intern tables between runs (no bucket from this
+    # run exists yet, so a reset here can never alias signature ids).
+    sweep_prune_caches()
+
+    builder = PlanBuilder(query, cost_model=cost_model, memo=not reference)
     all_mask = query.all_relations_mask
 
     on_ccp = hooks.on_ccp if hooks is not None else None
     on_plan = hooks.on_plan if hooks is not None else None
+
+    if reference:
+        resolver = None
+        resolve = partial(_resolve_edge, annotated, query)
+        ccps = enumerate_ccps_reference(graph)
+    else:
+        resolver = prepared.resolver()
+        resolve = resolver.resolve
+        ccps = enumerate_ccps(graph)
+
+    # Counter snapshots: graph/resolver/strategy objects may be shared
+    # across runs (PreparedQuery reuse, strategy instances in configs), so
+    # the per-run stats are end-minus-start diffs.
+    graph_before = dict(graph.counters)
+    resolver_before = dict(resolver.counters) if resolver is not None else {}
+    strategy_counters = getattr(chosen, "counters", None)
+    strategy_before = dict(strategy_counters) if strategy_counters is not None else {}
 
     table: Dict[int, List[PlanInfo]] = {}
     for vertex in range(len(query.relations)):
@@ -193,11 +250,11 @@ def optimize(
         if on_plan is not None:
             on_plan(finished)
 
-    for s1, s2 in enumerate_ccps(graph):
+    for s1, s2 in ccps:
         ccp_count += 1
         if on_ccp is not None:
             on_ccp(s1, s2)
-        spec = _resolve_edge(annotated, query, s1, s2)
+        spec = resolve(s1, s2)
         if spec is None:
             continue
         left_set, right_set = (s2, s1) if spec.swap else (s1, s2)
@@ -207,7 +264,11 @@ def optimize(
             continue
         combined = left_set | right_set
         is_top = combined == all_mask
-        bucket = table.setdefault(combined, [])
+        bucket = table.get(combined)
+        if bucket is None:
+            # Top-level entries go through insert_top (single plan, list
+            # semantics); inner entries use the strategy's bucket type.
+            bucket = table[combined] = [] if is_top else chosen.new_bucket()
         for left_plan in left_bucket:
             for right_plan in right_bucket:
                 for plan in _op_trees(builder, chosen, left_plan, right_plan, spec):
@@ -229,6 +290,23 @@ def optimize(
         raise RuntimeError("no plan found — query hypergraph not fully connectable")
     best = min(final, key=lambda p: p.cost)
     elapsed = time.perf_counter() - start
+
+    stats: Dict[str, int] = {"engine_reference": 1 if reference else 0}
+    for name, value in graph.counters.items():
+        delta = value - graph_before.get(name, 0)
+        if delta:
+            stats[f"graph.{name}"] = delta
+    if resolver is not None:
+        for name, value in resolver.counters.items():
+            delta = value - resolver_before.get(name, 0)
+            if delta:
+                stats[f"resolver.{name}"] = delta
+    if strategy_counters is not None:
+        for name, value in strategy_counters.items():
+            delta = value - strategy_before.get(name, 0)
+            if delta:
+                stats[f"strategy.{name}"] = delta
+
     result = OptimizationResult(
         plan=best,
         strategy=chosen.name,
@@ -236,6 +314,7 @@ def optimize(
         ccp_count=ccp_count,
         plans_built=plans_built,
         table_sizes={mask: len(plans) for mask, plans in table.items()},
+        stats=stats,
     )
     if cache is not None and key is not None:
         cache.store(key, query, result)
@@ -246,8 +325,9 @@ def optimize(
 
 def _resolve_edge(
     annotated: Sequence[AnnotatedEdge], query: Query, s1: int, s2: int
-) -> Optional[_JoinSpec]:
-    """Determine the operator applied when joining *s1* and *s2*.
+) -> Optional[JoinSpec]:
+    """Reference operator resolution: the seed's linear scan over all
+    annotated edges (see :meth:`EdgeResolver.resolve` for the hot path).
 
     Exactly one edge crossing: use its operator (checking applicability in
     both orientations; non-commutative operators fix the orientation).
@@ -267,12 +347,12 @@ def _resolve_edge(
         edge = crossing[0]
         join_edge = query.edge(edge.edge_id)
         if edge.applicable(s1, s2):
-            return _JoinSpec(
+            return JoinSpec(
                 edge.op, join_edge.predicate, join_edge.selectivity,
                 join_edge.groupjoin_vector, swap=False,
             )
         if edge.applicable(s2, s1):
-            return _JoinSpec(
+            return JoinSpec(
                 edge.op, join_edge.predicate, join_edge.selectivity,
                 join_edge.groupjoin_vector, swap=True,
             )
@@ -289,7 +369,7 @@ def _resolve_edge(
         join_edge = query.edge(edge.edge_id)
         predicates.append(join_edge.predicate)
         selectivity *= join_edge.selectivity
-    return _JoinSpec(OpKind.INNER, conjunction(predicates), selectivity, None, swap=False)
+    return JoinSpec(OpKind.INNER, conjunction(predicates), selectivity, None, swap=False)
 
 
 def _subset(small: int, big: int) -> bool:
@@ -301,7 +381,7 @@ def _op_trees(
     strategy: Strategy,
     left: PlanInfo,
     right: PlanInfo,
-    spec: _JoinSpec,
+    spec: JoinSpec,
 ):
     """``OpTrees`` (Fig. 6): the up-to-four grouping placements of Fig. 8."""
     plain = builder.join(

@@ -26,6 +26,7 @@ scale columns into the new count column (``count(*) ⊗ c`` = ``sum(c)``).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from functools import lru_cache
 from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -65,6 +66,15 @@ from repro.rewrites.pushdown import OpKind
 _KEY_LIMIT = 12  # cap on tracked candidate keys per plan
 
 
+def clear_memo_caches() -> None:
+    """Drop the module-level pure-function memos (benchmark hygiene —
+    correctness never requires it; the caches are keyed by value)."""
+    _minimal_keys_cached.cache_clear()
+    _merge_equiv_cached.cache_clear()
+    _pairwise_keys.cache_clear()
+    _scale_call_cached.cache_clear()
+
+
 @dataclass(frozen=True)
 class PlanInfo:
     """One plan for a relation set, with all derived DP properties."""
@@ -87,17 +97,57 @@ class PlanInfo:
     equiv: Tuple[FrozenSet[str], ...] = ()
 
     def closure(self, attrs: FrozenSet[str]) -> FrozenSet[str]:
-        """Attributes plus everything equal to them (equivalence closure)."""
-        out = set(attrs)
-        for cls in self.equiv:
-            if cls & out:
-                out |= cls
-        return frozenset(out)
+        """Attributes plus everything equal to them (equivalence closure).
+
+        Memoised per plan: the dominance pruning and ``NeedsGrouping`` ask
+        for the same closures over and over in the DP hot loop.  The cache
+        lives in the instance ``__dict__`` (invisible to dataclass
+        eq/replace) because the declared fields are frozen.
+        """
+        cache = self.__dict__.get("_closure_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_closure_cache", cache)
+        cached = cache.get(attrs)
+        if cached is None:
+            out = set(attrs)
+            for cls in self.equiv:
+                if cls & out:
+                    out |= cls
+            cached = frozenset(out)
+            cache[attrs] = cached
+        return cached
+
+    def __getstate__(self):
+        """Strip the per-instance memo caches before pickling: they hold
+        process-local interned objects (FD signatures) that must not leak
+        to batch-driver worker/parent processes."""
+        state = dict(self.__dict__)
+        state.pop("_closure_cache", None)
+        state.pop("_key_within_cache", None)
+        state.pop("_fd_sig", None)
+        return state
 
     def has_key_within(self, attrs: FrozenSet[str]) -> bool:
         """Whether some candidate key is implied by *attrs* (via closure)."""
-        closed = self.closure(frozenset(attrs))
-        return any(key <= closed for key in self.keys)
+        cache = self.__dict__.get("_key_within_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_key_within_cache", cache)
+        attrs = frozenset(attrs)
+        cached = cache.get(attrs)
+        if cached is None:
+            closed = self.closure(attrs)
+            cached = any(key <= closed for key in self.keys)
+            cache[attrs] = cached
+        return cached
+
+
+@lru_cache(maxsize=65536)
+def _scale_call_cached(call: AggCall, count_attrs: Tuple[str, ...]) -> AggCall:
+    """Memoised ``f ⊗ c`` — the same (call, scale-columns) pairs are
+    rebuilt for every plan pair joining the same relation sets."""
+    return scale_call(call, count_attrs)
 
 
 def needs_grouping(group_attrs: FrozenSet[str], plan: PlanInfo) -> bool:
@@ -128,6 +178,15 @@ def _equality_pairs(predicate: Expr) -> List[Tuple[str, str]]:
     return pairs
 
 
+@lru_cache(maxsize=65536)
+def _merge_equiv_cached(
+    classes: Tuple[FrozenSet[str], ...], pairs: Tuple[Tuple[str, str], ...]
+) -> Tuple[FrozenSet[str], ...]:
+    """Memoised :func:`_merge_equiv`: the same (classes, predicate-pairs)
+    combinations recur for every plan pair of a csg-cmp-pair."""
+    return _merge_equiv(classes, pairs)
+
+
 def _merge_equiv(
     classes: Sequence[FrozenSet[str]], pairs: Sequence[Tuple[str, str]]
 ) -> Tuple[FrozenSet[str], ...]:
@@ -153,6 +212,13 @@ def _restrict_equiv(
 
 def _minimal_keys(keys: Sequence[FrozenSet[str]]) -> Tuple[FrozenSet[str], ...]:
     """Drop keys that are supersets of other keys; cap the key count."""
+    return _minimal_keys_cached(tuple(keys))
+
+
+@lru_cache(maxsize=65536)
+def _minimal_keys_cached(keys: Tuple[FrozenSet[str], ...]) -> Tuple[FrozenSet[str], ...]:
+    """Memoised body of :func:`_minimal_keys` — a pure set computation that
+    the DP loop re-derives for the same key tuples constantly."""
     unique = sorted(set(keys), key=lambda k: (len(k), sorted(k)))
     minimal: List[FrozenSet[str]] = []
     for key in unique:
@@ -169,13 +235,24 @@ class PlanBuilder:
     contribution (see :mod:`repro.optimizer.costmodel`).
     """
 
-    def __init__(self, query: Query, cost_model: Optional["CostModel"] = None):
+    def __init__(
+        self,
+        query: Query,
+        cost_model: Optional["CostModel"] = None,
+        memo: bool = True,
+    ):
         if cost_model is None:
             from repro.optimizer.costmodel import CoutModel
 
             cost_model = CoutModel()
         self.cost_model = cost_model
         self.query = query
+        #: Per-predicate metadata memos (attribute sets, equality pairs).
+        #: ``memo=False`` restores the seed's recompute-per-join behaviour —
+        #: used by the ``engine="reference"`` benchmark path.
+        self.memo = memo
+        self._pred_attrs: Dict[int, Tuple[Expr, FrozenSet[str]]] = {}
+        self._pred_eq_pairs: Dict[int, Tuple[Expr, Tuple[Tuple[str, str], ...]]] = {}
         self._group_counter = 0
         # Source relation mask per normalized aggregate; count(*)-style
         # aggregates (no referenced attributes — special case S1 of Def. 1)
@@ -203,6 +280,36 @@ class PlanBuilder:
     def _fresh_suffix(self) -> str:
         self._group_counter += 1
         return f"#g{self._group_counter}"
+
+    # -- predicate metadata memos --------------------------------------------
+    # Join predicates are a handful of stable objects (one per edge, plus
+    # the conjunctions the edge resolver interns for cyclic queries), while
+    # ``join`` runs once per plan pair — so ``attrs_of`` / equality-pair
+    # extraction are cached per predicate *identity*.  The ``hit[0] is
+    # predicate`` check guards against id() reuse after a predicate is
+    # garbage collected.
+
+    def _attrs_of(self, predicate: Expr) -> FrozenSet[str]:
+        if not self.memo:
+            return attrs_of(predicate)
+        key = id(predicate)
+        hit = self._pred_attrs.get(key)
+        if hit is not None and hit[0] is predicate:
+            return hit[1]
+        attrs = attrs_of(predicate)
+        self._pred_attrs[key] = (predicate, attrs)
+        return attrs
+
+    def _equality_pairs_of(self, predicate: Expr) -> Tuple[Tuple[str, str], ...]:
+        if not self.memo:
+            return tuple(_equality_pairs(predicate))
+        key = id(predicate)
+        hit = self._pred_eq_pairs.get(key)
+        if hit is not None and hit[0] is predicate:
+            return hit[1]
+        pairs = tuple(_equality_pairs(predicate))
+        self._pred_eq_pairs[key] = (predicate, pairs)
+        return pairs
 
     # ------------------------------------------------------------------
     def leaf(self, vertex: int) -> PlanInfo:
@@ -266,9 +373,9 @@ class PlanBuilder:
                 result_scale = left.scale_cols
             else:
                 for name, call in left.terms.items():
-                    terms[name] = scale_call(call, right.scale_cols)
+                    terms[name] = _scale_call_cached(call, right.scale_cols)
                 for name, call in right.terms.items():
-                    terms[name] = scale_call(call, left.scale_cols)
+                    terms[name] = _scale_call_cached(call, left.scale_cols)
                 result_scale = left.scale_cols + right.scale_cols
         except Exception:
             return None
@@ -301,7 +408,7 @@ class PlanBuilder:
             call = self.original_calls[name]
             if not call.attributes() <= raw_attrs:
                 return None  # raw inputs no longer available
-            terms[name] = scale_call(call, result_scale)
+            terms[name] = _scale_call_cached(call, result_scale)
 
         # --- plan node ---------------------------------------------------
         left_defaults: Tuple[Tuple[str, SqlValue], ...] = ()
@@ -322,9 +429,10 @@ class PlanBuilder:
         )
 
         # --- statistics ---------------------------------------------------
-        cardinality = self._join_cardinality(op, left, right, predicate, selectivity)
+        join_attrs = self._attrs_of(predicate)
+        cardinality = self._join_cardinality(op, left, right, join_attrs, selectivity)
         cost = left.cost + right.cost + self.cost_model.join(op, cardinality, left, right)
-        keys = self._join_keys(op, left, right, predicate)
+        keys = self._join_keys(op, left, right, join_attrs)
         duplicate_free = left.duplicate_free and (
             op in (OpKind.LEFT_SEMI, OpKind.LEFT_ANTI, OpKind.GROUPJOIN)
             or right.duplicate_free
@@ -344,7 +452,7 @@ class PlanBuilder:
             if op is OpKind.INNER:
                 # Only inner joins guarantee the equality for *every* output
                 # row; outerjoin padding breaks it.
-                equiv = _merge_equiv(equiv, _equality_pairs(predicate))
+                equiv = _merge_equiv_cached(equiv, self._equality_pairs_of(predicate))
 
         from repro.plans.nodes import direct_grouping_children
 
@@ -365,7 +473,12 @@ class PlanBuilder:
         )
 
     def _join_cardinality(
-        self, op: OpKind, left: PlanInfo, right: PlanInfo, predicate: Expr, selectivity: float
+        self,
+        op: OpKind,
+        left: PlanInfo,
+        right: PlanInfo,
+        join_attrs: FrozenSet[str],
+        selectivity: float,
     ) -> float:
         """Result-size estimate; existence-test terms use *distinct* join
         value counts, which are invariants of the relation set (see
@@ -373,7 +486,6 @@ class PlanBuilder:
         l_card, r_card = left.cardinality, right.cardinality
         if op is OpKind.INNER:
             return join_cardinality(l_card, r_card, selectivity)
-        join_attrs = attrs_of(predicate)
         d_right = domain_product(
             [a for a in join_attrs if a in right.raw_attrs], right.distinct
         )
@@ -398,13 +510,12 @@ class PlanBuilder:
         raise AssertionError(op)
 
     def _join_keys(
-        self, op: OpKind, left: PlanInfo, right: PlanInfo, predicate: Expr
+        self, op: OpKind, left: PlanInfo, right: PlanInfo, join_attrs: FrozenSet[str]
     ) -> Tuple[FrozenSet[str], ...]:
         """κ for join results (Sec. 2.3)."""
         if op in (OpKind.LEFT_SEMI, OpKind.LEFT_ANTI, OpKind.GROUPJOIN):
             return left.keys
 
-        join_attrs = attrs_of(predicate)
         a1 = frozenset(a for a in join_attrs if a in left.raw_attrs)
         a2 = frozenset(a for a in join_attrs if a in right.raw_attrs)
         left_keyed = left.has_key_within(a1)
@@ -433,7 +544,7 @@ class PlanBuilder:
         Returns ``None`` when invalid: a term is neither decomposable nor
         preserved raw by the grouping attributes.
         """
-        g_plus = tuple(a for a in _ordered(plan, group_attrs))
+        g_plus = _ordered(group_attrs)
         suffix = self._fresh_suffix()
 
         inner_items: List[AggItem] = []
@@ -461,7 +572,7 @@ class PlanBuilder:
         need_count = self._need_count(plan.rel_set)
         count_name: Optional[str] = None
         if need_count:
-            count_call = scale_call(AggCall(AggKind.COUNT_STAR), plan.scale_cols)
+            count_call = _scale_call_cached(AggCall(AggKind.COUNT_STAR), plan.scale_cols)
             # Sec. 3.1.1: "since there already exists one count(*) ... we
             # keep only one of them" — reuse an identical inner column.
             for item in inner_items:
@@ -574,14 +685,14 @@ def _has_avg_post(post, names) -> bool:
     return False
 
 
-def _ordered(plan: PlanInfo, attrs: FrozenSet[str]) -> List[str]:
-    """Stable ordering of grouping attributes (schema order where known)."""
-    ordered = [a for a in sorted(attrs)]
-    return ordered
+def _ordered(attrs: FrozenSet[str]) -> Tuple[str, ...]:
+    """Stable (sorted) ordering of grouping attributes."""
+    return tuple(sorted(attrs))
 
 
+@lru_cache(maxsize=65536)
 def _pairwise_keys(
-    keys1: Sequence[FrozenSet[str]], keys2: Sequence[FrozenSet[str]]
+    keys1: Tuple[FrozenSet[str], ...], keys2: Tuple[FrozenSet[str], ...]
 ) -> Tuple[FrozenSet[str], ...]:
     combined = [k1 | k2 for k1 in keys1 for k2 in keys2]
     return _minimal_keys(combined)

@@ -6,11 +6,34 @@ Each strategy answers two questions:
 * ``explore_eager`` — should OpTrees generate the grouping placements
   (b)/(c)/(d) of Fig. 8 at all?  (False only for the DPhyp baseline.)
 * ``insert(bucket, plan)`` — which plans survive in the DP table entry.
+
+Hot-path design (see docs/architecture.md): EA-Prune's dominance test
+(Def. 4) is where the DP spends almost all of its time, so two structures
+accelerate it without changing which plans survive:
+
+* **Ordered buckets** — :class:`PruneBucket` keeps each DP-table entry
+  sorted by cost (with a parallel cost array for bisection).  A stored
+  plan can dominate a candidate only if its cost is no higher, and can be
+  dominated only if its cost is no lower, so both scans cover just a
+  cost-bounded slice of the bucket instead of all of it.  Dominance is a
+  transitive preorder, which makes the surviving *set* independent of scan
+  and insertion order — only the list order changes.
+* **FD signatures** — the functional-dependency part of Def. 4 depends
+  only on ``(duplicate_free, keys, equiv)``.  Those triples repeat across
+  thousands of plans, so they are interned into small integer signature
+  ids (module-level, pure), and each pairwise FD verdict is computed once
+  and memoised under the id pair.  ``reset_prune_caches()`` clears both
+  tables (benchmark hygiene; correctness never needs it).
+
+The seed's unordered linear-scan insert survives on ``ordered=False``
+instances — the executable reference that equivalence tests and the
+``engine="reference"`` benchmark path run against.
 """
 
 from __future__ import annotations
 
-from typing import List
+from bisect import bisect_left, bisect_right
+from typing import Dict, FrozenSet, List, Tuple
 
 from repro.optimizer.planinfo import PlanInfo
 from repro.optimizer.registry import STRATEGIES
@@ -21,6 +44,10 @@ class Strategy:
 
     name = "abstract"
     explore_eager = True
+
+    def new_bucket(self) -> List[PlanInfo]:
+        """A fresh DP-table entry; strategies may return an indexed list."""
+        return []
 
     def insert(self, bucket: List[PlanInfo], plan: PlanInfo) -> None:
         raise NotImplementedError
@@ -56,6 +83,220 @@ class EaAllStrategy(Strategy):
         bucket.append(plan)
 
 
+# -- EA-Prune FD-signature interning ----------------------------------------
+
+
+class _FdSignature:
+    """The FD-relevant slice of a plan: ``(duplicate_free, keys, equiv)``.
+
+    Quacks like :class:`PlanInfo` for :func:`_fd_superset`, with its own
+    closure memo, so one representative per distinct triple answers every
+    pairwise FD question for all plans sharing the triple.
+    """
+
+    __slots__ = ("sig_id", "duplicate_free", "keys", "equiv", "attr_class", "_closures")
+
+    def __init__(
+        self,
+        sig_id: int,
+        duplicate_free: bool,
+        keys: Tuple[FrozenSet[str], ...],
+        equiv: Tuple[FrozenSet[str], ...],
+    ):
+        self.sig_id = sig_id
+        self.duplicate_free = duplicate_free
+        self.keys = keys
+        self.equiv = equiv
+        # Equivalence classes are disjoint (``_merge_equiv`` unions any
+        # that touch), so attribute → its class is a function; the map
+        # makes closures and class-containment tests per-attribute lookups
+        # instead of scans over all classes.
+        self.attr_class: Dict[str, FrozenSet[str]] = {
+            attr: cls for cls in equiv for attr in cls
+        }
+        self._closures: Dict[FrozenSet[str], FrozenSet[str]] = {}
+
+    def closure(self, attrs: FrozenSet[str]) -> FrozenSet[str]:
+        cached = self._closures.get(attrs)
+        if cached is None:
+            out = set(attrs)
+            lookup = self.attr_class
+            for attr in attrs:
+                cls = lookup.get(attr)
+                if cls is not None:
+                    out |= cls
+            cached = frozenset(out)
+            self._closures[attrs] = cached
+        return cached
+
+    def has_key_within(self, attrs: FrozenSet[str]) -> bool:
+        closed = self.closure(frozenset(attrs))
+        return any(key <= closed for key in self.keys)
+
+
+#: (duplicate_free, frozenset(keys), frozenset(equiv)) → _FdSignature
+_FD_SIGS: Dict[Tuple[bool, FrozenSet[FrozenSet[str]], FrozenSet[FrozenSet[str]]], _FdSignature] = {}
+_FD_SIG_LIST: List[_FdSignature] = []
+#: (sig_id_a, sig_id_b) → does a's FD closure dominate b's (Def. 4 clause 3)
+_FD_VERDICTS: Dict[Tuple[int, int], bool] = {}
+#: Bumped by reset so signatures cached on long-lived plans are re-interned
+#: instead of carrying ids from a cleared table.
+_FD_GENERATION = [0]
+
+
+#: Intern-table bound for long-lived (serving) processes; one DP run stays
+#: far below it, so the between-runs sweep never fires mid-optimization.
+_FD_SIG_LIMIT = 50_000
+
+
+def reset_prune_caches() -> None:
+    """Drop the interned FD signatures and pairwise verdicts (pure caches)."""
+    _FD_SIGS.clear()
+    _FD_SIG_LIST.clear()
+    _FD_VERDICTS.clear()
+    _FD_GENERATION[0] += 1
+
+
+def sweep_prune_caches() -> None:
+    """Reset the FD intern tables if they outgrew :data:`_FD_SIG_LIMIT`.
+
+    Called by the driver *between* runs (resetting mid-run would let
+    signature ids from different generations alias in the verdict memo).
+    This bounds the tables' growth in a long-lived serving process that
+    streams distinct query shapes; plans that outlive the sweep re-intern
+    lazily via the generation tag.
+    """
+    if len(_FD_SIGS) > _FD_SIG_LIMIT or len(_FD_VERDICTS) > _FD_SIG_LIMIT * 8:
+        reset_prune_caches()
+
+
+def _fd_sig_of(plan: PlanInfo) -> _FdSignature:
+    generation = _FD_GENERATION[0]
+    cached = plan.__dict__.get("_fd_sig")
+    if cached is not None and cached[0] == generation:
+        return cached[1]
+    key = (plan.duplicate_free, frozenset(plan.keys), frozenset(plan.equiv))
+    sig = _FD_SIGS.get(key)
+    if sig is None:
+        sig = _FdSignature(len(_FD_SIG_LIST), plan.duplicate_free, plan.keys, plan.equiv)
+        _FD_SIGS[key] = sig
+        _FD_SIG_LIST.append(sig)
+    object.__setattr__(plan, "_fd_sig", (generation, sig))
+    return sig
+
+
+def _fd_sig_dominates(a: _FdSignature, b: _FdSignature) -> bool:
+    if a is b:
+        # Identical keys/equiv/duplicate_free always FD-dominate themselves.
+        return True
+    key = (a.sig_id, b.sig_id)
+    verdict = _FD_VERDICTS.get(key)
+    if verdict is None:
+        verdict = _sig_fd_superset(a, b)
+        _FD_VERDICTS[key] = verdict
+    return verdict
+
+
+def _sig_fd_superset(a: _FdSignature, b: _FdSignature) -> bool:
+    """:func:`_fd_superset` specialised to interned signatures: the
+    equivalence-containment clause uses the attr→class maps (one lookup
+    per class of *b*) instead of scanning all classes of *a*."""
+    if b.duplicate_free and not a.duplicate_free:
+        return False
+    if not all(a.has_key_within(kb) for kb in b.keys):
+        return False
+    a_classes = a.attr_class
+    for cls_b in b.equiv:
+        cls_a = a_classes.get(next(iter(cls_b)))
+        if cls_a is None or not cls_b <= cls_a:
+            return False
+    return True
+
+
+class PruneBucket:
+    """A DP-table entry organised as per-FD-signature Pareto frontiers.
+
+    Plans sharing an FD signature can only dominate each other through
+    cost and cardinality, so the survivors of one signature always form a
+    Pareto frontier: strictly increasing cost, strictly decreasing
+    cardinality.  Each frontier is three parallel arrays (costs, cards,
+    plans) sorted by cost, which turns the two dominance questions into
+
+    * *is the candidate dominated?* — for every signature that
+      FD-dominates the candidate's, one bisection: the minimum
+      cardinality among frontier plans with cost ≤ c sits exactly at the
+      rightmost such position,
+    * *whom does the candidate evict?* — for every signature the
+      candidate FD-dominates, the evicted plans are one contiguous slice
+      (the cost-≥-c suffix starts at a bisection; within it cardinalities
+      decrease, so the card-≥-d victims are its prefix).
+
+    The surviving *set* is identical to the seed's pairwise scan —
+    dominance is a transitive preorder, so maximal elements don't depend
+    on scan order — only iteration order differs (by signature, then
+    cost).  Iteration yields every surviving plan; ``len`` is the
+    survivor count the DP table reports.
+    """
+
+    __slots__ = ("frontiers", "dominating", "dominated", "count")
+
+    def __init__(self):
+        #: signature (``_FdSignature`` or None for the reduced criteria) →
+        #: (costs, cards, plans) parallel arrays sorted by cost.
+        self.frontiers: Dict[object, Tuple[List[float], List[float], List[PlanInfo]]] = {}
+        #: per-signature adjacency, built once when a signature first
+        #: appears in this bucket: the frontier entries whose signature
+        #: FD-dominates it / that it FD-dominates (both include its own).
+        #: Inserts then touch only dominance-related frontiers instead of
+        #: probing the FD verdict for every frontier every time.
+        self.dominating: Dict[object, List[Tuple[List[float], List[float], List[PlanInfo]]]] = {}
+        self.dominated: Dict[object, List[Tuple[List[float], List[float], List[PlanInfo]]]] = {}
+        self.count = 0
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self):
+        for _costs, _cards, plans in self.frontiers.values():
+            yield from plans
+
+    def frontier_for(self, sig) -> Tuple[List[float], List[float], List[PlanInfo]]:
+        """The signature's frontier entry, registering adjacency on first use."""
+        entry = self.frontiers.get(sig)
+        if entry is None:
+            entry = ([], [], [])
+            doms = [entry]
+            subs = [entry]
+            if sig is None:
+                # Reduced criteria: one shared frontier, trivial adjacency.
+                self.frontiers[sig] = entry
+                self.dominating[sig] = doms
+                self.dominated[sig] = subs
+                return entry
+            verdicts = _FD_VERDICTS
+            for other_sig, other_entry in self.frontiers.items():
+                key = (other_sig.sig_id, sig.sig_id)
+                verdict = verdicts.get(key)
+                if verdict is None:
+                    verdict = _sig_fd_superset(other_sig, sig)
+                    verdicts[key] = verdict
+                if verdict:
+                    doms.append(other_entry)
+                    self.dominated[other_sig].append(entry)
+                key = (sig.sig_id, other_sig.sig_id)
+                verdict = verdicts.get(key)
+                if verdict is None:
+                    verdict = _sig_fd_superset(sig, other_sig)
+                    verdicts[key] = verdict
+                if verdict:
+                    subs.append(other_entry)
+                    self.dominating[other_sig].append(entry)
+            self.frontiers[sig] = entry
+            self.dominating[sig] = doms
+            self.dominated[sig] = subs
+        return entry
+
+
 class EaPruneStrategy(Strategy):
     """BuildPlansPrune (Figs. 13/14): dominance pruning, still optimal.
 
@@ -68,17 +309,32 @@ class EaPruneStrategy(Strategy):
     The ``criteria`` knob exists for the ablation benchmark: dropping the
     cardinality or FD dimension makes pruning more aggressive but destroys
     the optimality guarantee — exactly the point of Def. 4's three clauses.
+
+    ``ordered=False`` restores the seed's unordered bucket with the
+    uncached pairwise scan — the reference both for equivalence tests and
+    for :mod:`benchmarks.bench_hotpath` speedup measurements.
     """
 
     name = "ea-prune"
 
-    def __init__(self, criteria: str = "full"):
+    def __init__(self, criteria: str = "full", ordered: bool = True):
         if criteria not in ("full", "cost-card", "cost-only"):
             raise ValueError(f"unknown pruning criteria {criteria!r}")
         self.criteria = criteria
+        self.ordered = ordered
         if criteria != "full":
             self.name = f"ea-prune[{criteria}]"
+        self.counters: Dict[str, int] = {
+            "prune_inserts": 0,
+            "dominance_checks": 0,
+            "plans_discarded": 0,
+            "plans_evicted": 0,
+        }
 
+    def new_bucket(self) -> List[PlanInfo]:
+        return PruneBucket() if self.ordered else []
+
+    # -- reference (seed) path ---------------------------------------------
     def _dominates(self, a: PlanInfo, b: PlanInfo) -> bool:
         if a.cost > b.cost:
             return False
@@ -90,7 +346,7 @@ class EaPruneStrategy(Strategy):
             return True
         return _fd_superset(a, b)
 
-    def insert(self, bucket: List[PlanInfo], plan: PlanInfo) -> None:
+    def _insert_scan(self, bucket: List[PlanInfo], plan: PlanInfo) -> None:
         for existing in bucket:
             if self._dominates(existing, plan):
                 return  # dominated: discard the new plan
@@ -98,6 +354,59 @@ class EaPruneStrategy(Strategy):
             existing for existing in bucket if not self._dominates(plan, existing)
         ]
         bucket.append(plan)
+
+    # -- ordered hot path ---------------------------------------------------
+    def _insert_ordered(self, bucket: PruneBucket, plan: PlanInfo) -> None:
+        counters = self.counters
+        full = self.criteria == "full"
+        sig = _fd_sig_of(plan) if full else None
+        cost = plan.cost
+        # Under cost-only pruning every cardinality is treated as equal, so
+        # the frontier degenerates to the single cheapest plan.
+        card = plan.cardinality if self.criteria != "cost-only" else 0.0
+
+        # Registering the signature also materialises its adjacency lists,
+        # so both passes below touch only dominance-related frontiers.
+        own = bucket.frontier_for(sig)
+        dominating = bucket.dominating[sig]
+        counters["dominance_checks"] += len(dominating)
+        # 1) Discard the candidate if any frontier whose signature
+        #    FD-dominates ours holds a plan with cost <= c and card <= d:
+        #    the minimum cardinality among cost-≤-c plans sits at the
+        #    rightmost cost-≤-c position of the Pareto frontier.
+        for costs, cards, _plans in dominating:
+            at = bisect_right(costs, cost) - 1
+            if at >= 0 and cards[at] <= card:
+                counters["plans_discarded"] += 1
+                return
+        # 2) Evict plans the candidate dominates: in every frontier whose
+        #    signature ours FD-dominates, they form one contiguous slice.
+        for costs, cards, plans in bucket.dominated[sig]:
+            lo = bisect_left(costs, cost)
+            hi = lo
+            size = len(costs)
+            while hi < size and cards[hi] >= card:
+                hi += 1
+            if hi > lo:
+                del costs[lo:hi]
+                del cards[lo:hi]
+                del plans[lo:hi]
+                bucket.count -= hi - lo
+                counters["plans_evicted"] += hi - lo
+        # 3) Insert into the candidate's own frontier.
+        costs, cards, plans = own
+        at = bisect_left(costs, cost)
+        costs.insert(at, cost)
+        cards.insert(at, card)
+        plans.insert(at, plan)
+        bucket.count += 1
+
+    def insert(self, bucket: List[PlanInfo], plan: PlanInfo) -> None:
+        self.counters["prune_inserts"] += 1
+        if type(bucket) is PruneBucket:
+            self._insert_ordered(bucket, plan)
+        else:
+            self._insert_scan(bucket, plan)
 
 
 class H1Strategy(Strategy):
@@ -137,7 +446,7 @@ class H2Strategy(Strategy):
         return new.cost < self.factor * old.cost
 
 
-def _fd_superset(a: PlanInfo, b: PlanInfo) -> bool:
+def _fd_superset(a, b) -> bool:
     """FD⁺(a) ⊇ FD⁺(b), approximated through candidate keys and attribute
     equivalences:
 
@@ -147,6 +456,9 @@ def _fd_superset(a: PlanInfo, b: PlanInfo) -> bool:
       equivalence closure of *b*'s key),
     * every attribute-equivalence class of *b* must be known to *a* too —
       equivalences are FDs (x = y ⇒ x → y ∧ y → x) and feed key closure.
+
+    Accepts :class:`PlanInfo` or :class:`_FdSignature` (both expose
+    ``duplicate_free`` / ``keys`` / ``equiv`` / ``has_key_within``).
     """
     if b.duplicate_free and not a.duplicate_free:
         return False

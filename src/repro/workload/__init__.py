@@ -12,6 +12,13 @@ end-to-end correctness tests.
 from repro.workload.unrank import count_trees, random_tree_shape, unrank_tree
 from repro.workload.generator import WorkloadConfig, generate_query, generate_workload
 from repro.workload.data import generate_database
+from repro.workload.topologies import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    star_query,
+    topology_query,
+)
 
 __all__ = [
     "count_trees",
@@ -21,4 +28,9 @@ __all__ = [
     "generate_query",
     "generate_workload",
     "generate_database",
+    "chain_query",
+    "cycle_query",
+    "star_query",
+    "clique_query",
+    "topology_query",
 ]

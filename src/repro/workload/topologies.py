@@ -1,0 +1,154 @@
+"""Deterministic fixed-topology workloads: chain, cycle, star, clique.
+
+The random generator (:mod:`repro.workload.generator`) reproduces the
+paper's Sec. 5 evaluation; this module complements it with the four
+classic join topologies of the DPhyp complexity analysis (Moerkotte &
+Neumann 2006, Table 1), fully deterministic so perf runs are comparable
+across commits — they drive :mod:`benchmarks.bench_hotpath` and the
+n=20-chain enumeration smoke test.
+
+Statistics are chosen so every topology exercises the eager-aggregation
+machinery without drowning it:
+
+* **chain / cycle / clique** — relations of varied cardinality keyed on
+  ``r{i}.id``, equality predicates on the ``.b`` columns, a sum over the
+  last relation, grouping on ``r0.b``.  Cycles and cliques close their
+  extra predicates as *floating* inner edges (the tree contributes the
+  chain spine), matching how WHERE-clause cycles reach the optimizer.
+* **star** — a fact table with one foreign key per dimension and
+  *uniform* keyed dimensions.  Uniformity keeps symmetric subplans
+  cost-comparable, so dominance pruning works the way it would on a real
+  star schema instead of drowning in incomparable float noise.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List
+
+from repro.aggregates.calls import AggCall, AggKind
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra.expressions import Attr, BinOp, Expr
+from repro.query.spec import JoinEdge, Query, RelationInfo
+from repro.query.tree import Tree, TreeLeaf, TreeNode
+from repro.rewrites.pushdown import OpKind
+
+__all__ = ["chain_query", "cycle_query", "star_query", "clique_query", "topology_query"]
+
+
+def _eq(a: str, b: str) -> Expr:
+    return BinOp("=", Attr(a), Attr(b))
+
+
+def _varied_relation(i: int) -> RelationInfo:
+    """A keyed relation with deterministic, size-varied statistics."""
+    return RelationInfo(
+        name=f"R{i}",
+        attributes=(f"r{i}.id", f"r{i}.a", f"r{i}.b"),
+        cardinality=float(10 + (97 * i) % 9000),
+        distinct={f"r{i}.b": 10.0},
+        keys=(frozenset({f"r{i}.id"}),),
+    )
+
+
+def _spine(n: int, edge_ids: List[int]) -> Tree:
+    """Left-deep tree over vertices 0..n-1 using *edge_ids* in order."""
+    tree: Tree = TreeLeaf(0)
+    for i in range(n - 1):
+        tree = TreeNode(edge_id=edge_ids[i], left=tree, right=TreeLeaf(i + 1))
+    return tree
+
+
+def _tail_aggregate(n: int) -> AggVector:
+    return AggVector([AggItem("s", AggCall(AggKind.SUM, Attr(f"r{n - 1}.a")))])
+
+
+def chain_query(n: int) -> Query:
+    """R0 — R1 — ... — R(n-1), inner equality joins on the ``.b`` columns."""
+    if n < 2:
+        raise ValueError("chain needs at least two relations")
+    relations = [_varied_relation(i) for i in range(n)]
+    edges = [
+        JoinEdge(i, OpKind.INNER, _eq(f"r{i}.b", f"r{i + 1}.b"), 0.1)
+        for i in range(n - 1)
+    ]
+    tree = _spine(n, list(range(n - 1)))
+    return Query(relations, edges, tree, group_by=("r0.b",), aggregates=_tail_aggregate(n))
+
+
+def cycle_query(n: int) -> Query:
+    """A chain plus the closing predicate R(n-1) — R0 as a floating edge."""
+    if n < 3:
+        raise ValueError("cycle needs at least three relations")
+    relations = [_varied_relation(i) for i in range(n)]
+    edges = [
+        JoinEdge(i, OpKind.INNER, _eq(f"r{i}.b", f"r{i + 1}.b"), 0.1)
+        for i in range(n - 1)
+    ]
+    edges.append(JoinEdge(n - 1, OpKind.INNER, _eq(f"r{n - 1}.b", "r0.b"), 0.1))
+    tree = _spine(n, list(range(n - 1)))
+    return Query(relations, edges, tree, group_by=("r0.b",), aggregates=_tail_aggregate(n))
+
+
+def star_query(n: int) -> Query:
+    """A fact table R0 with foreign keys into n-1 uniform keyed dimensions."""
+    if n < 2:
+        raise ValueError("star needs at least two relations")
+    fact_attrs = tuple(["r0.a", "r0.b"] + [f"r0.fk{i}" for i in range(1, n)])
+    fact_distinct = {f"r0.fk{i}": 100.0 for i in range(1, n)}
+    fact_distinct["r0.b"] = 50.0
+    relations = [
+        RelationInfo("R0", fact_attrs, cardinality=50_000.0, distinct=fact_distinct)
+    ]
+    for i in range(1, n):
+        relations.append(
+            RelationInfo(
+                name=f"R{i}",
+                attributes=(f"r{i}.id", f"r{i}.x"),
+                cardinality=100.0,
+                distinct={f"r{i}.x": 20.0},
+                keys=(frozenset({f"r{i}.id"}),),
+            )
+        )
+    edges = [
+        JoinEdge(i - 1, OpKind.INNER, _eq(f"r0.fk{i}", f"r{i}.id"), 0.01)
+        for i in range(1, n)
+    ]
+    tree = _spine(n, list(range(n - 1)))
+    aggregates = AggVector([AggItem("s", AggCall(AggKind.SUM, Attr("r0.a")))])
+    return Query(relations, edges, tree, group_by=("r0.b",), aggregates=aggregates)
+
+
+def clique_query(n: int) -> Query:
+    """Every pair of relations joined on ``.b``; non-spine predicates float."""
+    if n < 3:
+        raise ValueError("clique needs at least three relations")
+    relations = [_varied_relation(i) for i in range(n)]
+    edges: List[JoinEdge] = []
+    spine_ids: List[int] = []
+    for u, w in combinations(range(n), 2):
+        edge_id = len(edges)
+        if w == u + 1:
+            spine_ids.append(edge_id)
+        edges.append(JoinEdge(edge_id, OpKind.INNER, _eq(f"r{u}.b", f"r{w}.b"), 0.1))
+    tree = _spine(n, spine_ids)
+    return Query(relations, edges, tree, group_by=("r0.b",), aggregates=_tail_aggregate(n))
+
+
+_TOPOLOGIES = {
+    "chain": chain_query,
+    "cycle": cycle_query,
+    "star": star_query,
+    "clique": clique_query,
+}
+
+
+def topology_query(topology: str, n: int) -> Query:
+    """Build the named topology (``chain``/``cycle``/``star``/``clique``)."""
+    try:
+        builder = _TOPOLOGIES[topology]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {topology!r} (known: {', '.join(sorted(_TOPOLOGIES))})"
+        ) from None
+    return builder(n)

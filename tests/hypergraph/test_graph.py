@@ -104,3 +104,79 @@ class TestHypergraph:
         with_inner = Hypergraph(3, [Hyperedge(0b001, 0b110), Hyperedge(0b010, 0b100)])
         assert with_inner.induces_connected_subgraph(0b110)
         assert with_inner.induces_connected_subgraph(0b111)
+
+
+class TestIndexedAccessors:
+    """The indexed/memoised ``connected``/``neighborhood`` are pinned to
+    the linear-scan reference implementations on random hypergraphs."""
+
+    def _random_graph(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randint(2, 7)
+        edges = []
+        for _ in range(rng.randint(1, n + 3)):
+            left = rng.randint(1, (1 << n) - 1)
+            right = rng.randint(1, (1 << n) - 1) & ~left
+            if right:
+                edges.append(Hyperedge(left, right, label=len(edges)))
+        if not edges:
+            edges.append(Hyperedge(1, 2, label=0))
+        return Hypergraph(n, edges)
+
+    def test_connected_matches_scan(self):
+        import random
+
+        for seed in range(40):
+            graph = self._random_graph(seed)
+            rng = random.Random(seed * 31)
+            for _ in range(50):
+                s1 = rng.randint(1, graph.all_vertices)
+                s2 = rng.randint(1, graph.all_vertices) & ~s1
+                if not s2:
+                    continue
+                assert graph.connected(s1, s2) == graph.connected_scan(s1, s2)
+
+    def test_neighborhood_matches_scan(self):
+        import random
+
+        for seed in range(40):
+            graph = self._random_graph(seed + 1000)
+            rng = random.Random(seed * 37)
+            for _ in range(50):
+                s = rng.randint(1, graph.all_vertices)
+                excluded = rng.randint(0, graph.all_vertices) & ~s
+                assert graph.neighborhood(s, excluded) == graph.neighborhood_scan(
+                    s, excluded
+                )
+
+    def test_connecting_edges_preserves_edge_order(self):
+        graph = Hypergraph(
+            3,
+            [
+                Hyperedge(0b001, 0b010, label="a"),
+                Hyperedge(0b100, 0b010, label="b"),
+                Hyperedge(0b001, 0b100, label="c"),
+            ],
+        )
+        labels = [edge.label for edge in graph.connecting_edges(0b101, 0b010)]
+        assert labels == ["a", "b"]
+
+    def test_memo_counters_and_reset(self):
+        graph = Hypergraph.from_pairs(4, [(0, 1), (1, 2), (2, 3)])
+        assert graph.connected(0b0011, 0b0100)
+        assert graph.connected(0b0011, 0b0100)  # second call served from memo
+        assert graph.counters["connected_calls"] == 2
+        assert graph.counters["connected_memo_hits"] == 1
+        graph.neighborhood(0b0001, 0)
+        graph.neighborhood(0b0001, 0)
+        assert graph.counters["neighborhood_memo_hits"] == 1
+        graph.reset_caches()
+        assert all(value == 0 for value in graph.counters.values())
+        assert graph.connected(0b0011, 0b0100)
+        assert graph.counters["connected_memo_hits"] == 0
+
+    def test_connected_is_symmetric_under_memo(self):
+        graph = Hypergraph(3, [Hyperedge(0b001, 0b110)])
+        assert graph.connected(0b001, 0b110) == graph.connected(0b110, 0b001)

@@ -155,3 +155,72 @@ class TestInsertTop:
         strategy.insert_top(bucket, plan(5.0))
         strategy.insert_top(bucket, plan(7.0))
         assert len(bucket) == 1 and bucket[0].cost == 5.0
+
+
+class TestPruneBucketMatchesSeedScan:
+    """The Pareto-frontier bucket keeps exactly the seed scan's surviving
+    plan *set* (dominance is a transitive preorder, so the maximal set is
+    insertion-order independent; only iteration order may differ)."""
+
+    def _random_plans(self, seed, count=120):
+        import random
+
+        rng = random.Random(seed)
+        key_pool = [frozenset({f"k{i}"}) for i in range(3)]
+        plans = []
+        for _ in range(count):
+            keys = tuple(k for k in key_pool if rng.random() < 0.4)
+            plans.append(
+                PlanInfo(
+                    node=ScanNode("r", ("r.a",)),
+                    rel_set=1,
+                    cost=float(rng.randint(1, 12)),
+                    cardinality=float(rng.randint(1, 12)),
+                    keys=keys,
+                    duplicate_free=rng.random() < 0.5,
+                    raw_attrs=frozenset({"r.a"}),
+                    distinct={},
+                    terms={},
+                    scale_cols=(),
+                    defaults={},
+                )
+            )
+        return plans
+
+    @pytest.mark.parametrize("criteria", ["full", "cost-card", "cost-only"])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_surviving_sets_identical(self, criteria, seed):
+        plans = self._random_plans(seed)
+        ordered = EaPruneStrategy(criteria)
+        scan = EaPruneStrategy(criteria, ordered=False)
+        fast_bucket = ordered.new_bucket()
+        seed_bucket = scan.new_bucket()
+        assert isinstance(seed_bucket, list) and not isinstance(
+            seed_bucket, type(fast_bucket)
+        )
+        for p in plans:
+            ordered.insert(fast_bucket, p)
+            scan.insert(seed_bucket, p)
+        fast = {(p.cost, p.cardinality, p.keys, p.duplicate_free) for p in fast_bucket}
+        slow = {(p.cost, p.cardinality, p.keys, p.duplicate_free) for p in seed_bucket}
+        assert fast == slow
+        assert len(fast_bucket) == len(seed_bucket)
+
+    def test_bucket_iterates_cost_sorted_within_signature(self):
+        strategy = EaPruneStrategy()
+        bucket = strategy.new_bucket()
+        for cost, card in ((5.0, 1.0), (1.0, 5.0), (3.0, 3.0)):
+            strategy.insert(bucket, plan(cost, card=card))
+        costs = [p.cost for p in bucket]
+        assert costs == sorted(costs)
+
+    def test_counters_track_discards_and_evictions(self):
+        strategy = EaPruneStrategy()
+        bucket = strategy.new_bucket()
+        strategy.insert(bucket, plan(5.0, card=5.0))
+        strategy.insert(bucket, plan(6.0, card=6.0))  # dominated: discarded
+        strategy.insert(bucket, plan(1.0, card=1.0))  # dominates: evicts 5.0
+        assert strategy.counters["prune_inserts"] == 3
+        assert strategy.counters["plans_discarded"] == 1
+        assert strategy.counters["plans_evicted"] == 1
+        assert len(bucket) == 1
