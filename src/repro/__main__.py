@@ -16,6 +16,12 @@ parallel workers), printing per-batch throughput and cache statistics::
 
     python -m repro batch --count 100 --relations 6 --unique 25 --repeat 2
     python -m repro batch --sql-file queries.sql --workers 4
+
+``serve`` — run the concurrent plan server (JSON over HTTP) until
+SIGTERM/SIGINT, then drain gracefully::
+
+    python -m repro serve --port 8080 --workers 4
+    curl -X POST localhost:8080/optimize -d '{"sql": "SELECT ..."}'
 """
 
 from __future__ import annotations
@@ -28,7 +34,7 @@ from typing import List
 from repro.api import COST_MODELS, STRATEGIES, OptimizerConfig, PlannerSession
 from repro.query.spec import Query
 
-SUBCOMMANDS = ("explain", "batch")
+SUBCOMMANDS = ("explain", "batch", "serve")
 
 
 def _add_strategy_options(parser: argparse.ArgumentParser) -> None:
@@ -133,6 +139,102 @@ def build_batch_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve plans over JSON/HTTP: POST /optimize, /batch, "
+        "/explain; GET /stats, /healthz.  SIGTERM drains gracefully.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port, 0 for an ephemeral one (default: 8080)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="optimizer worker processes (default: min(cpu count, 8); "
+        "0 = optimize in the request thread)",
+    )
+    parser.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="admitted-but-unfinished request bound before 429 "
+        "(default: 2*workers + 8)",
+    )
+    parser.add_argument(
+        "--scale-factor", type=float, default=1.0,
+        help="TPC-H scale factor for the catalog statistics (default: 1)",
+    )
+    _add_strategy_options(parser)
+    parser.add_argument(
+        "--cache-size", type=int, default=512,
+        help="plan cache capacity in entries (default: 512)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the plan cache",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="per-request optimization timeout in seconds (default: 120)",
+    )
+    parser.add_argument(
+        "--grace", type=float, default=10.0,
+        help="drain grace period on shutdown in seconds (default: 10)",
+    )
+    return parser
+
+
+def run_serve(argv) -> int:
+    import logging
+    import signal
+    import threading
+
+    from repro.server import PlanServer, ServerConfig
+
+    args = build_serve_parser().parse_args(argv)
+    logging.basicConfig(level=logging.INFO, format="%(message)s", stream=sys.stderr)
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_inflight=args.max_inflight,
+            scale_factor=args.scale_factor,
+            strategy=args.strategy,
+            factor=args.factor,
+            cost_model=args.cost_model,
+            cache_capacity=None if args.no_cache else args.cache_size,
+            request_timeout_seconds=args.timeout,
+            drain_grace_seconds=args.grace,
+        )
+        server = PlanServer(config)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
+    signal.signal(signal.SIGINT, lambda signum, frame: stop.set())
+
+    server.start()
+    print(
+        f"repro plan server listening on {server.url}  "
+        f"(workers={config.effective_workers}, strategy={config.strategy}, "
+        f"cache={'off' if config.cache_capacity in (None, 0) else config.cache_capacity})",
+        flush=True,
+    )
+    try:
+        stop.wait()
+        drained = server.drain()
+    finally:
+        server.close()
+    print(f"shutdown: {'drained cleanly' if drained else 'drain grace expired'}", flush=True)
+    return 0 if drained else 1
+
+
 def run_explain(argv) -> int:
     args = build_argument_parser().parse_args(argv)
     session = PlannerSession.tpch(
@@ -226,12 +328,13 @@ def run_batch_command(argv) -> int:
         # Without a cache, reuse can only come from in-batch dedup — don't
         # call that a cache hit.
         reuse_label = "cache hits" if cache is not None else "deduped"
+        failures = f"  failed={report.failed}" if report.failed else ""
         print(
             f"batch {round_number}: {report.total} queries in "
             f"{report.wall_seconds:.3f}s  ({report.queries_per_second:,.1f} q/s)  "
             f"optimized={report.total - report.hits}  "
             f"{reuse_label}={report.hits} ({report.hit_rate:.0%})  "
-            f"workers={report.workers}"
+            f"workers={report.workers}{failures}"
         )
     if cache is not None:
         stats = cache.stats
@@ -251,6 +354,8 @@ def main(argv=None) -> int:
         command, rest = "explain", argv
     if command == "batch":
         return run_batch_command(rest)
+    if command == "serve":
+        return run_serve(rest)
     return run_explain(rest)
 
 

@@ -140,7 +140,8 @@ class PlannerSession:
         """Stream the service batch driver under the session config/cache."""
         config = self._derive(overrides)
         for item in optimize_many(queries, cache=self.cache, config=config):
-            self._emit("result", item.result)
+            if item.result is not None:  # failed items have no result to trace
+                self._emit("result", item.result)
             yield item
 
     def run_batch(self, queries: Sequence[Query], **overrides) -> BatchReport:
@@ -148,7 +149,8 @@ class PlannerSession:
         config = self._derive(overrides)
         report = run_batch(queries, cache=self.cache, config=config)
         for item in report.items:
-            self._emit("result", item.result)
+            if item.result is not None:  # failed items have no result to trace
+                self._emit("result", item.result)
         return report
 
     # -- events --------------------------------------------------------------

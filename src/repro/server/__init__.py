@@ -1,0 +1,34 @@
+"""The plan server: a concurrent JSON-over-HTTP front end for planning.
+
+This package turns the library into a daemon — the ROADMAP's serving
+system finally *accepts traffic*:
+
+* :mod:`repro.server.config` — :class:`ServerConfig`, the validated knobs,
+* :mod:`repro.server.service` — :class:`PlanService`, the HTTP-free
+  engine: session + process pool + bounded admission + metrics,
+* :mod:`repro.server.app` — :class:`PlanServer`, the
+  ``ThreadingHTTPServer`` front end with graceful drain,
+* :mod:`repro.server.metrics` — per-endpoint latency/error counters
+  behind ``GET /stats``,
+* :mod:`repro.server.client` — :class:`ServerClient`, the stdlib client
+  the benchmark's closed-loop load generator (and the tests) drive.
+
+Start one from the command line with ``python -m repro serve``; see
+``docs/architecture.md`` for how the layers compose.
+"""
+
+from repro.server.app import PlanServer
+from repro.server.client import ServerClient, ServerError
+from repro.server.config import ServerConfig
+from repro.server.metrics import ServerMetrics
+from repro.server.service import PlanService, RequestError
+
+__all__ = [
+    "PlanServer",
+    "PlanService",
+    "RequestError",
+    "ServerClient",
+    "ServerConfig",
+    "ServerError",
+    "ServerMetrics",
+]

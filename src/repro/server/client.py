@@ -1,0 +1,120 @@
+"""A small stdlib HTTP client for the plan server.
+
+One :class:`ServerClient` keeps one persistent (keep-alive) connection,
+so repeated calls pay no TCP handshake — exactly what the closed-loop
+benchmark clients need.  A client is therefore **not** thread-safe; give
+each thread its own instance.
+
+Error handling mirrors the server's JSON shape: any non-2xx response
+raises :class:`ServerError` carrying the HTTP status and the body's
+``error.code`` / ``error.message`` (``/healthz`` is exempt — a draining
+server's 503 is an answer, not a failure).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Optional
+
+
+class ServerError(RuntimeError):
+    """A non-2xx response from the plan server."""
+
+    def __init__(self, status: int, code: str, message: str, body: Optional[dict] = None):
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.body = body if body is not None else {}
+
+
+class ServerClient:
+    """Typed access to every plan-server endpoint over one connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- plumbing ------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._conn.connect()
+            # Headers and body go out as separate writes; without
+            # TCP_NODELAY the body waits on the server's delayed ACK
+            # (~40ms) and dominates warm-cache latency.
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._conn
+
+    def _request(self, method: str, path: str, body: Optional[dict] = None,
+                 raise_for_status: bool = True) -> dict:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload is not None else {}
+        # One retry on a dead keep-alive connection (server restarted, or
+        # the idle socket was reaped between calls).
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (ConnectionError, http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(data.decode("utf-8")) if data else {}
+        except json.JSONDecodeError:
+            decoded = {"raw": data.decode("utf-8", "replace")}
+        if raise_for_status and response.status >= 400:
+            error = decoded.get("error") or {}
+            raise ServerError(
+                response.status,
+                error.get("code", "unknown"),
+                error.get("message", f"HTTP {response.status}"),
+                decoded,
+            )
+        if isinstance(decoded, dict):
+            decoded.setdefault("_status", response.status)
+        return decoded
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- endpoints -----------------------------------------------------------
+    def optimize(self, sql: str, **knobs) -> dict:
+        """``POST /optimize``: plan one statement (knobs: strategy, factor,
+        cost_model, include_plan)."""
+        return self._request("POST", "/optimize", {"sql": sql, **knobs})
+
+    def batch(self, queries, **knobs) -> dict:
+        """``POST /batch``: plan many statements with per-item errors."""
+        return self._request("POST", "/batch", {"queries": list(queries), **knobs})
+
+    def explain(self, sql: str, **knobs) -> dict:
+        """``POST /explain``: plan and render one statement."""
+        return self._request("POST", "/explain", {"sql": sql, **knobs})
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def healthz(self) -> dict:
+        """Health probe — returns the body even for a draining 503."""
+        return self._request("GET", "/healthz", raise_for_status=False)

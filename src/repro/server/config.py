@@ -1,0 +1,89 @@
+"""`ServerConfig` — the plan server's knobs, validated eagerly.
+
+The same philosophy as :class:`~repro.optimizer.config.OptimizerConfig`:
+one frozen value object instead of scattered kwargs, rejected at
+construction rather than at first use.  The optimizer-facing fields
+(strategy, factor, cost model, cache capacity) derive an
+``OptimizerConfig`` via :meth:`ServerConfig.optimizer_config`; the rest
+shape the HTTP front end (bind address, worker processes, admission
+limit, timeouts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.optimizer.config import OptimizerConfig
+from repro.service.batch import default_workers
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Immutable plan-server settings.
+
+    ``workers`` — optimizer processes behind the HTTP threads.  ``None``
+    auto-sizes like the batch driver; ``0`` runs optimization inside the
+    request thread (no pool — handy for tests and tiny deployments, but
+    CPU-bound requests then serialise on the GIL).  ``max_inflight``
+    bounds admitted-but-unfinished requests across *all* endpoints that
+    optimize; excess requests are rejected with 429 (``None`` derives
+    ``2 * workers + 8``).  ``request_timeout_seconds`` caps one request's
+    wait on the worker pool (504 on expiry); ``drain_grace_seconds`` is
+    how long a SIGTERM drain waits for in-flight requests before giving
+    up.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: Optional[int] = None
+    max_inflight: Optional[int] = None
+    scale_factor: float = 1.0
+    strategy: str = "ea-prune"
+    factor: float = 1.03
+    cost_model: str = "cout"
+    cache_capacity: Optional[int] = 512
+    request_timeout_seconds: float = 120.0
+    drain_grace_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.port <= 65535):
+            raise ValueError(f"port must be in [0, 65535] (0 = ephemeral), got {self.port}")
+        if self.workers is not None and self.workers < 0:
+            raise ValueError(f"workers must be >= 0 (0 = in-thread), got {self.workers}")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.scale_factor <= 0:
+            raise ValueError(f"scale_factor must be > 0, got {self.scale_factor}")
+        if self.request_timeout_seconds <= 0:
+            raise ValueError(
+                f"request_timeout_seconds must be > 0, got {self.request_timeout_seconds}"
+            )
+        if self.drain_grace_seconds < 0:
+            raise ValueError(
+                f"drain_grace_seconds must be >= 0, got {self.drain_grace_seconds}"
+            )
+        # Validate the optimizer-facing fields eagerly, like everything else.
+        self.optimizer_config()
+
+    def optimizer_config(self) -> OptimizerConfig:
+        """The session-level optimizer settings this server plans under."""
+        return OptimizerConfig(
+            strategy=self.strategy,
+            factor=self.factor,
+            cost_model=self.cost_model,
+            workers=None,  # the server owns its own process pool
+            cache_capacity=self.cache_capacity,
+        )
+
+    @property
+    def effective_workers(self) -> int:
+        """The worker-pool size (0 = optimize in the request thread)."""
+        return self.workers if self.workers is not None else default_workers()
+
+    @property
+    def effective_max_inflight(self) -> int:
+        """The admission bound actually enforced."""
+        if self.max_inflight is not None:
+            return self.max_inflight
+        return 2 * max(1, self.effective_workers) + 8

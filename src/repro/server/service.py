@@ -1,0 +1,380 @@
+"""`PlanService` — the plan server's engine, independent of HTTP.
+
+The service owns a :class:`~repro.api.PlannerSession` (catalog + config +
+plan cache), a shared :class:`~concurrent.futures.ProcessPoolExecutor`
+for CPU-bound optimizer runs, the bounded admission counter behind 429
+backpressure, and the metrics that become ``GET /stats``.  The HTTP layer
+(:mod:`repro.server.app`) translates requests into these methods and
+:class:`RequestError` into JSON error bodies; tests can drive the service
+directly without sockets.
+
+Threading model: many HTTP threads park cheaply on ``Future.result()``
+while at most ``workers`` processes burn CPU in the DP enumerator; the
+plan cache is probed and populated only in this process, so a warm hit
+never touches the pool.  Worker runs return
+:class:`~repro.service.batch.WorkerOutcome` envelopes, so a poisoned
+query surfaces as a per-request (or per-batch-item) error instead of
+killing the worker protocol.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Dict, List, Optional, Tuple
+
+from repro.api.session import PlannerSession, plan_to_dict
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.driver import OptimizationResult
+from repro.plans.render import render_plan
+from repro.query.spec import Query
+from repro.server.config import ServerConfig
+from repro.server.metrics import ServerMetrics
+from repro.service.batch import WorkerOutcome, _optimize_payload
+from repro.service.fingerprint import cache_key
+from repro.service.rebind import query_binding, rebind_result
+
+
+class RequestError(Exception):
+    """A request-scoped failure with an HTTP status and a stable code.
+
+    Raised anywhere inside the service; the HTTP layer serialises it as
+    ``{"error": {"code": ..., "message": ...}}`` with :attr:`status`.
+    """
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def to_body(self) -> dict:
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+class PlanService:
+    """Everything behind the HTTP handler: session, pool, admission, stats."""
+
+    def __init__(self, config: ServerConfig, session: Optional[PlannerSession] = None):
+        self.config = config
+        self.session = (
+            session
+            if session is not None
+            else PlannerSession.tpch(
+                scale_factor=config.scale_factor, config=config.optimizer_config()
+            )
+        )
+        self.metrics = ServerMetrics()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+        self._inflight = 0
+        self._idle = threading.Condition()
+        self._draining = threading.Event()
+
+    # -- admission / lifecycle ----------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    @property
+    def inflight(self) -> int:
+        with self._idle:
+            return self._inflight
+
+    @contextlib.contextmanager
+    def admit(self):
+        """Hold one admission slot; 503 while draining, 429 when full."""
+        with self._idle:
+            if self._draining.is_set():
+                raise RequestError(
+                    503, "draining", "server is draining and no longer accepts work"
+                )
+            if self._inflight >= self.config.effective_max_inflight:
+                raise RequestError(
+                    429,
+                    "overloaded",
+                    f"admission queue full ({self._inflight} requests in flight); "
+                    "retry with backoff",
+                )
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+
+    def begin_drain(self) -> None:
+        """Stop admitting new optimization requests (idempotent)."""
+        self._draining.set()
+
+    def wait_idle(self, grace: Optional[float] = None) -> bool:
+        """Block until no request is in flight; False if *grace* expired."""
+        deadline = None if grace is None else time.monotonic() + grace
+        with self._idle:
+            while self._inflight > 0:
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(timeout=remaining)
+        return True
+
+    def close(self) -> None:
+        """Release the worker pool and detach the session (idempotent)."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        self.session.close()
+
+    # -- dispatch ------------------------------------------------------------
+    def _pool(self) -> ProcessPoolExecutor:
+        with self._executor_lock:
+            if self._executor is None:
+                # Never fork from a multithreaded daemon: HTTP threads may
+                # hold locks (logging, metrics) that a forked child would
+                # inherit in a locked state and deadlock on.
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "forkserver" if "forkserver" in methods else "spawn"
+                )
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.config.effective_workers,
+                    mp_context=context,
+                )
+            return self._executor
+
+    def _reset_pool(self) -> None:
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def _dispatch(
+        self, payloads: List[Tuple[Query, OptimizerConfig]]
+    ) -> List[WorkerOutcome]:
+        """Run every payload, in the pool or (workers=0) in this thread."""
+        if not payloads:
+            return []
+        if self.config.effective_workers == 0:
+            return [_optimize_payload(payload) for payload in payloads]
+        executor = self._pool()
+        try:
+            futures = [executor.submit(_optimize_payload, p) for p in payloads]
+            deadline = time.monotonic() + self.config.request_timeout_seconds
+            outcomes = []
+            for future in futures:
+                remaining = max(0.0, deadline - time.monotonic())
+                try:
+                    outcomes.append(future.result(timeout=remaining))
+                except FutureTimeout:
+                    for pending in futures:
+                        pending.cancel()
+                    raise RequestError(
+                        504,
+                        "timeout",
+                        f"optimization exceeded {self.config.request_timeout_seconds:g}s",
+                    ) from None
+            return outcomes
+        except RequestError:
+            raise
+        except Exception as exc:  # BrokenProcessPool and friends
+            self._reset_pool()
+            raise RequestError(
+                500, "worker_pool_failure", f"worker pool failed: {exc}"
+            ) from exc
+
+    def _optimize_indexed(
+        self, indexed: List[Tuple[int, Query]], config: OptimizerConfig
+    ) -> Dict[int, Tuple[Optional[OptimizationResult], Optional[str], bool]]:
+        """Optimize ``(index, query)`` pairs → index → (result, error, hit).
+
+        Probes the session cache once per distinct key, dispatches the
+        misses to the pool in one wave, stores successes back, and serves
+        in-request duplicates through the cache (which rebinds plans for
+        renamed-but-isomorphic spellings).  Without a cache every query
+        runs independently.
+        """
+        cache = self.session.cache
+        out: Dict[int, Tuple[Optional[OptimizationResult], Optional[str], bool]] = {}
+        to_run: List[Tuple[int, Query, Optional[object]]] = []
+        duplicates: Dict[object, List[Tuple[int, Query]]] = {}
+        if cache is None:
+            to_run = [(index, query, None) for index, query in indexed]
+        else:
+            for index, query in indexed:
+                key = cache_key(
+                    query, config.strategy, config.factor,
+                    cost_model=config.cost_model_name,
+                )
+                served = cache.serve(key, query)
+                if served is not None:
+                    out[index] = (served, None, True)
+                elif key in duplicates:
+                    duplicates[key].append((index, query))
+                else:
+                    duplicates[key] = []
+                    to_run.append((index, query, key))
+
+        outcomes = self._dispatch([(query, config) for _, query, _ in to_run])
+        for (index, query, key), outcome in zip(to_run, outcomes):
+            if outcome.ok:
+                result = outcome.result
+                if cache is not None and key is not None:
+                    cache.store(key, query, result)
+                out[index] = (result, None, False)
+            else:
+                out[index] = (None, outcome.error, False)
+            for dup_index, dup_query in duplicates.get(key, ()):
+                if outcome.ok:
+                    # Rebind the in-hand result directly — a cache.serve()
+                    # round trip could miss (concurrent eviction or
+                    # invalidation) and crash the whole request.
+                    shared = rebind_result(
+                        outcome.result, query_binding(query), dup_query
+                    ).as_cache_hit()
+                    out[dup_index] = (shared, None, True)
+                else:
+                    out[dup_index] = (None, outcome.error, False)
+        return out
+
+    # -- request bodies ------------------------------------------------------
+    def _derive_config(self, body: dict) -> OptimizerConfig:
+        overrides = {
+            field: body[field]
+            for field in ("strategy", "factor", "cost_model")
+            if field in body
+        }
+        if not overrides:
+            return self.session.config
+        try:
+            return self.session.config.with_overrides(**overrides)
+        except (TypeError, ValueError) as exc:
+            raise RequestError(400, "bad_config", str(exc)) from exc
+
+    def _parse(self, sql) -> Query:
+        if not isinstance(sql, str) or not sql.strip():
+            raise RequestError(400, "bad_request", "'sql' must be a non-empty string")
+        try:
+            return self.session.parse(sql)
+        except ValueError as exc:
+            raise RequestError(400, "parse_error", str(exc)) from exc
+
+    def _optimize_one(
+        self, sql, config: OptimizerConfig
+    ) -> OptimizationResult:
+        query = self._parse(sql)
+        (result, error, _hit) = self._optimize_indexed([(0, query)], config)[0]
+        if error is not None:
+            self.metrics.record_failure()
+            raise RequestError(500, "optimizer_error", error)
+        self.metrics.record_plan(result.strategy, result.cache_hit)
+        return result
+
+    def optimize_body(self, body: dict) -> dict:
+        """``POST /optimize`` — one SQL statement → its plan as JSON."""
+        config = self._derive_config(body)
+        started = time.perf_counter()
+        result = self._optimize_one(body.get("sql"), config)
+        payload = {
+            "strategy": result.strategy,
+            "cost_model": config.cost_model_name,
+            "cost": result.cost,
+            "cardinality": result.plan.cardinality,
+            "elapsed_seconds": result.elapsed_seconds,
+            "server_seconds": time.perf_counter() - started,
+            "cache_hit": result.cache_hit,
+            "ccp_count": result.ccp_count,
+            "plans_built": result.plans_built,
+        }
+        if body.get("include_plan", True):
+            payload["plan"] = plan_to_dict(result.plan.node)
+        return payload
+
+    def explain_body(self, body: dict) -> dict:
+        """``POST /explain`` — optimize and render the plan as text."""
+        config = self._derive_config(body)
+        result = self._optimize_one(body.get("sql"), config)
+        return {
+            "strategy": result.strategy,
+            "cost": result.cost,
+            "cache_hit": result.cache_hit,
+            "explain": render_plan(result.plan.node),
+        }
+
+    def batch_body(self, body: dict) -> dict:
+        """``POST /batch`` — many SQL statements, per-item fault isolation.
+
+        A statement that fails to parse or optimize yields an item with an
+        ``error`` field; every other statement still returns its plan —
+        the HTTP twin of :func:`repro.service.optimize_many`'s behaviour.
+        """
+        sqls = body.get("queries")
+        if not isinstance(sqls, list) or not sqls:
+            raise RequestError(400, "bad_request", "'queries' must be a non-empty list")
+        config = self._derive_config(body)
+        include_plans = bool(body.get("include_plans", False))
+        started = time.perf_counter()
+
+        items: List[Optional[dict]] = [None] * len(sqls)
+        indexed: List[Tuple[int, Query]] = []
+        for index, sql in enumerate(sqls):
+            try:
+                indexed.append((index, self._parse(sql)))
+            except RequestError as exc:
+                self.metrics.record_failure()
+                items[index] = {"index": index, "error": exc.message, "stage": "parse"}
+
+        for index, (result, error, hit) in self._optimize_indexed(indexed, config).items():
+            if error is not None:
+                self.metrics.record_failure()
+                items[index] = {"index": index, "error": error, "stage": "optimize"}
+                continue
+            self.metrics.record_plan(result.strategy, result.cache_hit or hit)
+            item = {
+                "index": index,
+                "strategy": result.strategy,
+                "cost": result.cost,
+                "cache_hit": result.cache_hit or hit,
+                "elapsed_seconds": result.elapsed_seconds,
+            }
+            if include_plans:
+                item["plan"] = plan_to_dict(result.plan.node)
+            items[index] = item
+
+        succeeded = sum(1 for item in items if item is not None and "error" not in item)
+        return {
+            "total": len(sqls),
+            "succeeded": succeeded,
+            "failed": len(sqls) - succeeded,
+            "cache_hits": sum(1 for item in items if item is not None and item.get("cache_hit")),
+            "wall_seconds": time.perf_counter() - started,
+            "items": items,
+        }
+
+    def healthz_body(self) -> Tuple[int, dict]:
+        """``GET /healthz`` — 200 while serving, 503 once draining."""
+        if self.draining:
+            return 503, {"status": "draining", "inflight": self.inflight}
+        return 200, {
+            "status": "ok",
+            "workers": self.config.effective_workers,
+            "strategy": self.session.config.strategy_name,
+            "inflight": self.inflight,
+        }
+
+    def stats_body(self) -> dict:
+        """``GET /stats`` — request metrics merged with the plan cache's."""
+        payload = self.metrics.snapshot()
+        payload["inflight"] = self.inflight
+        payload["draining"] = self.draining
+        payload["max_inflight"] = self.config.effective_max_inflight
+        payload["workers"] = self.config.effective_workers
+        cache = self.session.cache
+        payload["cache"] = cache.describe() if cache is not None else None
+        return payload

@@ -43,16 +43,29 @@ _MAX_DEFAULT_WORKERS = 8
 
 @dataclass
 class BatchItem:
-    """One workload entry's outcome, in submission order."""
+    """One workload entry's outcome, in submission order.
+
+    Exactly one of *result* and *error* is set: a failed optimizer run
+    yields ``result=None`` with *error* carrying the worker's exception as
+    ``"ExcType: message"``.  Failures never come from the cache and are
+    never stored into it, so a failed item always has ``cache_hit=False``.
+    """
 
     index: int
     key: PlanCacheKey
-    result: OptimizationResult
+    result: Optional[OptimizationResult]
     elapsed_seconds: float
     cache_hit: bool
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     @property
     def cost(self) -> float:
+        if self.result is None:
+            raise ValueError(f"query {self.index} failed to optimize: {self.error}")
         return self.result.cost
 
 
@@ -74,6 +87,15 @@ class BatchReport:
         return sum(1 for item in self.items if item.cache_hit)
 
     @property
+    def failures(self) -> List[BatchItem]:
+        """The items whose optimizer run raised (``result is None``)."""
+        return [item for item in self.items if not item.ok]
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
+
+    @property
     def hit_rate(self) -> float:
         """Fraction of items served without a fresh optimizer run."""
         return self.hits / self.total if self.items else 0.0
@@ -85,7 +107,11 @@ class BatchReport:
     @property
     def optimize_seconds(self) -> float:
         """CPU seconds actually spent in the DP driver (misses only)."""
-        return sum(item.result.elapsed_seconds for item in self.items if not item.cache_hit)
+        return sum(
+            item.result.elapsed_seconds
+            for item in self.items
+            if not item.cache_hit and item.result is not None
+        )
 
 
 def default_workers() -> int:
@@ -96,12 +122,40 @@ def default_workers() -> int:
     return max(1, min(available, _MAX_DEFAULT_WORKERS))
 
 
-def _optimize_payload(
-    payload: Tuple[Query, OptimizerConfig]
-) -> OptimizationResult:
-    """Pool worker: one plain optimizer run (module-level for pickling)."""
+@dataclass
+class WorkerOutcome:
+    """What one optimizer run produced: a result or a captured error.
+
+    Workers return this envelope instead of raising so a single poisoned
+    query cannot abort a whole batch (exceptions propagating out of
+    ``Pool.imap`` lose every completed result) and so unpicklable
+    exception types cannot kill the pool protocol.
+    """
+
+    result: Optional[OptimizationResult]
+    error: Optional[str]
+    elapsed_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _optimize_payload(payload: Tuple[Query, OptimizerConfig]) -> WorkerOutcome:
+    """Pool worker: one optimizer run, errors captured (module-level for
+    pickling)."""
     query, config = payload
-    return optimize(query, config=config)
+    started = time.perf_counter()
+    try:
+        result = optimize(query, config=config)
+    except Exception as exc:  # noqa: BLE001 - per-item fault isolation
+        return WorkerOutcome(None, f"{type(exc).__name__}: {exc}", time.perf_counter() - started)
+    return WorkerOutcome(result, None, result.elapsed_seconds)
+
+
+#: the legacy-kwarg defaults `resolve_config` treats as "not explicitly set".
+_DEFAULT_STRATEGY = "ea-prune"
+_DEFAULT_FACTOR = 1.03
 
 
 def resolve_config(
@@ -112,22 +166,35 @@ def resolve_config(
 ) -> OptimizerConfig:
     """Fold the legacy kwargs and the config object into one config.
 
-    *config* wins over the legacy *strategy*/*factor* kwargs; an explicit
-    *workers* argument overrides either.
+    Passing *config* together with a non-default legacy *strategy* or
+    *factor* is a conflict and raises :class:`ValueError` (mirroring
+    :class:`~repro.optimizer.config.OptimizerConfig`'s eager validation)
+    rather than silently ignoring the legacy value; an explicit *workers*
+    argument overrides the config's.
     """
     if config is None:
-        config = OptimizerConfig(
+        return OptimizerConfig(
             strategy=strategy, factor=factor, workers=workers, cache_capacity=None
         )
-    elif workers is not None and workers != config.workers:
+    conflicts = []
+    if strategy != _DEFAULT_STRATEGY:
+        conflicts.append(f"strategy={strategy!r}")
+    if factor != _DEFAULT_FACTOR:
+        conflicts.append(f"factor={factor!r}")
+    if conflicts:
+        raise ValueError(
+            f"conflicting optimizer settings: {', '.join(conflicts)} passed "
+            "alongside config=...; set them on the OptimizerConfig instead"
+        )
+    if workers is not None and workers != config.workers:
         config = config.with_overrides(workers=workers)
     return config
 
 
 def optimize_many(
     queries: Sequence[Query],
-    strategy: "str | Strategy" = "ea-prune",
-    factor: float = 1.03,
+    strategy: "str | Strategy" = _DEFAULT_STRATEGY,
+    factor: float = _DEFAULT_FACTOR,
     workers: Optional[int] = None,
     cache: Optional[PlanCache] = None,
     config: Optional[OptimizerConfig] = None,
@@ -145,6 +212,11 @@ def optimize_many(
     everything runs in-process; otherwise distinct misses are spread over
     a process pool.  The cache is consulted and populated only in the
     dispatching process, so workers stay oblivious to it.
+
+    A query whose optimizer run raises does not abort the batch: its item
+    (and every in-batch duplicate's) streams back with ``result=None`` and
+    the exception text in :attr:`BatchItem.error`, while all other items
+    keep their results.  Failures are never stored in the cache.
     """
     config = resolve_config(config, strategy, factor, workers)
     workers = config.workers if config.workers is not None else default_workers()
@@ -158,7 +230,10 @@ def optimize_many(
     # (first occurrence wins) in submission order.  Resolved entries keep
     # the binding of the query the plan is currently expressed in, so
     # duplicates under *different* names can be rebound when served.
-    resolved: Dict[PlanCacheKey, Tuple[OptimizationResult, float, Tuple]] = {}
+    # A failed run resolves to (None, elapsed, None, error).
+    resolved: Dict[
+        PlanCacheKey, Tuple[Optional[OptimizationResult], float, Optional[Tuple], Optional[str]]
+    ] = {}
     scheduled: set = set()
     miss_order: List[PlanCacheKey] = []
     miss_payload: List[Tuple[Query, OptimizerConfig]] = []
@@ -170,15 +245,21 @@ def optimize_many(
             started = time.perf_counter()
             served = cache.serve(key, query)
             if served is not None:
-                resolved[key] = (served, time.perf_counter() - started, query_binding(query))
+                resolved[key] = (
+                    served, time.perf_counter() - started, query_binding(query), None
+                )
                 continue
         miss_order.append(key)
         miss_payload.append((query, config))
 
-    def finish(key: PlanCacheKey, query: Query, result: OptimizationResult) -> None:
+    def finish(key: PlanCacheKey, query: Query, outcome: WorkerOutcome) -> None:
+        if not outcome.ok:
+            resolved[key] = (None, outcome.elapsed_seconds, None, outcome.error)
+            return
+        result = outcome.result
         if cache is not None:
             cache.store(key, query, result)
-        resolved[key] = (result, result.elapsed_seconds, query_binding(query))
+        resolved[key] = (result, result.elapsed_seconds, query_binding(query), None)
 
     computed: set = set()
 
@@ -186,7 +267,22 @@ def optimize_many(
         # The first item to surface a freshly computed plan reports the
         # run; every other serving of the same result is a (batch or
         # cross-batch) cache hit with negligible cost.
-        result, elapsed, binding = resolved[key]
+        result, elapsed, binding, error = resolved[key]
+        if error is not None:
+            # The first duplicate reports the failed run's wall time; the
+            # rest shared the outcome for free.  Failures never count as
+            # cache hits (nothing was cached).
+            first_failure = key not in computed
+            if first_failure:
+                computed.add(key)
+            return BatchItem(
+                index=index,
+                key=key,
+                result=None,
+                elapsed_seconds=elapsed if first_failure else 0.0,
+                cache_hit=False,
+                error=error,
+            )
         result = rebind_result(result, binding, queries[index])
         first_run = not result.cache_hit and key not in computed
         if first_run:
@@ -207,7 +303,7 @@ def optimize_many(
         for index, key in enumerate(keys):
             if key not in resolved:
                 query, cfg = pending[key]
-                finish(key, query, optimize(query, config=cfg))
+                finish(key, query, _optimize_payload((query, cfg)))
             yield emit(index, key)
         return
 
@@ -215,21 +311,23 @@ def optimize_many(
     context = multiprocessing.get_context()
     with context.Pool(processes=processes) as pool:
         # imap preserves submission order, so results for miss_order[i]
-        # arrive exactly when the emit loop first needs them.
+        # arrive exactly when the emit loop first needs them.  Workers
+        # return WorkerOutcome envelopes, so a poisoned query surfaces as
+        # a per-item error here instead of raising out of next().
         arriving = pool.imap(_optimize_payload, miss_payload, chunksize=1)
         pulled = 0
         for index, key in enumerate(keys):
             while key not in resolved:
-                result = next(arriving)
-                finish(miss_order[pulled], miss_payload[pulled][0], result)
+                outcome = next(arriving)
+                finish(miss_order[pulled], miss_payload[pulled][0], outcome)
                 pulled += 1
             yield emit(index, key)
 
 
 def run_batch(
     queries: Sequence[Query],
-    strategy: "str | Strategy" = "ea-prune",
-    factor: float = 1.03,
+    strategy: "str | Strategy" = _DEFAULT_STRATEGY,
+    factor: float = _DEFAULT_FACTOR,
     workers: Optional[int] = None,
     cache: Optional[PlanCache] = None,
     config: Optional[OptimizerConfig] = None,
@@ -244,5 +342,5 @@ def run_batch(
         items=items,
         wall_seconds=wall,
         workers=effective_workers,
-        cache_stats=cache.stats.snapshot() if cache is not None else None,
+        cache_stats=cache.stats_snapshot() if cache is not None else None,
     )

@@ -52,6 +52,13 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def snapshot(self) -> "CacheStats":
+        """A field-by-field copy — NOT atomic against concurrent updates.
+
+        These counters mutate under :attr:`PlanCache._lock`; reading five
+        of them here without that lock can tear (e.g. a ``hits`` from
+        before and a ``misses`` from after another thread's lookup).  Use
+        :meth:`PlanCache.stats_snapshot` for a consistent copy.
+        """
         return CacheStats(self.hits, self.misses, self.puts, self.evictions, self.invalidations)
 
     def __repr__(self) -> str:
@@ -169,6 +176,17 @@ class PlanCache:
                 self._entries.popitem(last=False)
                 self.stats.evictions += 1
 
+    def stats_snapshot(self) -> CacheStats:
+        """A consistent copy of :attr:`stats`, taken under the cache lock.
+
+        Counters only ever mutate while :attr:`_lock` is held, so holding
+        it here guarantees the five fields describe one instant — an
+        unlocked :meth:`CacheStats.snapshot` can interleave with a
+        concurrent lookup and report torn totals.
+        """
+        with self._lock:
+            return self.stats.snapshot()
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
@@ -177,9 +195,15 @@ class PlanCache:
         with self._lock:
             return key in self._entries
 
-    def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
+    def clear(self) -> int:
+        """Drop every entry, counting each as an invalidation.
+
+        Alias for ``invalidate(None)`` — the two used to diverge (``clear``
+        silently skipped the invalidation counters, so ``describe()`` lied
+        about how entries had left the cache).  Returns the number of
+        entries removed.
+        """
+        return self.invalidate(None)
 
     # -- invalidation --------------------------------------------------------
     def invalidate(self, relation: Optional[str] = None) -> int:

@@ -1,0 +1,88 @@
+"""The ``python -m repro serve`` subcommand: flags, daemon, SIGTERM drain."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import build_serve_parser
+
+SQL = (
+    "SELECT ns.n_name, count(*) AS cnt FROM nation ns "
+    "JOIN supplier s ON ns.n_nationkey = s.s_nationkey GROUP BY ns.n_name"
+)
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_serve_parser().parse_args([])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.workers is None
+        assert args.cache_size == 512
+        assert args.strategy == "ea-prune"
+
+    def test_flags(self):
+        args = build_serve_parser().parse_args(
+            ["--port", "0", "--workers", "0", "--strategy", "h2",
+             "--factor", "1.1", "--max-inflight", "3", "--no-cache",
+             "--grace", "2.5"]
+        )
+        assert args.port == 0
+        assert args.workers == 0
+        assert args.strategy == "h2"
+        assert args.max_inflight == 3
+        assert args.no_cache is True
+        assert args.grace == 2.5
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_serve_parser().parse_args(["--strategy", "magic"])
+
+
+class TestServeDaemon:
+    def test_serve_healthz_optimize_sigterm_drain(self):
+        """The CI smoke, as a test: start, probe, optimize, drain cleanly."""
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = SRC + (os.pathsep + existing if existing else "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0", "--workers", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on http://" in banner
+            url = banner.split("listening on ")[1].split()[0]
+
+            with urllib.request.urlopen(url + "/healthz", timeout=30) as response:
+                assert response.status == 200
+                assert json.loads(response.read())["status"] == "ok"
+
+            request = urllib.request.Request(
+                url + "/optimize",
+                data=json.dumps({"sql": SQL, "include_plan": False}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=60) as response:
+                body = json.loads(response.read())
+                assert body["cost"] > 0
+                assert body["strategy"] == "ea-prune"
+
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=60)
+            assert proc.returncode == 0
+            assert "drained cleanly" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)

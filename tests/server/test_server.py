@@ -1,0 +1,323 @@
+"""Plan-server endpoint round-trips, backpressure, and graceful drain.
+
+The servers under test bind an ephemeral port with ``workers=0`` —
+optimization runs in the request thread, so no process pool spins up and
+the suite stays fast; pool dispatch itself is covered by the service-level
+tests and the benchmark.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.server import (
+    PlanServer,
+    PlanService,
+    RequestError,
+    ServerClient,
+    ServerConfig,
+    ServerError,
+)
+
+SQL = (
+    "SELECT ns.n_name, count(*) AS cnt FROM nation ns "
+    "JOIN supplier s ON ns.n_nationkey = s.s_nationkey GROUP BY ns.n_name"
+)
+SQL_RENAMED = (
+    "SELECT n2.n_name, count(*) AS cnt FROM nation n2 "
+    "JOIN supplier sup ON n2.n_nationkey = sup.s_nationkey GROUP BY n2.n_name"
+)
+BAD_TABLE = "SELECT count(*) FROM nowhere GROUP BY x"
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServerConfig(port=0, workers=0, cache_capacity=64, max_inflight=4)
+    with PlanServer(config) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    with ServerClient(port=server.port) as c:
+        yield c
+
+
+class TestHealthz:
+    def test_ok_while_serving(self, client):
+        body = client.healthz()
+        assert body["status"] == "ok"
+        assert body["workers"] == 0
+        assert body["_status"] == 200
+
+
+class TestOptimize:
+    def test_round_trip_with_plan_tree(self, client):
+        body = client.optimize(SQL)
+        assert body["strategy"] == "ea-prune"
+        assert body["cost"] > 0
+        assert body["plan"]["op"] in ("groupby", "project", "map")
+        assert body["ccp_count"] >= 1
+
+    def test_cache_hit_on_repeat(self, client):
+        client.optimize(SQL)
+        body = client.optimize(SQL)
+        assert body["cache_hit"] is True
+        assert body["elapsed_seconds"] == 0.0
+
+    def test_renamed_isomorphic_query_hits(self, client):
+        client.optimize(SQL)
+        body = client.optimize(SQL_RENAMED, include_plan=True)
+        assert body["cache_hit"] is True
+        # the served plan speaks the new query's names
+        assert "n2" in json.dumps(body["plan"])
+
+    def test_strategy_override(self, client):
+        body = client.optimize(SQL, strategy="dphyp")
+        assert body["strategy"] == "dphyp"
+
+    def test_include_plan_false_omits_tree(self, client):
+        body = client.optimize(SQL, include_plan=False)
+        assert "plan" not in body
+
+    def test_parse_error_is_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.optimize(BAD_TABLE)
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "parse_error"
+        assert "nowhere" in excinfo.value.message
+
+    def test_bad_config_is_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.optimize(SQL, strategy="nonsense")
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_config"
+
+    def test_missing_sql_is_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/optimize", {"not_sql": 1})
+        assert excinfo.value.status == 400
+
+
+class TestExplain:
+    def test_rendered_tree(self, client):
+        body = client.explain(SQL)
+        assert body["cost"] > 0
+        assert len(body["explain"].splitlines()) >= 2
+        assert "scan" in body["explain"].lower() or "nation" in body["explain"]
+
+
+class TestBatch:
+    def test_poisoned_item_is_isolated(self, client):
+        body = client.batch([SQL, BAD_TABLE, SQL_RENAMED])
+        assert body["total"] == 3
+        assert body["succeeded"] == 2
+        assert body["failed"] == 1
+        items = body["items"]
+        assert "error" in items[1] and items[1]["stage"] == "parse"
+        assert items[0]["cost"] == pytest.approx(items[2]["cost"])
+
+    def test_duplicate_statements_dedup_through_cache(self, client):
+        body = client.batch([SQL, SQL])
+        assert body["succeeded"] == 2
+        assert body["items"][1]["cache_hit"] is True
+
+    def test_include_plans(self, client):
+        body = client.batch([SQL], include_plans=True)
+        assert body["items"][0]["plan"]["op"] in ("groupby", "project", "map")
+
+    def test_empty_list_is_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.batch([])
+        assert excinfo.value.status == 400
+
+
+class TestStats:
+    def test_merges_request_and_cache_metrics(self, client):
+        client.optimize(SQL)
+        body = client.stats()
+        assert body["requests"]["POST /optimize"]["count"] >= 1
+        assert body["requests"]["POST /optimize"]["p50_ms"] is not None
+        assert body["plans"]["served"] >= 1
+        assert body["cache"]["capacity"] == 64.0
+        assert body["workers"] == 0
+        assert body["draining"] is False
+
+
+class TestHttpEdges:
+    def test_unknown_path_is_404(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_is_405(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/optimize")
+        assert excinfo.value.status == 405
+
+    def test_invalid_json_body_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/optimize",
+            data=b"this is not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["error"]["code"] == "bad_json"
+
+    def test_non_object_body_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/optimize",
+            data=b"[1, 2]",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+
+class TestBackpressure:
+    def test_429_when_admission_full(self, server, client):
+        """Fill every admission slot, then observe the 429 rejection."""
+        service = server.service
+        holders = [service.admit() for _ in range(server.config.effective_max_inflight)]
+        for holder in holders:
+            holder.__enter__()
+        try:
+            with pytest.raises(ServerError) as excinfo:
+                client.optimize(SQL)
+            assert excinfo.value.status == 429
+            assert excinfo.value.code == "overloaded"
+        finally:
+            for holder in holders:
+                holder.__exit__(None, None, None)
+        # slots released: requests are admitted again
+        assert client.optimize(SQL)["cost"] > 0
+
+    def test_stats_counts_rejections(self, server, client):
+        before = (
+            client.stats()["requests"].get("POST /optimize", {}).get("rejected_429", 0)
+        )
+        service = server.service
+        holders = [service.admit() for _ in range(server.config.effective_max_inflight)]
+        for holder in holders:
+            holder.__enter__()
+        try:
+            with pytest.raises(ServerError):
+                client.optimize(SQL)
+        finally:
+            for holder in holders:
+                holder.__exit__(None, None, None)
+        after = client.stats()["requests"]["POST /optimize"]["rejected_429"]
+        assert after == before + 1
+
+
+class TestGracefulDrain:
+    def test_drain_waits_for_inflight_then_rejects(self):
+        """A drain must finish in-flight work, then refuse new requests."""
+        config = ServerConfig(port=0, workers=0, cache_capacity=16)
+        server = PlanServer(config).start()
+        service = server.service
+        release = threading.Event()
+        finished = threading.Event()
+
+        def slow_request():
+            with service.admit():
+                release.wait(timeout=10.0)
+                finished.set()
+
+        worker = threading.Thread(target=slow_request)
+        worker.start()
+        deadline = time.monotonic() + 5.0
+        while service.inflight == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert service.inflight == 1
+
+        drained = []
+        drainer = threading.Thread(target=lambda: drained.append(server.drain(grace=10.0)))
+        drainer.start()
+        # draining: new work refused while the old request still runs
+        deadline = time.monotonic() + 5.0
+        while not service.draining and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert service.draining
+        with pytest.raises(RequestError) as excinfo:
+            with service.admit():
+                pass
+        assert excinfo.value.status == 503
+        assert not finished.is_set()
+
+        release.set()
+        worker.join(timeout=10.0)
+        drainer.join(timeout=10.0)
+        assert drained == [True]  # in-flight request completed inside grace
+
+    def test_drain_times_out_when_work_is_stuck(self):
+        config = ServerConfig(port=0, workers=0)
+        server = PlanServer(config).start()
+        service = server.service
+        release = threading.Event()
+
+        def stuck_request():
+            with service.admit():
+                release.wait(timeout=10.0)
+
+        worker = threading.Thread(target=stuck_request)
+        worker.start()
+        deadline = time.monotonic() + 5.0
+        while service.inflight == 0 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        try:
+            assert server.drain(grace=0.1) is False
+        finally:
+            release.set()
+            worker.join(timeout=10.0)
+
+    def test_healthz_reports_draining(self):
+        config = ServerConfig(port=0, workers=0)
+        with PlanServer(config) as server:
+            server.service.begin_drain()
+            with ServerClient(port=server.port) as client:
+                body = client.healthz()
+                assert body["_status"] == 503
+                assert body["status"] == "draining"
+
+
+class TestServiceWithPool:
+    """One service-level round trip through a real process pool."""
+
+    def test_pool_dispatch_and_worker_error_mapping(self):
+        config = ServerConfig(port=0, workers=2, cache_capacity=16)
+        service = PlanService(config)
+        try:
+            body = service.optimize_body({"sql": SQL})
+            assert body["cost"] > 0
+            assert body["cache_hit"] is False
+            again = service.optimize_body({"sql": SQL})
+            assert again["cache_hit"] is True
+        finally:
+            service.close()
+
+
+class TestServerConfigValidation:
+    def test_bad_port(self):
+        with pytest.raises(ValueError, match="port"):
+            ServerConfig(port=70000)
+
+    def test_negative_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ServerConfig(workers=-1)
+
+    def test_bad_strategy_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            ServerConfig(strategy="nonsense")
+
+    def test_effective_defaults(self):
+        config = ServerConfig(workers=3)
+        assert config.effective_workers == 3
+        assert config.effective_max_inflight == 14
