@@ -1,0 +1,214 @@
+"""Mixed-operator SQL workload through the session facade and the server.
+
+Not a paper figure — this drives the PR-5 operator surface end to end:
+:func:`repro.workload.generate_sql_workload` emits SQL text with
+``[NOT] EXISTS`` / ``[NOT] IN`` subqueries, RIGHT / LEFT / FULL joins,
+comma-FROM cross joins, ``IS [NOT] NULL`` and prefix ``NOT``, and the
+benchmark pushes it through
+
+1. **PlannerSession** — parse + bind + conflict-detect + DPhyp over a
+   cold batch, then the identical batch warm (every query a cache hit),
+2. **PlanServer** — an EXISTS statement round-trips ``POST /optimize``,
+   and the NOT EXISTS variant of the same text must *miss* the plan
+   cache (distinct operator kinds must never share a
+   :class:`~repro.service.fingerprint.PlanCacheKey`).
+
+Acceptance (asserted): every statement plans, the warm batch is 100%
+cache hits, the semijoin/antijoin cache-separation holds on the server,
+and the workload covers all five reorderable operator kinds.
+
+Results are written to ``benchmarks/BENCH_mixed.json`` (schema
+``bench-mixed/v1``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_mixed_operators.py           # full run
+    PYTHONPATH=src python benchmarks/bench_mixed_operators.py --quick   # CI smoke
+
+Environment knobs: ``REPRO_MIXED_QUERIES`` (default 80).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+if __name__ == "__main__":  # allow running without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.api import OptimizerConfig, PlannerSession
+from repro.rewrites.pushdown import OpKind
+from repro.server import PlanServer, ServerClient, ServerConfig
+from repro.workload import generate_sql_workload
+
+SCHEMA = "bench-mixed/v1"
+OUT_PATH = Path(__file__).resolve().parent / "BENCH_mixed.json"
+
+WORKLOAD_SIZE = int(os.environ.get("REPRO_MIXED_QUERIES", "80"))
+
+REQUIRED_OPS = {
+    OpKind.INNER,
+    OpKind.LEFT_OUTER,
+    OpKind.FULL_OUTER,
+    OpKind.LEFT_SEMI,
+    OpKind.LEFT_ANTI,
+}
+
+EXISTS_SQL = (
+    "SELECT n.n_name, count(*) AS cnt FROM nation n WHERE EXISTS "
+    "(SELECT * FROM supplier s WHERE s.s_nationkey = n.n_nationkey) "
+    "GROUP BY n.n_name"
+)
+NOT_EXISTS_SQL = EXISTS_SQL.replace("WHERE EXISTS", "WHERE NOT EXISTS")
+
+
+def measure_session(size: int) -> dict:
+    """Cold + warm batches of mixed-operator SQL through one session."""
+    rng = random.Random(20150413)  # the paper's ICDE publication date
+    statements = generate_sql_workload(size, rng, unique=max(1, size // 3))
+
+    session = PlannerSession.tpch(
+        config=OptimizerConfig(workers=1, cache_capacity=2 * size)
+    )
+    started = time.perf_counter()
+    queries = [session.parse(sql) for sql in statements]
+    parse_seconds = time.perf_counter() - started
+
+    operator_counts: dict = {}
+    for query in queries:
+        for edge in query.edges:
+            operator_counts[edge.op.name] = operator_counts.get(edge.op.name, 0) + 1
+
+    cold = session.run_batch(queries)
+    warm = session.run_batch(queries)
+    return {
+        "size": size,
+        "unique": len(set(statements)),
+        "parse_qps": size / parse_seconds if parse_seconds > 0 else float("inf"),
+        "operator_counts": operator_counts,
+        "covered_ops": sorted(
+            op.name for op in REQUIRED_OPS
+            if op.name in operator_counts
+        ),
+        "cold_qps": cold.queries_per_second,
+        "cold_failed": cold.failed,
+        "warm_qps": warm.queries_per_second,
+        "warm_hit_rate": warm.hit_rate,
+    }
+
+
+def measure_server() -> dict:
+    """EXISTS round-trip + semijoin/antijoin cache separation, in-process."""
+    config = ServerConfig(port=0, workers=0, cache_capacity=64)
+    with PlanServer(config) as server:
+        with ServerClient(port=server.port, timeout=120.0) as client:
+            exists_cold = client.optimize(EXISTS_SQL, include_plan=True)
+            not_exists = client.optimize(NOT_EXISTS_SQL, include_plan=True)
+            exists_warm = client.optimize(EXISTS_SQL, include_plan=False)
+    plan_ops = json.dumps(exists_cold["plan"]) + json.dumps(not_exists["plan"])
+    return {
+        "exists_cost": exists_cold["cost"],
+        "not_exists_cost": not_exists["cost"],
+        "exists_warm_cache_hit": exists_warm["cache_hit"],
+        "not_exists_cache_hit": not_exists["cache_hit"],
+        "semijoin_in_plan": "left_semi" in plan_ops,
+        "antijoin_in_plan": "left_anti" in plan_ops,
+    }
+
+
+def acceptance(session_run: dict, server_run: dict) -> list:
+    """(name, ok) pairs — the assertions both pytest and main() check."""
+    return [
+        ("all statements planned", session_run["cold_failed"] == 0),
+        ("warm batch all cache hits", session_run["warm_hit_rate"] == 1.0),
+        (
+            "operator coverage",
+            set(session_run["covered_ops"]) == {op.name for op in REQUIRED_OPS},
+        ),
+        ("EXISTS round-trips with a cost", server_run["exists_cost"] > 0),
+        (
+            "NOT EXISTS misses the EXISTS cache entry",
+            server_run["not_exists_cache_hit"] is False,
+        ),
+        ("repeat EXISTS hits", server_run["exists_warm_cache_hit"] is True),
+        ("semijoin appears in a served plan", server_run["semijoin_in_plan"]),
+        ("antijoin appears in a served plan", server_run["antijoin_in_plan"]),
+    ]
+
+
+def report_lines(session_run: dict, server_run: dict) -> list:
+    ops = ", ".join(
+        f"{name.lower()}={count}"
+        for name, count in sorted(session_run["operator_counts"].items())
+    )
+    return [
+        f"workload: {session_run['size']} statements "
+        f"({session_run['unique']} distinct), parse {session_run['parse_qps']:,.0f} q/s",
+        f"operators: {ops}",
+        f"{'cold batch':12s} {session_run['cold_qps']:10,.1f} q/s   "
+        f"failed {session_run['cold_failed']}",
+        f"{'warm batch':12s} {session_run['warm_qps']:10,.1f} q/s   "
+        f"hit rate {session_run['warm_hit_rate']:4.0%}",
+        "server: EXISTS cost "
+        f"{server_run['exists_cost']:,.0f}, NOT EXISTS cache_hit="
+        f"{server_run['not_exists_cache_hit']} (must be False), "
+        f"repeat EXISTS cache_hit={server_run['exists_warm_cache_hit']}",
+    ]
+
+
+def test_mixed_operator_workload():
+    from benchmarks.conftest import register_report
+
+    session_run = measure_session(size=min(WORKLOAD_SIZE, 60))
+    server_run = measure_server()
+    register_report(
+        "Mixed operators — SQL surface through session + server",
+        report_lines(session_run, server_run),
+    )
+    for name, ok in acceptance(session_run, server_run):
+        assert ok, name
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized run (24 statements)"
+    )
+    parser.add_argument(
+        "--out", default=str(OUT_PATH),
+        help=f"output JSON path (default: {OUT_PATH})",
+    )
+    args = parser.parse_args()
+
+    size = 24 if args.quick else WORKLOAD_SIZE
+    session_run = measure_session(size)
+    server_run = measure_server()
+    for line in report_lines(session_run, server_run):
+        print(line)
+
+    checks = acceptance(session_run, server_run)
+    for name, ok in checks:
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+    passed = all(ok for _, ok in checks)
+
+    payload = {
+        "schema": SCHEMA,
+        "quick": args.quick,
+        "session": session_run,
+        "server": server_run,
+        "passed": passed,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    print("PASS" if passed else "FAIL")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,31 @@ Q10_LIKE = """
   GROUP BY c.c_custkey, c.c_name
 """
 
+SEMIJOIN = """
+  SELECT n.n_name, count(*) AS suppliers
+  FROM nation n
+  JOIN supplier s ON n.n_nationkey = s.s_nationkey
+  WHERE EXISTS (SELECT * FROM customer c
+                WHERE c.c_nationkey = n.n_nationkey AND c.c_acctbal > 0)
+  GROUP BY n.n_name
+"""
+
+ANTIJOIN = """
+  SELECT c.c_mktsegment, count(*) AS quiet_customers
+  FROM customer c
+  WHERE c.c_custkey NOT IN (SELECT o.o_custkey FROM orders o)
+    AND c.c_acctbal IS NOT NULL
+  GROUP BY c.c_mktsegment
+"""
+
+RIGHT_AND_COMMA = """
+  SELECT n.n_name, count(*) AS cnt
+  FROM region r, nation n
+  RIGHT JOIN supplier s ON n.n_nationkey = s.s_nationkey
+  WHERE r.r_regionkey = n.n_regionkey
+  GROUP BY n.n_name
+"""
+
 
 def explain(title: str, sql: str, session: PlannerSession) -> None:
     print("=" * 72)
@@ -46,6 +71,9 @@ def main() -> None:
     session = PlannerSession.tpch(scale_factor=1.0)
     explain("Intro example (outerjoin barrier)", EX, session)
     explain("Q10-like (returned items)", Q10_LIKE, session)
+    explain("EXISTS → semijoin (reordered by the conflict detector)", SEMIJOIN, session)
+    explain("NOT IN + IS NOT NULL → antijoin over a 3VL filter", ANTIJOIN, session)
+    explain("comma-FROM + RIGHT JOIN (normalized to left outerjoin)", RIGHT_AND_COMMA, session)
 
 
 if __name__ == "__main__":

@@ -16,6 +16,7 @@ parallel workers), printing per-batch throughput and cache statistics::
 
     python -m repro batch --count 100 --relations 6 --unique 25 --repeat 2
     python -m repro batch --sql-file queries.sql --workers 4
+    python -m repro batch --mixed-sql --count 50    # EXISTS/IN/outer-join SQL
 
 ``serve`` — run the concurrent plan server (JSON over HTTP) until
 SIGTERM/SIGINT, then drain gracefully::
@@ -100,6 +101,12 @@ def build_batch_parser() -> argparse.ArgumentParser:
     source.add_argument(
         "--scale-factor", type=float, default=1.0,
         help="TPC-H scale factor for --sql-file statistics (default: 1)",
+    )
+    source.add_argument(
+        "--mixed-sql", action="store_true",
+        help="random workload: emit mixed-operator SQL text over the TPC-H "
+        "catalog (EXISTS/IN subqueries, RIGHT/FULL joins, NULL predicates) "
+        "and run it through the full parser/binder front door",
     )
     source.add_argument(
         "--count", type=int, default=100,
@@ -308,6 +315,17 @@ def run_batch_command(argv) -> int:
             return 1
         if not queries:
             print("error: no queries in --sql-file", file=sys.stderr)
+            return 1
+    elif args.mixed_sql:
+        from repro.workload import generate_sql_workload
+
+        session = PlannerSession.tpch(scale_factor=args.scale_factor, config=config)
+        rng = random.Random(args.seed)
+        try:
+            statements = generate_sql_workload(args.count, rng, unique=args.unique)
+            queries = [session.parse(statement) for statement in statements]
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
             return 1
     else:
         session = PlannerSession(config=config)

@@ -10,11 +10,20 @@ objects describe the same problem whenever they differ only in
   (``a = b`` vs ``b = a``), conjunct order inside ``AND``/``OR``, and the
   direction of comparisons (``a < b`` vs ``b > a``).
 
-The fingerprint therefore serializes the query *structurally*: attributes
-become ``?<vertex>#<position>`` tokens, expressions are canonicalised
-S-expressions (commutative operands sorted, comparisons flipped to
-``<``/``<=``), and join operators are embedded at their position in the
-initial operator tree so edge ids never leak into the key.
+* **relation numbering** — ``a RIGHT JOIN b`` normalizes to ``b LEFT
+  JOIN a`` with the vertices in the opposite storage order; the problem
+  is the same one the mirrored ``LEFT JOIN`` spelling produces.
+
+The fingerprint therefore serializes the query *structurally*: vertices
+are renumbered by their first appearance in a pre-order walk of the
+initial operator tree (:func:`canonical_vertex_order`), attributes
+become ``?<canonical vertex>#<position>`` tokens, expressions are
+canonicalised S-expressions (commutative operands sorted, comparisons
+flipped to ``<``/``<=``), and join operators are embedded at their
+position in the initial operator tree so edge ids never leak into the
+key.  Rebinding (:mod:`repro.service.rebind`) maps cached plans between
+key-equal queries by the same canonical order, so the wider equivalence
+class stays servable.
 
 Statistics are deliberately kept out of the fingerprint and hashed into a
 separate **cardinality snapshot**: a catalog update (new row counts,
@@ -64,15 +73,43 @@ class PlanCacheKey:
         return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def canonical_vertex_order(query: Query) -> Tuple[int, ...]:
+    """Storage vertex indices in pre-order of the initial tree's leaves.
+
+    This is the numbering the fingerprint, the snapshot and plan
+    rebinding all share: it makes the key invariant under FROM-order
+    permutations that produce the same initial tree — most importantly
+    the ``RIGHT JOIN`` → swapped ``LEFT JOIN`` normalization.
+    """
+    order: List[int] = []
+
+    def walk(node: Tree) -> None:
+        if isinstance(node, TreeLeaf):
+            order.append(node.vertex)
+        else:
+            walk(node.left)
+            walk(node.right)
+
+    walk(query.tree)
+    return tuple(order)
+
+
 class _Canonicalizer:
-    """Maps one query's attribute names to position tokens."""
+    """Maps one query's attribute names to canonical position tokens."""
 
     def __init__(self, query: Query):
         self.query = query
+        self.vertex_order = canonical_vertex_order(query)
+        self._canonical_index: Dict[int, int] = {
+            vertex: index for index, vertex in enumerate(self.vertex_order)
+        }
         self._attr_token: Dict[str, str] = {}
         for vertex, rel in enumerate(query.relations):
             for position, attr in enumerate(rel.attributes):
-                self._attr_token[attr] = f"?{vertex}#{position}"
+                self._attr_token[attr] = f"?{self._canonical_index[vertex]}#{position}"
+
+    def vertex(self, storage_vertex: int) -> int:
+        return self._canonical_index[storage_vertex]
 
     def attr(self, name: str) -> str:
         # Groupjoin outputs are optimizer-chosen aliases, not relation
@@ -119,7 +156,7 @@ class _Canonicalizer:
     # -- the initial operator tree -------------------------------------------
     def tree(self, tree: Tree) -> str:
         if isinstance(tree, TreeLeaf):
-            return f"R{tree.vertex}"
+            return f"R{self.vertex(tree.vertex)}"
         edge = self.query.edge(tree.edge_id)
         vector = "" if edge.groupjoin_vector is None else f" {self.vector(edge.groupjoin_vector)}"
         return (
@@ -144,13 +181,18 @@ def query_fingerprint(query: Query) -> str:
     """
     canon = _Canonicalizer(query)
     parts: List[str] = [f"n={len(query.relations)}"]
-    parts.append("arity=" + ",".join(str(len(rel.attributes)) for rel in query.relations))
+    parts.append("arity=" + ",".join(
+        str(len(query.relations[vertex].attributes)) for vertex in canon.vertex_order
+    ))
     parts.append("tree=" + canon.tree(query.tree))
     floating = sorted(canon.floating_edge(eid) for eid in query.floating_edge_ids)
     parts.append("floating=" + ";".join(floating))
     parts.append("local=" + ";".join(
-        f"{vertex}:{canon.expr(pred)}"
-        for vertex, (pred, _sel) in sorted(query.local_predicates.items())
+        f"{canon_vertex}:{canon.expr(pred)}"
+        for canon_vertex, (pred, _sel) in sorted(
+            (canon.vertex(vertex), entry)
+            for vertex, entry in query.local_predicates.items()
+        )
     ))
     parts.append("group=" + ",".join(sorted(canon.attr(a) for a in query.group_by)))
     parts.append("agg=" + canon.vector(query.aggregates))
@@ -175,7 +217,8 @@ def cardinality_snapshot(query: Query) -> str:
     """
     canon = _Canonicalizer(query)
     parts: List[str] = []
-    for vertex, rel in enumerate(query.relations):
+    for canon_vertex, vertex in enumerate(canon.vertex_order):
+        rel = query.relations[vertex]
         positions = {attr: i for i, attr in enumerate(rel.attributes)}
         distinct = ",".join(
             f"{i}:{rel.distinct_count(attr):.6g}" for attr, i in positions.items()
@@ -183,7 +226,7 @@ def cardinality_snapshot(query: Query) -> str:
         keys = ";".join(sorted(
             ",".join(sorted(str(positions[a]) for a in key)) for key in rel.keys
         ))
-        parts.append(f"{vertex}|{rel.cardinality:.6g}|{distinct}|{keys}")
+        parts.append(f"{canon_vertex}|{rel.cardinality:.6g}|{distinct}|{keys}")
 
     # tree_operators (STO) yields operator nodes in the same pre-order
     # _Canonicalizer.tree serializes, so slot i here pairs with the
@@ -197,7 +240,11 @@ def cardinality_snapshot(query: Query) -> str:
     )
     parts.append("floatsel=" + ";".join(floating))
     parts.append("localsel=" + ",".join(
-        f"{vertex}:{sel:.9g}" for vertex, (_pred, sel) in sorted(query.local_predicates.items())
+        f"{canon_vertex}:{sel:.9g}"
+        for canon_vertex, sel in sorted(
+            (canon.vertex(vertex), sel)
+            for vertex, (_pred, sel) in query.local_predicates.items()
+        )
     ))
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 

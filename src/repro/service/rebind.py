@@ -47,8 +47,21 @@ Binding = Tuple[Tuple[str, Tuple[str, ...]], ...]
 
 
 def query_binding(query: Query) -> Binding:
-    """The naming a plan produced from *query* is bound to."""
-    return tuple((rel.name, rel.attributes) for rel in query.relations)
+    """The naming a plan produced from *query* is bound to.
+
+    Relations are listed in the fingerprint's canonical vertex order
+    (:func:`repro.service.fingerprint.canonical_vertex_order`), not
+    storage order: a cache-key match guarantees isomorphism under the
+    *canonical* positional mapping, so the rename maps must zip in that
+    order (two FROM-order spellings of one problem — e.g. ``RIGHT JOIN``
+    and its mirrored ``LEFT JOIN`` — store their vertices differently).
+    """
+    from repro.service.fingerprint import canonical_vertex_order
+
+    return tuple(
+        (query.relations[vertex].name, query.relations[vertex].attributes)
+        for vertex in canonical_vertex_order(query)
+    )
 
 
 class _Rebinder:

@@ -1,18 +1,32 @@
-"""A SQL frontend for the subset the paper's queries need.
+"""A SQL frontend covering the paper's full operator algebra.
 
 ``parse_query(sql, catalog)`` turns::
 
-    SELECT ns.n_name, nc.n_name, count(*)
+    SELECT ns.n_name, count(*) AS cnt
     FROM nation ns JOIN supplier s ON ns.n_nationkey = s.s_nationkey
-         FULL JOIN ...
-    WHERE ...
-    GROUP BY ns.n_name, nc.n_name
+    WHERE EXISTS (SELECT * FROM customer c
+                  WHERE c.c_nationkey = ns.n_nationkey)
+    GROUP BY ns.n_name
 
 into a :class:`~repro.query.spec.Query` ready for any plan generator.
-Supported: INNER / LEFT [OUTER] / FULL [OUTER] JOIN with ON conditions,
-conjunctive WHERE (base-table predicates and cycle-closing equijoins),
-GROUP BY, aggregate select lists (sum/count/min/max/avg, DISTINCT,
-arithmetic argument expressions) and aliases.
+
+Supported surface (see :mod:`repro.sql.binder` for the operator mapping):
+
+* INNER / LEFT / RIGHT / FULL [OUTER] JOIN with ON conditions (RIGHT is
+  normalized to a left outerjoin with swapped inputs), CROSS JOIN, and
+  comma-separated FROM items (WHERE equijoins merge into the cross
+  edges);
+* ``[NOT] EXISTS (subquery)`` and ``x [NOT] IN (subquery)`` as top-level
+  WHERE conjuncts — bound to semijoin / antijoin edges, with correlated
+  subqueries over one or more tables;
+* conjunctive WHERE over base-table predicates (``IS [NOT] NULL``,
+  prefix ``NOT`` with SQL three-valued semantics, comparisons) and
+  cycle-closing equijoins;
+* GROUP BY and aggregate select lists (sum/count/min/max/avg, DISTINCT,
+  arithmetic argument expressions) with aliases.
+
+Reserved-but-unimplemented keywords (BETWEEN, ORDER, HAVING, LIMIT, ...)
+raise ``'X' is reserved but not yet supported`` naming the offset.
 """
 
 from repro.sql.catalog import Catalog, TableStats

@@ -12,8 +12,17 @@ class SqlSyntaxError(ValueError):
 
 KEYWORDS = {
     "select", "from", "where", "group", "by", "join", "inner", "left",
-    "right", "full", "outer", "on", "and", "or", "not", "as", "distinct",
-    "is", "null", "between", "asc", "desc", "order", "having",
+    "right", "full", "outer", "cross", "on", "and", "or", "not", "as",
+    "distinct", "is", "null", "exists", "in", "between", "asc", "desc",
+    "order", "having", "limit", "offset", "union", "intersect", "except",
+}
+
+#: Reserved keywords the parser does not implement yet.  Kept here (next to
+#: KEYWORDS) so reserving a new word forces a decision: implement it or let
+#: the parser raise the honest "reserved but not yet supported" error.
+UNSUPPORTED_KEYWORDS = {
+    "between", "asc", "desc", "order", "having", "limit", "offset",
+    "union", "intersect", "except",
 }
 
 SYMBOLS = ["<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", "+", "-", "/", "."]

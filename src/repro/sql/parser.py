@@ -2,14 +2,37 @@
 
 Grammar (roughly)::
 
-    select    := SELECT item (',' item)* FROM table_ref join* [WHERE cond]
-                 [GROUP BY column (',' column)*]
+    select    := SELECT item (',' item)* FROM table_ref (',' table_ref)*
+                 join* [WHERE cond] [GROUP BY column (',' column)*]
     item      := expr [[AS] ident]
-    join      := (JOIN | INNER JOIN | LEFT [OUTER] JOIN | FULL [OUTER] JOIN)
+    join      := (JOIN | INNER JOIN | LEFT [OUTER] JOIN
+                  | RIGHT [OUTER] JOIN | FULL [OUTER] JOIN)
                  table_ref ON cond
+               | CROSS JOIN table_ref
     table_ref := ident [[AS] ident]
-    cond      := disjunction of conjunctions of comparisons
+    cond      := disjunction of conjunctions of predicates
+    predicate := '(' cond ')'
+               | NOT predicate
+               | [NOT] EXISTS '(' subquery ')'
+               | expr (comparison expr
+                       | IS [NOT] NULL
+                       | [NOT] IN '(' subquery ')')
+    subquery  := SELECT ('*' | expr) FROM table_ref (',' table_ref)*
+                 join* [WHERE cond]
     expr      := arithmetic over columns, literals and aggregate calls
+
+Comma-separated FROM items are cross joins; the binder turns them into
+TRUE-predicate inner-join edges and later merges WHERE equijoins into
+them.  JOIN binds tighter than the comma (SQL precedence): the join
+clauses extend the last FROM item, and an ON clause may only reference
+tables of its join group.  ``RIGHT [OUTER] JOIN`` survives parsing as ``kind="right"`` — the
+binder normalizes it to a left outerjoin with swapped inputs.  EXISTS /
+IN subqueries may reference outer tables (correlation); the binder turns
+them into semijoin / antijoin edges.
+
+Reserved keywords without an implementation (``BETWEEN``, ``ORDER``,
+``HAVING``, ``LIMIT``, ...) raise ``'X' is reserved but not yet
+supported`` instead of a misleading ``expected 'eof'``.
 """
 
 from __future__ import annotations
@@ -17,7 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
-from repro.sql.lexer import SqlSyntaxError, Token, tokenize
+from repro.sql.lexer import UNSUPPORTED_KEYWORDS, SqlSyntaxError, Token, tokenize
 
 
 # --------------------------------------------------------------------------
@@ -49,7 +72,61 @@ class Binary:
     right: "SqlExpr"
 
 
-SqlExpr = Union[ColumnRef, Literal, FuncCall, Binary]
+@dataclass(frozen=True)
+class NotExpr:
+    """Prefix ``NOT`` over a predicate (SQL three-valued negation)."""
+
+    operand: "SqlExpr"
+
+
+@dataclass(frozen=True)
+class IsNullExpr:
+    """``expr IS [NOT] NULL`` — always two-valued."""
+
+    operand: "SqlExpr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class TableRef:
+    table: str
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class Subquery:
+    """The FROM/WHERE core of an EXISTS / IN subquery (no grouping).
+
+    ``select`` is the single selected column for IN subqueries; EXISTS
+    subqueries select ``*`` or an arbitrary expression, recorded as None.
+    """
+
+    select: Optional[ColumnRef]
+    tables: Tuple[TableRef, ...]
+    joins: Tuple["JoinClause", ...]
+    where: Optional["SqlExpr"]
+
+
+@dataclass(frozen=True)
+class Exists:
+    """``[NOT] EXISTS (SELECT ... )`` — a semijoin (antijoin) predicate."""
+
+    subquery: Subquery
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    """``expr [NOT] IN (SELECT col ... )`` — semijoin (antijoin) on equality."""
+
+    needle: "SqlExpr"
+    subquery: Subquery
+    negated: bool = False
+
+
+SqlExpr = Union[
+    ColumnRef, Literal, FuncCall, Binary, NotExpr, IsNullExpr, Exists, InSubquery
+]
 
 AGGREGATE_NAMES = {"sum", "count", "min", "max", "avg"}
 
@@ -61,25 +138,24 @@ class SelectItem:
 
 
 @dataclass(frozen=True)
-class TableRef:
-    table: str
-    alias: Optional[str]
-
-
-@dataclass(frozen=True)
 class JoinClause:
-    kind: str  # inner | left | full
+    kind: str  # inner | left | right | full | cross
     table: TableRef
-    condition: SqlExpr
+    condition: Optional[SqlExpr]  # None only for cross joins
 
 
 @dataclass(frozen=True)
 class SelectStmt:
     items: Tuple[SelectItem, ...]
-    base: TableRef
+    tables: Tuple[TableRef, ...]  # comma-separated FROM items (>= 1)
     joins: Tuple[JoinClause, ...]
     where: Optional[SqlExpr]
     group_by: Tuple[ColumnRef, ...]
+
+    @property
+    def base(self) -> TableRef:
+        """The first FROM item (the historical single-table field)."""
+        return self.tables[0]
 
 
 # --------------------------------------------------------------------------
@@ -103,6 +179,7 @@ class _Parser:
     def expect(self, kind: str, value: Optional[str] = None) -> Token:
         token = self.peek()
         if token.kind != kind or (value is not None and token.value != value):
+            self._raise_reserved_if_unsupported(token)
             wanted = value or kind
             raise SqlSyntaxError(
                 f"expected {wanted!r}, found {token.value or token.kind!r} at offset {token.position}"
@@ -115,6 +192,13 @@ class _Parser:
             return self.advance()
         return None
 
+    def _raise_reserved_if_unsupported(self, token: Token) -> None:
+        if token.kind == "keyword" and token.value in UNSUPPORTED_KEYWORDS:
+            raise SqlSyntaxError(
+                f"{token.value!r} is reserved but not yet supported "
+                f"at offset {token.position}"
+            )
+
     # -- grammar ------------------------------------------------------------
     def parse_select(self) -> SelectStmt:
         self.expect("keyword", "select")
@@ -122,7 +206,24 @@ class _Parser:
         while self.accept("symbol", ","):
             items.append(self.parse_item())
         self.expect("keyword", "from")
-        base = self.parse_table_ref()
+        tables, joins, where = self.parse_from_where()
+        group_by: List[ColumnRef] = []
+        if self.accept("keyword", "group"):
+            self.expect("keyword", "by")
+            group_by.append(self.parse_column_ref())
+            while self.accept("symbol", ","):
+                group_by.append(self.parse_column_ref())
+        self.expect("eof")
+        return SelectStmt(tuple(items), tables, joins, where, tuple(group_by))
+
+    def parse_from_where(
+        self,
+    ) -> Tuple[Tuple[TableRef, ...], Tuple[JoinClause, ...], Optional[SqlExpr]]:
+        """``table_ref (',' table_ref)* join* [WHERE cond]`` — shared by the
+        top-level statement and subqueries."""
+        tables = [self.parse_table_ref()]
+        while self.accept("symbol", ","):
+            tables.append(self.parse_table_ref())
         joins: List[JoinClause] = []
         while True:
             join = self.try_parse_join()
@@ -132,14 +233,7 @@ class _Parser:
         where = None
         if self.accept("keyword", "where"):
             where = self.parse_condition()
-        group_by: List[ColumnRef] = []
-        if self.accept("keyword", "group"):
-            self.expect("keyword", "by")
-            group_by.append(self.parse_column_ref())
-            while self.accept("symbol", ","):
-                group_by.append(self.parse_column_ref())
-        self.expect("eof")
-        return SelectStmt(tuple(items), base, tuple(joins), where, tuple(group_by))
+        return tuple(tables), tuple(joins), where
 
     def parse_item(self) -> SelectItem:
         expr = self.parse_expr()
@@ -170,10 +264,17 @@ class _Parser:
             self.accept("keyword", "outer")
             self.expect("keyword", "join")
             kind = "left"
+        elif self.accept("keyword", "right"):
+            self.accept("keyword", "outer")
+            self.expect("keyword", "join")
+            kind = "right"
         elif self.accept("keyword", "full"):
             self.accept("keyword", "outer")
             self.expect("keyword", "join")
             kind = "full"
+        elif self.accept("keyword", "cross"):
+            self.expect("keyword", "join")
+            return JoinClause("cross", self.parse_table_ref(), None)
         if kind is None:
             return None
         table = self.parse_table_ref()
@@ -181,7 +282,7 @@ class _Parser:
         condition = self.parse_condition()
         return JoinClause(kind, table, condition)
 
-    # conditions: or > and > comparison
+    # conditions: or > and > predicate
     def parse_condition(self) -> SqlExpr:
         left = self.parse_conjunction()
         while self.accept("keyword", "or"):
@@ -190,13 +291,27 @@ class _Parser:
         return left
 
     def parse_conjunction(self) -> SqlExpr:
-        left = self.parse_comparison()
+        left = self.parse_predicate()
         while self.accept("keyword", "and"):
-            right = self.parse_comparison()
+            right = self.parse_predicate()
             left = Binary("and", left, right)
         return left
 
-    def parse_comparison(self) -> SqlExpr:
+    def parse_predicate(self) -> SqlExpr:
+        if self.accept("keyword", "not"):
+            operand = self.parse_predicate()
+            # NOT EXISTS / NOT IN fold into the quantified predicate so the
+            # binder sees one antijoin construct, not a negation wrapper.
+            if isinstance(operand, Exists):
+                return Exists(operand.subquery, negated=not operand.negated)
+            if isinstance(operand, InSubquery):
+                return InSubquery(
+                    operand.needle, operand.subquery, negated=not operand.negated
+                )
+            return NotExpr(operand)
+        if self.peek().kind == "keyword" and self.peek().value == "exists":
+            self.advance()
+            return Exists(self.parse_subquery("EXISTS"), negated=False)
         if self.accept("symbol", "("):
             inner = self.parse_condition()
             self.expect("symbol", ")")
@@ -209,7 +324,54 @@ class _Parser:
                 op = "<>"
             right = self.parse_expr()
             return Binary(op, left, right)
-        raise SqlSyntaxError(f"expected comparison operator at offset {token.position}")
+        if token.kind == "keyword" and token.value == "is":
+            self.advance()
+            negated = bool(self.accept("keyword", "not"))
+            self.expect("keyword", "null")
+            return IsNullExpr(left, negated=negated)
+        if token.kind == "keyword" and token.value in ("in", "not"):
+            negated = bool(self.accept("keyword", "not"))
+            self.expect("keyword", "in")
+            return InSubquery(left, self.parse_subquery("IN"), negated=negated)
+        self._raise_reserved_if_unsupported(token)
+        raise SqlSyntaxError(
+            "expected a comparison operator, IS [NOT] NULL or [NOT] IN after "
+            f"expression at offset {token.position}"
+        )
+
+    def parse_subquery(self, construct: str) -> Subquery:
+        """``'(' SELECT ('*' | expr) FROM ... [WHERE ...] ')'``.
+
+        *construct* names the enclosing predicate (EXISTS / IN) so errors
+        locate the right construct.
+        """
+        opener = self.peek()
+        if not self.accept("symbol", "("):
+            raise SqlSyntaxError(
+                f"{construct} requires a parenthesised subquery "
+                f"at offset {opener.position}"
+            )
+        keyword = self.peek()
+        if not self.accept("keyword", "select"):
+            raise SqlSyntaxError(
+                f"{construct} requires a subquery starting with SELECT "
+                f"(value lists are not supported) at offset {keyword.position}"
+            )
+        select: Optional[ColumnRef] = None
+        if not self.accept("symbol", "*"):
+            item = self.parse_expr()
+            if isinstance(item, ColumnRef):
+                select = item
+        self.expect("keyword", "from")
+        tables, joins, where = self.parse_from_where()
+        closer = self.peek()
+        if closer.kind == "keyword" and closer.value == "group":
+            raise SqlSyntaxError(
+                f"GROUP BY is not supported inside {construct} subqueries "
+                f"at offset {closer.position}"
+            )
+        self.expect("symbol", ")")
+        return Subquery(select, tables, joins, where)
 
     # arithmetic expressions: additive > multiplicative > primary
     def parse_expr(self) -> SqlExpr:
@@ -250,6 +412,7 @@ class _Parser:
             if token.value.lower() in AGGREGATE_NAMES and self._lookahead_is("symbol", "("):
                 return self.parse_aggregate()
             return self.parse_column_ref()
+        self._raise_reserved_if_unsupported(token)
         raise SqlSyntaxError(f"unexpected token {token.value!r} at offset {token.position}")
 
     def parse_aggregate(self) -> FuncCall:

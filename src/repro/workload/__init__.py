@@ -10,7 +10,14 @@ end-to-end correctness tests.
 """
 
 from repro.workload.unrank import count_trees, random_tree_shape, unrank_tree
-from repro.workload.generator import WorkloadConfig, generate_query, generate_workload
+from repro.workload.generator import (
+    SqlWorkloadConfig,
+    WorkloadConfig,
+    generate_query,
+    generate_sql_query,
+    generate_sql_workload,
+    generate_workload,
+)
 from repro.workload.data import generate_database
 from repro.workload.topologies import (
     chain_query,
@@ -24,8 +31,11 @@ __all__ = [
     "count_trees",
     "unrank_tree",
     "random_tree_shape",
+    "SqlWorkloadConfig",
     "WorkloadConfig",
     "generate_query",
+    "generate_sql_query",
+    "generate_sql_workload",
     "generate_workload",
     "generate_database",
     "chain_query",

@@ -10,6 +10,14 @@ and selectivities.
 Visibility matters because semijoins, antijoins and groupjoins hide their
 right subtree's attributes: predicates and aggregates above such operators
 may only use what survives.
+
+A second, *SQL-emitting* mode (:func:`generate_sql_query` /
+:func:`generate_sql_workload`) produces mixed-operator SQL **text** over
+the TPC-H schema — INNER / LEFT / RIGHT / FULL joins, comma-FROM cross
+joins, ``[NOT] EXISTS`` and ``[NOT] IN`` subqueries, ``IS [NOT] NULL``
+and prefix ``NOT`` predicates — so the whole front door (lexer → parser →
+binder → conflict detector) is exercised, not just programmatically built
+:class:`~repro.query.spec.Query` objects.
 """
 
 from __future__ import annotations
@@ -258,3 +266,239 @@ def _pick_aggregates(
             call = AggCall(kind, Attr(attr))
         items.append(AggItem(f"f{index}", call))
     return AggVector(items)
+
+
+# ---------------------------------------------------------------------------
+# mixed-operator SQL mode
+# ---------------------------------------------------------------------------
+
+#: The TPC-H foreign-key graph the SQL mode walks: (table, column) pairs
+#: that join meaningfully.  Walking links (instead of pairing arbitrary
+#: columns) keeps the generated selectivities realistic.
+SQL_LINKS: Tuple[Tuple[str, str, str, str], ...] = (
+    ("nation", "n_regionkey", "region", "r_regionkey"),
+    ("supplier", "s_nationkey", "nation", "n_nationkey"),
+    ("customer", "c_nationkey", "nation", "n_nationkey"),
+    ("orders", "o_custkey", "customer", "c_custkey"),
+    ("lineitem", "l_orderkey", "orders", "o_orderkey"),
+    ("lineitem", "l_suppkey", "supplier", "s_suppkey"),
+    ("lineitem", "l_partkey", "part", "p_partkey"),
+    ("partsupp", "ps_partkey", "part", "p_partkey"),
+    ("partsupp", "ps_suppkey", "supplier", "s_suppkey"),
+)
+
+#: numeric columns usable in range / constant predicates
+_SQL_NUMERIC = {
+    "region": ("r_regionkey",),
+    "nation": ("n_nationkey", "n_regionkey"),
+    "supplier": ("s_acctbal", "s_suppkey"),
+    "customer": ("c_acctbal", "c_custkey"),
+    "part": ("p_size", "p_partkey"),
+    "partsupp": ("ps_availqty", "ps_supplycost"),
+    "orders": ("o_totalprice", "o_orderdate"),
+    "lineitem": ("l_quantity", "l_extendedprice"),
+}
+
+#: low-cardinality columns that make sensible grouping keys
+_SQL_GROUP_COLS = {
+    "region": ("r_name",),
+    "nation": ("n_name", "n_regionkey"),
+    "supplier": ("s_nationkey", "s_name"),
+    "customer": ("c_mktsegment", "c_nationkey"),
+    "part": ("p_type", "p_size"),
+    "partsupp": ("ps_suppkey",),
+    "orders": ("o_orderstatus", "o_shippriority"),
+    "lineitem": ("l_returnflag", "l_linenumber"),
+}
+
+
+@dataclass
+class SqlWorkloadConfig:
+    """Knobs of the mixed-operator SQL mode."""
+
+    #: FROM/JOIN tables per query (subquery tables come on top).
+    min_tables: int = 1
+    max_tables: int = 3
+    #: How each grown table attaches to the query so far.  ``comma`` lands
+    #: in the FROM list with its equijoin in WHERE (only possible before
+    #: the first explicit JOIN — SQL grammar).
+    join_style_weights: Dict[str, float] = field(
+        default_factory=lambda: {
+            "join": 0.40,
+            "comma": 0.15,
+            "left": 0.15,
+            "right": 0.15,
+            "full": 0.15,
+        }
+    )
+    #: Probability of attaching an EXISTS / IN subquery (drawn twice, so
+    #: some queries carry two quantified predicates).
+    subquery_probability: float = 0.6
+    #: Among subqueries: NOT EXISTS / NOT IN share.
+    negated_probability: float = 0.5
+    #: Among subqueries: IN (vs EXISTS) share.
+    in_probability: float = 0.4
+    #: Probability that the subquery carries its own local predicate.
+    subquery_where_probability: float = 0.4
+    #: Per-query probabilities of the scalar predicate extras.
+    range_probability: float = 0.4
+    is_null_probability: float = 0.3
+    not_probability: float = 0.3
+    #: Extra grouping column beyond the first.
+    second_group_probability: float = 0.3
+    #: Extra aggregate (min/max/sum over a numeric column) beyond count(*).
+    extra_aggregate_probability: float = 0.6
+
+
+def _sql_neighbors() -> Dict[str, List[Tuple[str, str, str]]]:
+    """table → [(own column, other table, other column)] in both directions."""
+    neighbors: Dict[str, List[Tuple[str, str, str]]] = {}
+    for t1, c1, t2, c2 in SQL_LINKS:
+        neighbors.setdefault(t1, []).append((c1, t2, c2))
+        neighbors.setdefault(t2, []).append((c2, t1, c1))
+    return neighbors
+
+
+_NEIGHBORS = _sql_neighbors()
+
+
+def generate_sql_query(
+    rng: random.Random, config: Optional[SqlWorkloadConfig] = None
+) -> str:
+    """One random mixed-operator SQL statement over the TPC-H schema.
+
+    The result always parses and binds against ``Catalog.from_tpch()``;
+    determinism follows *rng* alone.
+    """
+    config = config or SqlWorkloadConfig()
+    n_tables = rng.randint(config.min_tables, config.max_tables)
+
+    start = rng.choice(sorted(_NEIGHBORS))
+    aliases: List[Tuple[str, str]] = [("t0", start)]  # (alias, table)
+    #: the last FROM item's join group: JOIN binds tighter than the comma,
+    #: so ON clauses may only reference these aliases.
+    group_aliases: List[Tuple[str, str]] = [("t0", start)]
+    from_items = [f"{start} t0"]
+    join_clauses: List[str] = []
+    where: List[str] = []
+    comma_allowed = True
+
+    styles = [k for k, w in sorted(config.join_style_weights.items()) if w > 0]
+    weights = [config.join_style_weights[k] for k in styles]
+    while len(aliases) < n_tables:
+        style = rng.choices(styles, weights=weights, k=1)[0]
+        if style == "comma" and not comma_allowed:
+            style = "join"
+        # Comma equijoins live in WHERE and may reference any alias; an ON
+        # clause is scoped to the current join group.
+        hosts = aliases if style == "comma" else group_aliases
+        host_alias, host_table = rng.choice(hosts)
+        links = _NEIGHBORS.get(host_table, [])
+        if not links:
+            break
+        host_col, new_table, new_col = rng.choice(sorted(links))
+        alias = f"t{len(aliases)}"
+        condition = f"{host_alias}.{host_col} = {alias}.{new_col}"
+        if style == "comma":
+            from_items.append(f"{new_table} {alias}")
+            where.append(condition)
+            group_aliases = [(alias, new_table)]  # joins extend the last item
+        else:
+            comma_allowed = False
+            keyword = {
+                "join": "JOIN",
+                "left": "LEFT JOIN",
+                "right": "RIGHT JOIN",
+                "full": "FULL JOIN",
+            }[style]
+            join_clauses.append(f"{keyword} {new_table} {alias} ON {condition}")
+            group_aliases.append((alias, new_table))
+        aliases.append((alias, new_table))
+
+    # -- quantified predicates: [NOT] EXISTS / [NOT] IN --------------------
+    sub_counter = 0
+    for _ in range(2):
+        if rng.random() >= config.subquery_probability:
+            continue
+        host_alias, host_table = rng.choice(aliases)
+        links = _NEIGHBORS.get(host_table, [])
+        if not links:
+            continue
+        host_col, sub_table, sub_col = rng.choice(sorted(links))
+        sub_alias = f"s{sub_counter}"
+        sub_counter += 1
+        negated = rng.random() < config.negated_probability
+        sub_where = ""
+        if rng.random() < config.subquery_where_probability:
+            numeric = rng.choice(_SQL_NUMERIC[sub_table])
+            sub_where = f" AND {sub_alias}.{numeric} > {rng.randint(1, 50)}"
+        if rng.random() < config.in_probability:
+            quantifier = "NOT IN" if negated else "IN"
+            inner_where = f" WHERE {sub_where[5:]}" if sub_where else ""
+            where.append(
+                f"{host_alias}.{host_col} {quantifier} "
+                f"(SELECT {sub_alias}.{sub_col} FROM {sub_table} {sub_alias}{inner_where})"
+            )
+        else:
+            quantifier = "NOT EXISTS" if negated else "EXISTS"
+            where.append(
+                f"{quantifier} (SELECT * FROM {sub_table} {sub_alias} "
+                f"WHERE {sub_alias}.{sub_col} = {host_alias}.{host_col}{sub_where})"
+            )
+
+    # -- scalar predicate extras -------------------------------------------
+    extra_alias, extra_table = rng.choice(aliases)
+    if rng.random() < config.range_probability:
+        column = rng.choice(_SQL_NUMERIC[extra_table])
+        op = rng.choice(("<", ">", "<=", ">="))
+        where.append(f"{extra_alias}.{column} {op} {rng.randint(1, 1000)}")
+    if rng.random() < config.is_null_probability:
+        column = rng.choice(_SQL_NUMERIC[extra_table])
+        where.append(
+            f"{extra_alias}.{column} IS {'NOT ' if rng.random() < 0.5 else ''}NULL"
+        )
+    if rng.random() < config.not_probability:
+        column = rng.choice(_SQL_NUMERIC[extra_table])
+        where.append(f"NOT {extra_alias}.{column} = {rng.randint(1, 100)}")
+
+    # -- output shape --------------------------------------------------------
+    group_cols: List[str] = []
+    group_alias, group_table = rng.choice(aliases)
+    group_cols.append(f"{group_alias}.{rng.choice(_SQL_GROUP_COLS[group_table])}")
+    if rng.random() < config.second_group_probability:
+        alias2, table2 = rng.choice(aliases)
+        candidate = f"{alias2}.{rng.choice(_SQL_GROUP_COLS[table2])}"
+        if candidate not in group_cols:
+            group_cols.append(candidate)
+    select_items = list(group_cols) + ["count(*) AS cnt"]
+    if rng.random() < config.extra_aggregate_probability:
+        agg_alias, agg_table = rng.choice(aliases)
+        func = rng.choice(("sum", "min", "max"))
+        select_items.append(
+            f"{func}({agg_alias}.{rng.choice(_SQL_NUMERIC[agg_table])}) AS agg0"
+        )
+
+    sql = f"SELECT {', '.join(select_items)} FROM {', '.join(from_items)}"
+    if join_clauses:
+        sql += " " + " ".join(join_clauses)
+    if where:
+        sql += " WHERE " + " AND ".join(where)
+    sql += " GROUP BY " + ", ".join(group_cols)
+    return sql
+
+
+def generate_sql_workload(
+    count: int,
+    rng: random.Random,
+    config: Optional[SqlWorkloadConfig] = None,
+    unique: Optional[int] = None,
+) -> List[str]:
+    """A batch of mixed-operator SQL statements (see :func:`generate_workload`
+    for the *unique*-shapes repetition semantics)."""
+    if count < 1:
+        raise ValueError(f"workload size must be >= 1, got {count}")
+    distinct = count if unique is None else max(1, min(unique, count))
+    shapes = [generate_sql_query(rng, config) for _ in range(distinct)]
+    batch = [shapes[i % distinct] for i in range(count)]
+    rng.shuffle(batch)
+    return batch

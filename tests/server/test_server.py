@@ -321,3 +321,49 @@ class TestServerConfigValidation:
         config = ServerConfig(workers=3)
         assert config.effective_workers == 3
         assert config.effective_max_inflight == 14
+
+
+class TestMixedOperators:
+    """The PR-5 operator surface over the serving path (acceptance
+    criterion: EXISTS round-trips with a cache key distinct from the
+    NOT EXISTS variant)."""
+
+    EXISTS_SQL = (
+        "SELECT n.n_name, count(*) AS cnt FROM nation n WHERE EXISTS "
+        "(SELECT * FROM supplier s WHERE s.s_nationkey = n.n_nationkey) "
+        "GROUP BY n.n_name"
+    )
+    NOT_EXISTS_SQL = EXISTS_SQL.replace("WHERE EXISTS", "WHERE NOT EXISTS")
+
+    def test_exists_round_trip_serves_a_semijoin_plan(self, client):
+        body = client.optimize(self.EXISTS_SQL, include_plan=True)
+        assert body["cost"] > 0
+        assert "left_semi" in json.dumps(body["plan"])
+
+    def test_not_exists_never_hits_the_exists_entry(self, client):
+        client.optimize(self.EXISTS_SQL)
+        anti = client.optimize(self.NOT_EXISTS_SQL, include_plan=True)
+        assert anti["cache_hit"] is False
+        assert "left_anti" in json.dumps(anti["plan"])
+        again = client.optimize(self.EXISTS_SQL)
+        assert again["cache_hit"] is True
+
+    def test_right_join_and_in_subquery_round_trip(self, client):
+        right = client.optimize(
+            "SELECT n.n_name, count(*) AS cnt FROM supplier s "
+            "RIGHT JOIN nation n ON s.s_nationkey = n.n_nationkey "
+            "GROUP BY n.n_name"
+        )
+        assert right["cost"] > 0
+        in_sub = client.optimize(
+            "SELECT c.c_nationkey, count(*) AS cnt FROM customer c WHERE "
+            "c.c_custkey IN (SELECT o.o_custkey FROM orders o) "
+            "GROUP BY c.c_nationkey"
+        )
+        assert in_sub["cost"] > 0
+
+    def test_reserved_keyword_is_a_client_error(self, client):
+        with pytest.raises(ServerError) as info:
+            client.optimize("SELECT count(*) FROM nation n ORDER BY n.n_name")
+        assert info.value.status == 400
+        assert "reserved but not yet supported" in str(info.value)

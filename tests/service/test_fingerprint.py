@@ -211,3 +211,94 @@ class TestStrategyKeying:
         digest = cache_key(make_query()).digest()
         assert len(digest) == 64
         int(digest, 16)  # valid hex
+
+
+class TestOperatorKindSeparation:
+    """The SQL operator surface must never share cache keys across kinds.
+
+    A semijoin (EXISTS) and an antijoin (NOT EXISTS) over the same tables
+    describe different optimization problems — Sec. 4's plan generators
+    produce different plans for them — so serving one's plan for the other
+    would be a correctness bug, not a stale-statistics inconvenience.
+    """
+
+    @staticmethod
+    def _keys(*sqls):
+        from repro.sql import Catalog, parse_query
+
+        catalog = Catalog.from_tpch()
+        return [cache_key(parse_query(sql, catalog)) for sql in sqls]
+
+    def test_semijoin_antijoin_inner_outer_all_distinct(self):
+        template = (
+            "SELECT n.n_name, count(*) AS cnt FROM nation n WHERE {} "
+            "(SELECT * FROM supplier s WHERE s.s_nationkey = n.n_nationkey) "
+            "GROUP BY n.n_name"
+        )
+        joined = (
+            "SELECT n.n_name, count(*) AS cnt FROM nation n "
+            "{} supplier s ON s.s_nationkey = n.n_nationkey GROUP BY n.n_name"
+        )
+        keys = self._keys(
+            template.format("EXISTS"),
+            template.format("NOT EXISTS"),
+            joined.format("JOIN"),
+            joined.format("LEFT JOIN"),
+            joined.format("FULL JOIN"),
+        )
+        assert len(set(keys)) == len(keys)
+
+    def test_in_and_not_in_distinct(self):
+        template = (
+            "SELECT c.c_nationkey, count(*) AS cnt FROM customer c WHERE "
+            "c.c_custkey {} (SELECT o.o_custkey FROM orders o) "
+            "GROUP BY c.c_nationkey"
+        )
+        key_in, key_not_in = self._keys(template.format("IN"), template.format("NOT IN"))
+        assert key_in != key_not_in
+
+    def test_exists_and_in_same_problem_share_key(self):
+        """EXISTS with an equality correlation and IN on the same columns
+        bind to the identical semijoin — they must share a cache entry."""
+        keys = self._keys(
+            "SELECT c.c_nationkey, count(*) AS cnt FROM customer c WHERE EXISTS "
+            "(SELECT * FROM orders o WHERE o.o_custkey = c.c_custkey) "
+            "GROUP BY c.c_nationkey",
+            "SELECT c.c_nationkey, count(*) AS cnt FROM customer c WHERE "
+            "c.c_custkey IN (SELECT o.o_custkey FROM orders o) "
+            "GROUP BY c.c_nationkey",
+        )
+        assert keys[0] == keys[1]
+
+    def test_renamed_exists_query_shares_key(self):
+        keys = self._keys(
+            "SELECT n.n_name, count(*) AS cnt FROM nation n WHERE EXISTS "
+            "(SELECT * FROM supplier s WHERE s.s_nationkey = n.n_nationkey) "
+            "GROUP BY n.n_name",
+            "SELECT x.n_name, count(*) AS cnt FROM nation x WHERE EXISTS "
+            "(SELECT * FROM supplier y WHERE y.s_nationkey = x.n_nationkey) "
+            "GROUP BY x.n_name",
+        )
+        assert keys[0] == keys[1]
+
+    def test_right_join_shares_key_with_mirrored_left_join(self):
+        """The normalization means both spellings are one problem."""
+        keys = self._keys(
+            "SELECT n.n_name, count(*) AS cnt FROM supplier s "
+            "RIGHT JOIN nation n ON s.s_nationkey = n.n_nationkey "
+            "GROUP BY n.n_name",
+            "SELECT n.n_name, count(*) AS cnt FROM nation n "
+            "LEFT JOIN supplier s ON s.s_nationkey = n.n_nationkey "
+            "GROUP BY n.n_name",
+        )
+        assert keys[0] == keys[1]
+
+    def test_is_null_variants_distinct(self):
+        template = (
+            "SELECT s.s_name, count(*) AS cnt FROM supplier s "
+            "WHERE s.s_acctbal {} GROUP BY s.s_name"
+        )
+        key_null, key_not_null = self._keys(
+            template.format("IS NULL"), template.format("IS NOT NULL")
+        )
+        assert key_null != key_not_null

@@ -6,8 +6,12 @@ from repro.sql.lexer import SqlSyntaxError, tokenize
 from repro.sql.parser import (
     Binary,
     ColumnRef,
+    Exists,
     FuncCall,
+    InSubquery,
+    IsNullExpr,
     Literal,
+    NotExpr,
     parse_select,
 )
 
@@ -111,3 +115,157 @@ class TestParser:
     def test_unqualified_column(self):
         stmt = parse_select("SELECT count(*) FROM a GROUP BY g")
         assert stmt.group_by[0] == ColumnRef(None, "g")
+
+
+class TestExtendedJoins:
+    def test_right_join_parses_as_right(self):
+        """Regression: `RIGHT JOIN` used to die with `expected 'eof', found
+        'right'` — the keyword was reserved but never consumed."""
+        stmt = parse_select("SELECT count(*) FROM a RIGHT JOIN b ON a.x = b.x")
+        assert [j.kind for j in stmt.joins] == ["right"]
+
+    def test_right_outer_join(self):
+        stmt = parse_select("SELECT count(*) FROM a RIGHT OUTER JOIN b ON a.x = b.x")
+        assert stmt.joins[0].kind == "right"
+
+    def test_cross_join(self):
+        stmt = parse_select("SELECT count(*) FROM a CROSS JOIN b")
+        assert stmt.joins[0].kind == "cross"
+        assert stmt.joins[0].condition is None
+
+    def test_comma_separated_from(self):
+        stmt = parse_select("SELECT count(*) FROM a, b x, c WHERE a.x = x.y")
+        assert [t.table for t in stmt.tables] == ["a", "b", "c"]
+        assert stmt.tables[1].alias == "x"
+        assert stmt.base.table == "a"
+
+
+class TestPredicates:
+    def test_is_null(self):
+        stmt = parse_select("SELECT count(*) FROM a WHERE a.x IS NULL")
+        assert stmt.where == IsNullExpr(ColumnRef("a", "x"), negated=False)
+
+    def test_is_not_null(self):
+        stmt = parse_select("SELECT count(*) FROM a WHERE a.x IS NOT NULL")
+        assert stmt.where == IsNullExpr(ColumnRef("a", "x"), negated=True)
+
+    def test_prefix_not(self):
+        """Regression: `where not a.x = 1` raised `unexpected token 'not'`."""
+        stmt = parse_select("SELECT count(*) FROM a WHERE NOT a.x = 1")
+        assert stmt.where == NotExpr(Binary("=", ColumnRef("a", "x"), Literal(1)))
+
+    def test_not_parenthesised_condition(self):
+        stmt = parse_select("SELECT count(*) FROM a WHERE NOT (a.x = 1 OR a.y = 2)")
+        assert isinstance(stmt.where, NotExpr)
+        assert stmt.where.operand.op == "or"
+
+    def test_double_not(self):
+        stmt = parse_select("SELECT count(*) FROM a WHERE NOT NOT a.x = 1")
+        assert stmt.where == NotExpr(NotExpr(Binary("=", ColumnRef("a", "x"), Literal(1))))
+
+
+class TestSubqueries:
+    def test_exists(self):
+        stmt = parse_select(
+            "SELECT count(*) FROM a WHERE EXISTS (SELECT * FROM b WHERE b.x = a.x)"
+        )
+        assert isinstance(stmt.where, Exists)
+        assert not stmt.where.negated
+        assert stmt.where.subquery.tables[0].table == "b"
+        assert stmt.where.subquery.select is None
+
+    def test_not_exists_folds_negation(self):
+        stmt = parse_select(
+            "SELECT count(*) FROM a WHERE NOT EXISTS (SELECT * FROM b WHERE b.x = a.x)"
+        )
+        assert isinstance(stmt.where, Exists) and stmt.where.negated
+
+    def test_not_parenthesised_exists_folds(self):
+        stmt = parse_select(
+            "SELECT count(*) FROM a WHERE NOT (EXISTS (SELECT * FROM b WHERE b.x = a.x))"
+        )
+        assert isinstance(stmt.where, Exists) and stmt.where.negated
+
+    def test_in_subquery(self):
+        stmt = parse_select(
+            "SELECT count(*) FROM a WHERE a.x IN (SELECT b.y FROM b)"
+        )
+        assert isinstance(stmt.where, InSubquery)
+        assert stmt.where.needle == ColumnRef("a", "x")
+        assert stmt.where.subquery.select == ColumnRef("b", "y")
+        assert not stmt.where.negated
+
+    def test_not_in_subquery(self):
+        stmt = parse_select(
+            "SELECT count(*) FROM a WHERE a.x NOT IN (SELECT b.y FROM b)"
+        )
+        assert isinstance(stmt.where, InSubquery) and stmt.where.negated
+
+    def test_exists_subquery_with_joins_and_where(self):
+        stmt = parse_select(
+            "SELECT count(*) FROM a WHERE EXISTS ("
+            "SELECT 1 FROM b JOIN c ON b.k = c.k WHERE b.x = a.x AND c.v > 3)"
+        )
+        sub = stmt.where.subquery
+        assert [j.kind for j in sub.joins] == ["inner"]
+        assert sub.where is not None
+
+    def test_exists_conjunction(self):
+        stmt = parse_select(
+            "SELECT count(*) FROM a WHERE a.v > 1 "
+            "AND EXISTS (SELECT * FROM b WHERE b.x = a.x)"
+        )
+        assert stmt.where.op == "and"
+        assert isinstance(stmt.where.right, Exists)
+
+    def test_in_requires_subquery(self):
+        with pytest.raises(SqlSyntaxError, match="value lists are not supported"):
+            parse_select("SELECT count(*) FROM a WHERE a.x IN (1, 2, 3)")
+
+    def test_group_by_rejected_in_subquery(self):
+        with pytest.raises(SqlSyntaxError, match="GROUP BY is not supported inside EXISTS"):
+            parse_select(
+                "SELECT count(*) FROM a WHERE EXISTS "
+                "(SELECT * FROM b WHERE b.x = a.x GROUP BY b.g)"
+            )
+
+
+class TestErrorMessages:
+    """Parser errors must name the construct and the offset accurately."""
+
+    def test_reserved_keyword_after_statement(self):
+        """Regression: trailing reserved keywords produced `expected 'eof'`."""
+        with pytest.raises(SqlSyntaxError, match="'order' is reserved but not yet supported"):
+            parse_select("SELECT count(*) FROM a ORDER BY g")
+
+    def test_reserved_keyword_in_predicate(self):
+        with pytest.raises(SqlSyntaxError, match="'between' is reserved but not yet supported"):
+            parse_select("SELECT count(*) FROM a WHERE a.x BETWEEN 1 AND 2")
+
+    def test_reserved_keyword_having(self):
+        with pytest.raises(SqlSyntaxError, match="'having' is reserved but not yet supported"):
+            parse_select("SELECT count(*) FROM a GROUP BY g HAVING count(*) > 1")
+
+    def test_reserved_keyword_limit(self):
+        with pytest.raises(SqlSyntaxError, match="'limit' is reserved but not yet supported"):
+            parse_select("SELECT count(*) FROM a LIMIT 5")
+
+    def test_error_offset_is_accurate(self):
+        sql = "SELECT count(*) FROM a ORDER BY g"
+        with pytest.raises(SqlSyntaxError, match=f"at offset {sql.index('ORDER')}"):
+            parse_select(sql)
+
+    def test_incomplete_predicate_names_alternatives(self):
+        with pytest.raises(
+            SqlSyntaxError,
+            match=r"expected a comparison operator, IS \[NOT\] NULL or \[NOT\] IN",
+        ):
+            parse_select("SELECT count(*) FROM a WHERE a.x")
+
+    def test_exists_requires_parenthesised_subquery(self):
+        with pytest.raises(SqlSyntaxError, match="EXISTS requires a parenthesised subquery"):
+            parse_select("SELECT count(*) FROM a WHERE EXISTS b")
+
+    def test_is_requires_null(self):
+        with pytest.raises(SqlSyntaxError, match="expected 'null'"):
+            parse_select("SELECT count(*) FROM a WHERE a.x IS 3")

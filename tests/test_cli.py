@@ -122,3 +122,38 @@ class TestBatchSubcommand:
         assert main(["batch", "--sql-file", str(sql_file)]) == 1
         err = capsys.readouterr().err
         assert f"{sql_file}:3:" in err
+
+
+class TestMixedSqlWorkload:
+    EXISTS_SQL = (
+        "SELECT n.n_name, count(*) AS cnt FROM nation n WHERE EXISTS "
+        "(SELECT * FROM supplier s WHERE s.s_nationkey = n.n_nationkey) "
+        "GROUP BY n.n_name"
+    )
+
+    def test_explain_exists_query(self, capsys):
+        assert main([self.EXISTS_SQL]) == 0
+        out = capsys.readouterr().out
+        assert "Cout=" in out
+        assert "⋉" in out  # the semijoin survives into the rendered plan
+
+    def test_explain_right_join(self, capsys):
+        assert main([
+            "SELECT n.n_name, count(*) AS cnt FROM supplier s "
+            "RIGHT JOIN nation n ON s.s_nationkey = n.n_nationkey "
+            "GROUP BY n.n_name"
+        ]) == 0
+        assert "⟕" in capsys.readouterr().out
+
+    def test_explain_reserved_keyword_is_an_error(self, capsys):
+        assert main(["SELECT count(*) FROM nation n ORDER BY n.n_name"]) == 1
+        assert "reserved but not yet supported" in capsys.readouterr().err
+
+    def test_batch_mixed_sql(self, capsys):
+        assert main([
+            "batch", "--mixed-sql", "--count", "6", "--unique", "3",
+            "--workers", "1", "--repeat", "2", "--seed", "7",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batch 2:" in out
+        assert "cache hits=6 (100%)" in out  # second pass fully cached
