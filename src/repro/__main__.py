@@ -32,7 +32,7 @@ import random
 import sys
 from typing import List
 
-from repro.api import COST_MODELS, STRATEGIES, OptimizerConfig, PlannerSession
+from repro.api import COST_MODELS, ENGINES, STRATEGIES, OptimizerConfig, PlannerSession
 from repro.query.spec import Query
 
 SUBCOMMANDS = ("explain", "batch", "serve")
@@ -55,6 +55,13 @@ def _add_strategy_options(parser: argparse.ArgumentParser) -> None:
         default="cout",
         help="cost model pricing the plans (default: cout)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default="indexed",
+        help="driver code path; all engines produce identical plans "
+        "(default: indexed)",
+    )
 
 
 def _config_from(args: argparse.Namespace, **overrides) -> OptimizerConfig:
@@ -62,6 +69,7 @@ def _config_from(args: argparse.Namespace, **overrides) -> OptimizerConfig:
         strategy=args.strategy,
         factor=args.factor,
         cost_model=args.cost_model,
+        engine=args.engine,
         **overrides,
     )
 
@@ -213,6 +221,7 @@ def run_serve(argv) -> int:
             strategy=args.strategy,
             factor=args.factor,
             cost_model=args.cost_model,
+            engine=args.engine,
             cache_capacity=None if args.no_cache else args.cache_size,
             request_timeout_seconds=args.timeout,
             drain_grace_seconds=args.grace,
@@ -230,6 +239,7 @@ def run_serve(argv) -> int:
     print(
         f"repro plan server listening on {server.url}  "
         f"(workers={config.effective_workers}, strategy={config.strategy}, "
+        f"engine={config.engine}, "
         f"cache={'off' if config.cache_capacity in (None, 0) else config.cache_capacity})",
         flush=True,
     )

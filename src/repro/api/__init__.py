@@ -29,6 +29,7 @@ from repro.optimizer.costmodel import CostModel, CoutModel
 from repro.optimizer.driver import OptimizationResult, OptimizerHooks
 from repro.optimizer.registry import (
     COST_MODELS,
+    ENGINES,
     STRATEGIES,
     CostModelRegistry,
     StrategyRegistry,
@@ -53,6 +54,7 @@ __all__ = [
     "CostModelRegistry",
     "STRATEGIES",
     "COST_MODELS",
+    "ENGINES",
     "PlanCache",
     "Catalog",
 ]

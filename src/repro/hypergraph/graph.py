@@ -88,6 +88,11 @@ class Hypergraph:
                 self._sides_by_min[lowest_bit(u)].append((u, w, edge))
                 if not edge.simple:
                     self._complex_sides_by_min[lowest_bit(u)].append((u, w))
+        #: Simple-only graphs (every bench topology) answer both hot-path
+        #: queries from the bitmask adjacency alone — the explicit
+        #: crossover that keeps small graphs from paying per-edge
+        #: orientation scans that the reference scan never amortises.
+        self._no_complex = not self._complex_edges
         self._connected_cache: Dict[Tuple[int, int], bool] = {}
         self._neighborhood_cache: Dict[Tuple[int, int], int] = {}
         self.counters: Dict[str, int] = {
@@ -131,6 +136,12 @@ class Hypergraph:
             return cached
         result = 0
         simple = self._simple_neighbors
+        if self._no_complex:
+            for v in bits_of(s):
+                result |= simple[v]
+            result &= ~forbidden
+            self._neighborhood_cache[key] = result
+            return result
         complex_sides = self._complex_sides_by_min
         scanned = 0
         for v in bits_of(s):
@@ -185,11 +196,22 @@ class Hypergraph:
         # scanning the smaller side's incident orientations suffices.
         if s1.bit_count() > s2.bit_count():
             s1, s2 = s2, s1
-        sides = self._sides_by_min
-        scanned = 0
+        # A simple crossing edge shows up in the bitmask adjacency — the
+        # O(|S1|) test that settles simple-only graphs without touching
+        # any orientation list.
+        simple = self._simple_neighbors
         result = False
         for v in bits_of(s1):
-            for u, w, _edge in sides[v]:
+            if simple[v] & s2:
+                result = True
+                break
+        if result or self._no_complex:
+            self._connected_cache[key] = result
+            return result
+        sides = self._complex_sides_by_min
+        scanned = 0
+        for v in bits_of(s1):
+            for u, w in sides[v]:
                 scanned += 1
                 if not (u & ~s1) and not (w & ~s2):
                     result = True

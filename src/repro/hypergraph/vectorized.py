@@ -1,0 +1,199 @@
+"""numpy-backed bitset layer over :class:`~repro.hypergraph.graph.Hypergraph`.
+
+The iterative DPhyp enumerator consumes exactly three things from a
+graph: ``n``, ``neighborhood(s, excluded)`` and ``connected(s1, s2)``.
+Both queries reduce to testing every *edge orientation* ``(u, w)``
+incident to a vertex set against two bitmasks — a loop the indexed
+engine runs in Python, one orientation at a time.
+
+:class:`VectorizedGraph` keeps the per-vertex orientation lists as
+contiguous ``uint64`` arrays instead, so one call tests all incident
+orientations with a handful of broadcasted bitwise operations.  Vertex
+sets are plain Python ints everywhere else in the optimizer, so the view
+only batches internally and returns the same exact integers the base
+graph would — bitwise arithmetic on ``uint64`` is exact, which is what
+makes the vectorized engine's golden/differential guarantees possible at
+this layer for free.
+
+Design notes:
+
+* the view *wraps* the base graph rather than replacing it: ``counters``
+  is the base graph's dict (shared, so driver stats diffs keep working),
+  the simple-neighbor index is reused, and anything the view does not
+  implement (``connecting_edges``, ``induces_connected_subgraph``, …)
+  delegates via ``__getattr__``,
+* memoisation mirrors the base graph exactly (same keys), because the
+  enumerator's call pattern is identical either way,
+* tiny orientation lists fall back to the scalar loop — batching three
+  edges costs more in array setup than it saves,
+* requires ``n <= 64`` (vertex sets must fit ``uint64``) and numpy; the
+  caller (:mod:`repro.optimizer.driver`) checks both and keeps the base
+  graph otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+try:  # pragma: no cover - exercised via the numpy-less fallback suite
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from repro.hypergraph.bitset import bits_of
+from repro.hypergraph.graph import Hypergraph
+
+#: Below this many incident orientations the scalar loop wins.
+_BATCH_THRESHOLD = 8
+
+
+def numpy_available() -> bool:
+    return _np is not None
+
+
+def supports(graph: Hypergraph) -> bool:
+    """Whether *graph* can be served by a :class:`VectorizedGraph`."""
+    return _np is not None and graph.n <= 64
+
+
+class VectorizedGraph:
+    """A batched ``neighborhood``/``connected`` view of a base graph."""
+
+    __slots__ = (
+        "_base",
+        "n",
+        "counters",
+        "_simple_neighbors",
+        "_neighborhood_cache",
+        "_connected_cache",
+        "_complex_u",
+        "_complex_w",
+        "_complex_rep",
+        "_sides_u",
+        "_sides_w",
+    )
+
+    def __init__(self, base: Hypergraph):
+        if _np is None:
+            raise RuntimeError("VectorizedGraph requires numpy")
+        if base.n > 64:
+            raise ValueError("vertex sets beyond 64 bits do not fit uint64 lanes")
+        self._base = base
+        self.n = base.n
+        # Shared with the base graph so end-minus-start stats diffs in the
+        # driver see one coherent counter set regardless of the view.
+        self.counters: Dict[str, int] = base.counters
+        self.counters.setdefault("vector_batched_calls", 0)
+        self._simple_neighbors = base._simple_neighbors
+        self._neighborhood_cache: Dict[Tuple[int, int], int] = {}
+        self._connected_cache: Dict[Tuple[int, int], bool] = {}
+        # Per-vertex orientation lanes, uint64: complex-only (for the
+        # neighbourhood representatives) and all orientations (for
+        # connectivity), mirroring the base graph's two indexes.
+        u64 = _np.uint64
+        self._complex_u = []
+        self._complex_w = []
+        self._complex_rep = []
+        self._sides_u = []
+        self._sides_w = []
+        for v in range(base.n):
+            cu = _np.array([u for u, _w in base._complex_sides_by_min[v]], dtype=u64)
+            cw = _np.array([w for _u, w in base._complex_sides_by_min[v]], dtype=u64)
+            self._complex_u.append(cu)
+            self._complex_w.append(cw)
+            self._complex_rep.append(cw & (~cw + u64(1)))  # w & -w per lane
+            su = _np.array([u for u, _w, _e in base._sides_by_min[v]], dtype=u64)
+            sw = _np.array([w for _u, w, _e in base._sides_by_min[v]], dtype=u64)
+            self._sides_u.append(su)
+            self._sides_w.append(sw)
+
+    def __getattr__(self, name):
+        return getattr(self._base, name)
+
+    def reset_caches(self) -> None:
+        self._neighborhood_cache.clear()
+        self._connected_cache.clear()
+        self._base.reset_caches()
+
+    # -- connectivity -------------------------------------------------------
+    def neighborhood(self, s: int, excluded: int) -> int:
+        """``N(S, X)`` — identical integers to the base graph's answer."""
+        counters = self.counters
+        counters["neighborhood_calls"] += 1
+        forbidden = s | excluded
+        key = (s, forbidden)
+        cached = self._neighborhood_cache.get(key)
+        if cached is not None:
+            counters["neighborhood_memo_hits"] += 1
+            return cached
+        result = 0
+        simple = self._simple_neighbors
+        vertices = list(bits_of(s))
+        for v in vertices:
+            result |= simple[v]
+        scanned = sum(len(self._complex_u[v]) for v in vertices)
+        if scanned:
+            if scanned < _BATCH_THRESHOLD:
+                complex_sides = self._base._complex_sides_by_min
+                for v in vertices:
+                    for u, w in complex_sides[v]:
+                        if not (u & ~s) and not (w & forbidden):
+                            result |= w & -w
+            else:
+                counters["vector_batched_calls"] += 1
+                u64 = _np.uint64
+                not_s = u64(~s & ((1 << 64) - 1))
+                forb = u64(forbidden)
+                zero = u64(0)
+                for v in vertices:
+                    cu = self._complex_u[v]
+                    if not len(cu):
+                        continue
+                    hit = ((cu & not_s) == zero) & ((self._complex_w[v] & forb) == zero)
+                    if hit.any():
+                        result |= int(_np.bitwise_or.reduce(self._complex_rep[v][hit]))
+        result &= ~forbidden
+        counters["edge_sides_scanned"] += scanned
+        self._neighborhood_cache[key] = result
+        return result
+
+    def connected(self, s1: int, s2: int) -> bool:
+        """Whether some hyperedge connects *s1* and *s2* (memoised)."""
+        counters = self.counters
+        counters["connected_calls"] += 1
+        key = (s1, s2) if s1 <= s2 else (s2, s1)
+        cached = self._connected_cache.get(key)
+        if cached is not None:
+            counters["connected_memo_hits"] += 1
+            return cached
+        if s1.bit_count() > s2.bit_count():
+            s1, s2 = s2, s1
+        vertices = list(bits_of(s1))
+        scanned = sum(len(self._sides_u[v]) for v in vertices)
+        result = False
+        if scanned and scanned < _BATCH_THRESHOLD:
+            sides = self._base._sides_by_min
+            for v in vertices:
+                for u, w, _edge in sides[v]:
+                    if not (u & ~s1) and not (w & ~s2):
+                        result = True
+                        break
+                if result:
+                    break
+        elif scanned:
+            counters["vector_batched_calls"] += 1
+            u64 = _np.uint64
+            mask = (1 << 64) - 1
+            not_s1 = u64(~s1 & mask)
+            not_s2 = u64(~s2 & mask)
+            zero = u64(0)
+            for v in vertices:
+                su = self._sides_u[v]
+                if not len(su):
+                    continue
+                if (((su & not_s1) == zero) & ((self._sides_w[v] & not_s2) == zero)).any():
+                    result = True
+                    break
+        counters["edge_sides_scanned"] += scanned
+        self._connected_cache[key] = result
+        return result

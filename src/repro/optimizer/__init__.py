@@ -25,6 +25,7 @@ from repro.optimizer.driver import (
 from repro.optimizer.planinfo import PlanBuilder, PlanInfo
 from repro.optimizer.registry import (
     COST_MODELS,
+    ENGINES,
     STRATEGIES,
     CostModelRegistry,
     StrategyRegistry,
@@ -61,4 +62,5 @@ __all__ = [
     "CostModelRegistry",
     "STRATEGIES",
     "COST_MODELS",
+    "ENGINES",
 ]

@@ -10,7 +10,7 @@ This is the paper's Fig. 5 skeleton with the eager-aggregation extensions:
 5. finalise plans for the full relation set (top grouping or Eqv.-42
    elimination) through ``InsertTopLevelPlan``.
 
-Two engines drive the same skeleton (see docs/architecture.md):
+Three engines drive the same skeleton (see docs/architecture.md):
 
 * ``engine="indexed"`` (default) — the hot path: iterative enumerator over
   the indexed/memoised hypergraph, per-edge join specs resolved through
@@ -19,29 +19,42 @@ Two engines drive the same skeleton (see docs/architecture.md):
   cost-ordered EA-Prune buckets,
 * ``engine="reference"`` — the seed's code path (recursive enumerator,
   linear edge scans, uncached builder, unordered buckets), kept as the
-  executable spec.  Golden tests assert both engines produce identical
+  executable spec.  Golden tests assert the engines produce identical
   costs, ccp counts and table sizes; :mod:`benchmarks.bench_hotpath`
-  times the indexed engine against it.
+  times the other engines against it,
+* ``engine="vectorized"`` — the array core
+  (:mod:`repro.optimizer.vectorized` over a batched
+  :class:`~repro.hypergraph.vectorized.VectorizedGraph`): numpy lanes
+  evaluate whole csg-cmp-pairs at once and plans materialise only when a
+  strategy actually keeps them.  Requires numpy (warns and falls back to
+  ``indexed`` without it, so :mod:`repro.server` stays stdlib-only) and
+  the built-in strategies/cost model (silent fallback otherwise, flagged
+  in ``stats``); the cross-engine differential suite asserts its output
+  is bit-identical.
 
-The engine choice never changes optimizer *output* — it is deliberately
-not part of :class:`~repro.optimizer.config.OptimizerConfig` or the plan
-cache key.
+The engine choice never changes optimizer *output* — it is part of
+:class:`~repro.optimizer.config.OptimizerConfig` for plumbing (CLI,
+server) but deliberately *not* part of the plan cache key.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field, replace
 from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.algebra.expressions import conjunction
 from repro.conflict.detector import AnnotatedEdge, detect
+from repro.hypergraph import vectorized as vector_graph
 from repro.hypergraph.graph import Hypergraph
 from repro.hypergraph.enumerate import enumerate_ccps, enumerate_ccps_reference
+from repro.optimizer import vectorized as vector_core
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.edgeindex import EdgeResolver, JoinSpec
 from repro.optimizer.planinfo import PlanBuilder, PlanInfo
+from repro.optimizer.registry import ENGINES
 from repro.optimizer.strategies import EaPruneStrategy, Strategy, sweep_prune_caches
 from repro.query.spec import Query
 from repro.rewrites.pushdown import OpKind, pushdown_valid_for
@@ -148,7 +161,7 @@ def optimize(
     *,
     config: Optional[OptimizerConfig] = None,
     hooks: Optional[OptimizerHooks] = None,
-    engine: str = "indexed",
+    engine: Optional[str] = None,
 ) -> OptimizationResult:
     """Optimize *query* and return the final plan.
 
@@ -161,13 +174,19 @@ def optimize(
     :class:`repro.service.cache.PlanCache`: hits return immediately
     (marked ``cache_hit=True``), misses are stored after optimization.
     *hooks* receive tracing callbacks (see :class:`OptimizerHooks`).
-    *engine* selects the hot path (``"indexed"``, default) or the seed
-    code path (``"reference"``); the result is identical either way.
+    *engine* selects the hot path (``"indexed"``, the default), the seed
+    code path (``"reference"``) or the array core (``"vectorized"``);
+    ``None`` defers to ``config.engine``.  The result is identical
+    whichever engine runs.
     """
-    if engine not in ("indexed", "reference"):
-        raise ValueError(f"unknown engine {engine!r} (use 'indexed' or 'reference')")
     if config is None:
         config = OptimizerConfig(strategy=strategy, factor=factor, cache_capacity=None)
+    if engine is None:
+        engine = config.engine
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r} (use one of: {', '.join(ENGINES)})"
+        )
     chosen = config.resolve_strategy()
     cost_model = config.resolve_cost_model()
 
@@ -215,6 +234,26 @@ def optimize(
     on_ccp = hooks.on_ccp if hooks is not None else None
     on_plan = hooks.on_plan if hooks is not None else None
 
+    # The vectorized engine needs numpy and the exact built-in strategy /
+    # cost-model arithmetic its lanes encode; anything else falls back to
+    # the indexed engine (the output is identical either way, so only the
+    # numpy case warrants a warning).
+    vec_engine = None
+    vec_fallback = None
+    if engine == "vectorized":
+        if not vector_core.numpy_available():
+            warnings.warn(
+                "engine='vectorized' requires numpy, which is not installed; "
+                "falling back to the indexed engine",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            vec_fallback = "no_numpy"
+        elif not vector_core.supports(chosen, cost_model, on_plan):
+            vec_fallback = "unsupported"
+        else:
+            vec_engine = vector_core.VectorEngine(builder, chosen, query)
+
     if reference:
         resolver = None
         resolve = partial(_resolve_edge, annotated, query)
@@ -222,6 +261,10 @@ def optimize(
     else:
         resolver = prepared.resolver()
         resolve = resolver.resolve
+        if vec_engine is not None and vector_graph.supports(graph):
+            # Batched neighborhood/connectivity lanes; shares the base
+            # graph's counters so the stats diffs below stay coherent.
+            graph = vector_graph.VectorizedGraph(graph)
         ccps = enumerate_ccps(graph)
 
     # Counter snapshots: graph/resolver/strategy objects may be shared
@@ -262,6 +305,11 @@ def optimize(
         right_bucket = table.get(right_set, ())
         if not left_bucket or not right_bucket:
             continue
+        if vec_engine is not None:
+            plans_built += vec_engine.process_ccp(
+                table, spec, left_set, right_set, all_mask
+            )
+            continue
         combined = left_set | right_set
         is_top = combined == all_mask
         bucket = table.get(combined)
@@ -291,7 +339,17 @@ def optimize(
     best = min(final, key=lambda p: p.cost)
     elapsed = time.perf_counter() - start
 
-    stats: Dict[str, int] = {"engine_reference": 1 if reference else 0}
+    stats: Dict[str, int] = {
+        "engine_reference": 1 if reference else 0,
+        "engine_vectorized": 1 if vec_engine is not None else 0,
+    }
+    if vec_fallback is not None:
+        stats["vectorized.fallback"] = 1
+        stats[f"vectorized.{vec_fallback}"] = 1
+    if vec_engine is not None:
+        for name, value in vec_engine.counters.items():
+            if value:
+                stats[f"vectorized.{name}"] = value
     for name, value in graph.counters.items():
         delta = value - graph_before.get(name, 0)
         if delta:

@@ -126,6 +126,10 @@ class PlanInfo:
         state.pop("_closure_cache", None)
         state.pop("_key_within_cache", None)
         state.pop("_fd_sig", None)
+        # Vectorized-engine tags are engine-instance-local (shape ids and
+        # recipe variants) and reference whole plan graphs — never leak.
+        state.pop("_vec_sid", None)
+        state.pop("_vec_variant", None)
         return state
 
     def has_key_within(self, attrs: FrozenSet[str]) -> bool:

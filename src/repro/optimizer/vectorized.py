@@ -1,0 +1,1097 @@
+"""``engine="vectorized"``: the array-based DP core.
+
+The indexed engine spends almost all of its time in
+:meth:`PlanBuilder.join` / :meth:`PlanBuilder.group` — building a full
+:class:`PlanInfo` (plan node, statistics dicts, key sets, aggregation
+state) for *every* candidate a csg-cmp-pair generates, even though the
+strategy immediately discards most of them.  This engine inverts that:
+
+1. **Shapes.**  Plans of one DP-table entry collapse into *shape
+   classes*: everything a candidate's cost/cardinality/validity depends
+   on except ``(node, cost, cardinality)`` — relation set, raw
+   attributes, distinct counts, keys, equivalences, aggregation state.
+   Two plans of one shape produce, for any join/grouping applied on
+   top, results that again differ only in ``(node, cost, cardinality)``
+   (this is why the DP works at all), so one *representative* plan per
+   shape answers every structural question for the whole class.
+2. **Recipes.**  Per (left shape block, right shape block) of a
+   csg-cmp-pair the engine runs the literal OpTrees code on the block's
+   *first* pair — whose plans are real candidates the indexed engine
+   would have built anyway, at the same suffix slot — and derives from
+   those builds the closed-form cost/cardinality lane of each variant
+   (operator, selectivity, miss probabilities, grouping-domain factors)
+   plus the shape-pure facts (validity, FD signature, eagerness, result
+   shape).  Probing therefore costs no extra builder work.
+3. **Lanes.**  A csg-cmp-pair's candidates are then evaluated as numpy
+   float64 arrays over the flattened bucket cost/cardinality vectors —
+   one broadcasted expression per recipe variant instead of one builder
+   call per candidate.  Every array expression replicates the scalar
+   code's association order and ``max``/``min`` semantics (``np.where``
+   mirrors Python's ``max(0.0, x)`` including NaN behaviour), and the
+   transcendental grouping estimate calls the *real*
+   :func:`~repro.cardinality.estimate.grouping_cardinality` /
+   :func:`~repro.cardinality.estimate.distinct_after` per element, so
+   lane values are bit-identical to the object path.
+4. **Deferred materialisation.**  For EA-Prune, a vectorized
+   pre-discard pass (one ``np.searchsorted`` per dominating frontier)
+   marks candidates dominated by the pre-batch Pareto frontiers —
+   sound because dominance is transitive across eviction chains — and
+   an exact sequential pass then replays
+   :meth:`EaPruneStrategy._insert_ordered` in arrival order,
+   materialising a real plan only when it actually enters the bucket.
+   Single-plan strategies (dphyp/h1/h2) and the top-level
+   ``insert_top`` fold the lanes first and materialise only accepted
+   plans.  Materialisation replays the builder at the exact suffix
+   counter the indexed engine would have used (``#g<n>`` names are
+   allocated per pair position), so emitted plans are byte-identical.
+
+Exactness guardrails:
+
+* every materialised plan's cost is asserted against its lane value —
+  a recipe bug fails loudly instead of silently emitting a wrong plan,
+* plans whose statistics dictionaries pick up *cardinality-dependent*
+  entries (an eager grouping over a groupjoin output column) fall off
+  the analytic path: such pairs run the literal OpTrees object code at
+  their exact arrival slot ("opaque pairs"),
+* unsupported configurations (numpy missing, ``ea-all``, custom
+  strategies or cost models, unordered EA-Prune, ``on_plan`` hooks)
+  make :func:`supports` return False and the driver falls back to the
+  indexed engine — with a warning when numpy is the missing piece, so
+  ``repro.server`` stays stdlib-only.
+
+See docs/architecture.md ("hot path") for how the three engines relate.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_left, bisect_right
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+try:  # pragma: no cover - exercised via the numpy-less fallback suite
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+from repro.cardinality.estimate import (
+    _miss_probability,
+    distinct_after,
+    domain_product,
+    grouping_cardinality,
+)
+from repro.optimizer.costmodel import CoutModel
+from repro.optimizer.edgeindex import JoinSpec
+from repro.optimizer.planinfo import PlanBuilder, PlanInfo, needs_grouping
+from repro.optimizer.strategies import (
+    DphypStrategy,
+    EaPruneStrategy,
+    H1Strategy,
+    H2Strategy,
+    PruneBucket,
+    Strategy,
+    _fd_sig_dominates,
+    _fd_sig_of,
+)
+from repro.plans.nodes import GroupByNode
+from repro.query.spec import Query
+from repro.rewrites.pushdown import OpKind, pushdown_valid_for
+
+
+#: Builder-generated aggregate-column suffixes (``PlanBuilder._fresh_suffix``).
+_SUFFIX_RE = re.compile(r"#g(\d+)")
+
+
+def numpy_available() -> bool:
+    """Whether the numpy lanes can run at all."""
+    return _np is not None
+
+
+def supports(strategy: Strategy, cost_model, on_plan) -> bool:
+    """Whether this (strategy, cost model, hooks) combination can run on
+    the analytic lanes.  Anything else falls back to the indexed engine.
+
+    * ``on_plan`` hooks observe every candidate — deferred
+      materialisation would change what they see,
+    * only the exact ``CoutModel`` arithmetic is encoded in the lanes
+      (a subclass may price operators differently),
+    * ``ea-all`` keeps every plan, so there is nothing to defer, and
+      custom strategy subclasses may implement any insert semantics,
+    * unordered EA-Prune is the seed reference path by definition.
+    """
+    if _np is None or on_plan is not None:
+        return False
+    if type(cost_model) is not CoutModel:
+        return False
+    if type(strategy) is EaPruneStrategy:
+        return strategy.ordered
+    return type(strategy) in (DphypStrategy, H1Strategy, H2Strategy)
+
+
+class _Shape:
+    """One shape class: a representative plan standing in for every
+    bucket plan that differs from it only in ``(node, cost, cardinality)``
+    (up to the consistent renaming of builder-generated ``#g`` suffixes —
+    plans tagged with a class's ``result_sid`` came from the same recipe
+    variant at a different pair position — which no structural or float
+    decision ever depends on)."""
+
+    __slots__ = ("sid", "rep")
+
+    def __init__(self, sid: int, rep: PlanInfo):
+        self.sid = sid
+        self.rep = rep
+
+
+class _GroupLane:
+    """Closed-form lane for an eager grouping pushed onto one side.
+
+    ``carddep`` lists the grouping attributes the child has no distinct
+    entry for: :meth:`PlanBuilder.group` falls back to the child's
+    *cardinality* there (the groupjoin-output case), which makes the
+    grouped plan's statistics vary across its shape class.  With no such
+    attribute the grouping domain is a per-class scalar product and the
+    whole lane is two ``np.where`` — exactly the early-exit semantics of
+    :func:`distinct_after`, since all factors are >= 1.  Otherwise the
+    real function runs per element with the representative's dict.
+    """
+
+    __slots__ = ("g_ordered", "child_distinct", "scalar_product", "carddep")
+
+    def __init__(self, grouped_rep: PlanInfo, child_rep: PlanInfo):
+        self.g_ordered: Tuple[str, ...] = grouped_rep.node.group_attrs
+        self.child_distinct = child_rep.distinct
+        self.carddep = frozenset(
+            a for a in self.g_ordered if a not in child_rep.distinct
+        )
+        if self.carddep:
+            self.scalar_product = None
+        else:
+            product = 1.0
+            for a in self.g_ordered:
+                product *= max(1.0, child_rep.distinct[a])
+            self.scalar_product = product
+
+    def eval(self, costs, cards):
+        """(child cost, child card) arrays → (grouped cost, grouped card)."""
+        if self.scalar_product is not None:
+            product = self.scalar_product
+            dom = _np.where(cards < product, cards, product)
+            dom = _np.where(dom > 1.0, dom, 1.0)
+        else:
+            dom = _np.array(
+                [
+                    distinct_after(self.g_ordered, self.child_distinct, float(c))
+                    for c in cards
+                ],
+                dtype=_np.float64,
+            )
+        gcard = _np.array(
+            [grouping_cardinality(float(c), float(d)) for c, d in zip(cards, dom)],
+            dtype=_np.float64,
+        )
+        return costs + gcard, gcard
+
+
+class _Variant:
+    """One OpTrees placement of a recipe: which sides are grouped, the
+    miss-probability scalars its cardinality lane needs, and the
+    shape-pure facts of its result."""
+
+    __slots__ = (
+        "rank",
+        "use_gl",
+        "use_gr",
+        "m_right",
+        "m_left",
+        "sig",
+        "eagerness",
+        "result_sid",
+        "tainted",
+        "needs_top",
+        "rep",
+    )
+
+
+class _Recipe:
+    """All lane variants for one (left shape, right shape) block pair."""
+
+    __slots__ = (
+        "variants",
+        "gl_lane",
+        "gr_lane",
+        "g_plus_l",
+        "g_plus_r",
+        "opaque",
+        "top_opaque",
+    )
+
+
+class _Chunk:
+    """One (block, variant) slice of a csg-cmp-pair's candidate lanes."""
+
+    __slots__ = ("variant", "recipe", "sig", "ctx")
+
+    def __init__(self, variant: _Variant, recipe: _Recipe, ctx: "_CcpContext"):
+        self.variant = variant
+        self.recipe = recipe
+        self.sig = variant.sig
+        self.ctx = ctx
+
+
+class _CcpContext:
+    """Per-ccp replay state shared by all chunks of the pair."""
+
+    __slots__ = (
+        "spec",
+        "left_plans",
+        "right_plans",
+        "nr",
+        "start",
+        "spg",
+        "s_l",
+        "gl_cache",
+        "gr_cache",
+    )
+
+
+class VectorEngine:
+    """The vectorized DP core behind ``optimize(engine="vectorized")``."""
+
+    def __init__(self, builder: PlanBuilder, strategy: Strategy, query: Query):
+        self.builder = builder
+        self.strategy = strategy
+        self.query = query
+        self.explore = strategy.explore_eager
+        self.prune = strategy if isinstance(strategy, EaPruneStrategy) else None
+        self.h2 = strategy if isinstance(strategy, H2Strategy) else None
+        self.criteria = self.prune.criteria if self.prune is not None else None
+        self._top_attrs = frozenset(query.group_by)
+        self.shapes: List[_Shape] = []
+        self._shape_keys: Dict[tuple, _Shape] = {}
+        self.counters: Dict[str, int] = {
+            "batched_pairs": 0,
+            "opaque_pairs": 0,
+            "singleton_pairs": 0,
+            "lane_candidates": 0,
+            "plans_materialized": 0,
+            "prefilter_discards": 0,
+            "shape_probes": 0,
+        }
+
+    # -- shape bookkeeping --------------------------------------------------
+    def _sid_of(self, plan: PlanInfo) -> int:
+        """The plan's shape id; ``-1`` marks statistics-tainted plans
+        whose pairs must run the literal object code."""
+        sid = plan.__dict__.get("_vec_sid")
+        if sid is not None:
+            return sid
+        variant = plan.__dict__.get("_vec_variant")
+        if variant is not None:
+            # Result classes intern lazily: only plans that survive their
+            # bucket long enough to be joined again ever pay for the
+            # α-canonical key; the class is shared through the variant.
+            sid = variant.result_sid
+            if sid is None:
+                sid = variant.result_sid = self._intern_result(variant.rep).sid
+            object.__setattr__(plan, "_vec_sid", sid)
+            return sid
+        # Untagged plans — leaves and singleton-pair results — intern by
+        # value.  Value interning is always sound: the α-canonical key
+        # covers every statistics value, so plans sharing a class answer
+        # every structural and float question identically.
+        shape = self._intern_result(plan)
+        object.__setattr__(plan, "_vec_sid", shape.sid)
+        return shape.sid
+
+    def _intern_result(self, plan: PlanInfo) -> _Shape:
+        """Intern a join/group result under the α-canonical key.
+
+        Probe reps are the *first pair* of their block, so their
+        builder-generated ``#g<n>`` column names carry that pair's counter
+        base; α-equivalent results from other splits or pair slots differ
+        only in that numbering.  Renumbering suffixes by creation order
+        (the α-bijection between equivalent plans is monotone in it — both
+        were built by the same op sequence at different counter bases)
+        makes the key invariant; every structural decision the builder
+        makes is invariant under the consistent renaming, and real query
+        attributes never contain ``#g``.
+        """
+        texts = list(plan.raw_attrs)
+        texts.extend(plan.distinct)
+        term_reprs = []
+        for name, call in plan.terms.items():
+            term_reprs.append((name, repr(call)))
+            texts.append(name)
+            texts.append(term_reprs[-1][1])
+        texts.extend(plan.scale_cols)
+        texts.extend(plan.defaults)
+        for key_set in plan.keys:
+            texts.extend(key_set)
+        for cls in plan.equiv:
+            texts.extend(cls)
+        split_cache: Dict[str, list] = {}
+        suffixes = set()
+        for text in texts:
+            if "#g" in text and text not in split_cache:
+                parts = _SUFFIX_RE.split(text)
+                for i in range(1, len(parts), 2):
+                    parts[i] = int(parts[i])
+                    suffixes.add(parts[i])
+                split_cache[text] = parts
+        if not suffixes:
+            # Suffix-free plans are exact: frozensets hash and compare
+            # order-independently, so no renaming or sorting is needed.
+            key = (
+                plan.rel_set,
+                plan.raw_attrs,
+                frozenset(plan.distinct.items()),
+                plan.keys,
+                plan.duplicate_free,
+                plan.equiv,
+                tuple(term_reprs),
+                plan.scale_cols,
+                frozenset((a, repr(v)) for a, v in plan.defaults.items()),
+                plan.eagerness,
+                isinstance(plan.node, GroupByNode),
+            )
+        else:
+            ranks = {num: i for i, num in enumerate(sorted(suffixes))}
+
+            def rn(text: str):
+                # Renamed texts become (str, rank, str, ...) tuples — never
+                # equal to a plain string, so the key stays injective.
+                parts = split_cache.get(text)
+                if parts is None:
+                    return text
+                return tuple(
+                    ranks[p] if i & 1 else p for i, p in enumerate(parts)
+                )
+
+            key = (
+                plan.rel_set,
+                frozenset(rn(a) for a in plan.raw_attrs),
+                frozenset((rn(a), v) for a, v in plan.distinct.items()),
+                tuple(frozenset(rn(a) for a in ks) for ks in plan.keys),
+                plan.duplicate_free,
+                tuple(frozenset(rn(a) for a in cls) for cls in plan.equiv),
+                tuple((rn(name), rn(text)) for name, text in term_reprs),
+                tuple(rn(c) for c in plan.scale_cols),
+                frozenset((rn(a), repr(v)) for a, v in plan.defaults.items()),
+                plan.eagerness,
+                isinstance(plan.node, GroupByNode),
+            )
+        shape = self._shape_keys.get(key)
+        if shape is None:
+            shape = _Shape(len(self.shapes), plan)
+            self.shapes.append(shape)
+            self._shape_keys[key] = shape
+        return shape
+
+    # -- recipe probing -----------------------------------------------------
+    def _probe_pair(
+        self, left: PlanInfo, right: PlanInfo, spec: JoinSpec
+    ) -> Tuple[_Recipe, List[Tuple[int, PlanInfo]]]:
+        """Run the literal OpTrees code on a block's *first* pair — the
+        caller positions the suffix counter at that pair's slot first —
+        returning both its ranked candidate plans and the lane recipe
+        derived from them.  The indexed engine would have spent exactly
+        these builder calls on the pair, so the probe itself is free."""
+        self.counters["shape_probes"] += 1
+        builder = self.builder
+        op, sel, gjv = spec.op, spec.selectivity, spec.groupjoin_vector
+        join_attrs = builder._attrs_of(spec.predicate)
+
+        recipe = _Recipe()
+        recipe.variants = []
+        recipe.gl_lane = recipe.gr_lane = None
+        recipe.g_plus_l = recipe.g_plus_r = None
+        recipe.opaque = False
+        recipe.top_opaque = False
+        ranked: List[Tuple[int, PlanInfo]] = []
+        grouped_left = grouped_right = None
+
+        def add_variant(rank: int, use_gl: bool, use_gr: bool, rep: PlanInfo) -> None:
+            l_eff = grouped_left if use_gl else left
+            r_eff = grouped_right if use_gr else right
+            carddep: FrozenSet[str] = frozenset()
+            if use_gl:
+                carddep |= recipe.gl_lane.carddep
+            if use_gr:
+                carddep |= recipe.gr_lane.carddep
+            variant = _Variant()
+            variant.rank = rank
+            variant.use_gl = use_gl
+            variant.use_gr = use_gr
+            variant.m_right = variant.m_left = None
+            if op not in (OpKind.INNER, OpKind.GROUPJOIN):
+                # The estimator consults the sides' distinct counts; a
+                # cardinality-dependent entry there would make the miss
+                # probability vary across the class — not a lane.
+                consult_r = [a for a in join_attrs if a in r_eff.raw_attrs]
+                if use_gr and recipe.gr_lane.carddep.intersection(consult_r):
+                    recipe.opaque = True
+                    return
+                variant.m_right = _miss_probability(
+                    sel, domain_product(consult_r, r_eff.distinct)
+                )
+                if op is OpKind.FULL_OUTER:
+                    consult_l = [a for a in join_attrs if a in l_eff.raw_attrs]
+                    if use_gl and recipe.gl_lane.carddep.intersection(consult_l):
+                        recipe.opaque = True
+                        return
+                    variant.m_left = _miss_probability(
+                        sel, domain_product(consult_l, l_eff.distinct)
+                    )
+            variant.tainted = bool(carddep)
+            variant.sig = _fd_sig_of(rep) if self.criteria == "full" else None
+            variant.eagerness = rep.eagerness
+            # None = not interned yet; _sid_of fills it in on first use.
+            variant.result_sid = -1 if variant.tainted else None
+            variant.needs_top = needs_grouping(self._top_attrs, rep)
+            variant.rep = rep
+            if variant.tainted and variant.needs_top:
+                # The top-grouping estimate would read the varying
+                # statistics: at the top this pair must go opaque.
+                recipe.top_opaque = True
+            recipe.variants.append(variant)
+
+        # Builder-call order mirrors the driver's _op_trees exactly, so
+        # the pair consumes its ``#g`` suffixes at the same positions.
+        plain = builder.join(left, right, op, spec.predicate, sel, gjv)
+        if plain is not None:
+            ranked.append((0, plain))
+            add_variant(0, False, False, plain)
+        if self.explore and pushdown_valid_for(op, 1):
+            recipe.g_plus_l = builder.needed_above(left.rel_set) & left.raw_attrs
+            grouped_left = builder.group(left, recipe.g_plus_l)
+            if grouped_left is not None:
+                recipe.gl_lane = _GroupLane(grouped_left, left)
+                rep = builder.join(grouped_left, right, op, spec.predicate, sel, gjv)
+                if rep is not None:
+                    ranked.append((1, rep))
+                    add_variant(1, True, False, rep)
+        if self.explore and pushdown_valid_for(op, 2):
+            recipe.g_plus_r = builder.needed_above(right.rel_set) & right.raw_attrs
+            grouped_right = builder.group(right, recipe.g_plus_r)
+            if grouped_right is not None:
+                recipe.gr_lane = _GroupLane(grouped_right, right)
+                rep = builder.join(left, grouped_right, op, spec.predicate, sel, gjv)
+                if rep is not None:
+                    ranked.append((2, rep))
+                    add_variant(2, False, True, rep)
+        if grouped_left is not None and grouped_right is not None:
+            rep = builder.join(grouped_left, grouped_right, op, spec.predicate, sel, gjv)
+            if rep is not None:
+                ranked.append((3, rep))
+                add_variant(3, True, True, rep)
+        recipe.top_opaque = recipe.top_opaque or recipe.opaque
+        return recipe, ranked
+
+    # -- lane evaluation ----------------------------------------------------
+    def _join_lane(self, variant: _Variant, op: OpKind, sel: float, lc, lcd, rc, rcd):
+        """Broadcastable (cost, cardinality) grids replicating the scalar
+        estimators bit-for-bit — same association order, and ``np.where``
+        for ``max(0.0, x)`` so NaN resolves the way Python ``max`` does."""
+        if op is OpKind.INNER:
+            prod = (lcd * rcd) * sel
+            card = _np.where(prod > 0.0, prod, 0.0)
+        elif op is OpKind.GROUPJOIN:
+            card = lcd
+        elif op is OpKind.LEFT_SEMI:
+            card = lcd * (1.0 - variant.m_right)
+        elif op is OpKind.LEFT_ANTI:
+            card = lcd * variant.m_right
+        elif op is OpKind.LEFT_OUTER:
+            prod = (lcd * rcd) * sel
+            inner = _np.where(prod > 0.0, prod, 0.0)
+            card = inner + lcd * variant.m_right
+        elif op is OpKind.FULL_OUTER:
+            prod = (lcd * rcd) * sel
+            inner = _np.where(prod > 0.0, prod, 0.0)
+            card = (inner + lcd * variant.m_right) + rcd * variant.m_left
+        else:  # pragma: no cover - the OpKind family is closed
+            raise AssertionError(op)
+        cost = (lc + rc) + card
+        return cost, card
+
+    # -- materialisation ----------------------------------------------------
+    def _materialize(self, chunk: _Chunk, li: int, ri: int, expected_cost: float) -> PlanInfo:
+        """Build the real plan for one accepted candidate, replaying the
+        suffix counter the indexed engine would have used for its pair."""
+        ctx = chunk.ctx
+        variant = chunk.variant
+        recipe = chunk.recipe
+        builder = self.builder
+        spec = ctx.spec
+        pair = li * ctx.nr + ri
+        base = ctx.start + pair * ctx.spg
+        left_plan = ctx.left_plans[li]
+        right_plan = ctx.right_plans[ri]
+        if variant.use_gl:
+            grouped = ctx.gl_cache.get(pair)
+            if grouped is None:
+                builder._group_counter = base
+                grouped = builder.group(left_plan, recipe.g_plus_l)
+                ctx.gl_cache[pair] = grouped
+            left_plan = grouped
+        if variant.use_gr:
+            grouped = ctx.gr_cache.get(pair)
+            if grouped is None:
+                builder._group_counter = base + ctx.s_l
+                grouped = builder.group(right_plan, recipe.g_plus_r)
+                ctx.gr_cache[pair] = grouped
+            right_plan = grouped
+        plan = builder.join(
+            left_plan, right_plan, spec.op, spec.predicate, spec.selectivity,
+            spec.groupjoin_vector,
+        )
+        if plan is None or plan.cost != expected_cost:
+            raise RuntimeError(
+                "vectorized lane mismatch: materialised plan disagrees with "
+                f"its lane cost ({None if plan is None else plan.cost} != {expected_cost})"
+            )
+        object.__setattr__(plan, "_vec_variant", variant)
+        self.counters["plans_materialized"] += 1
+        return plan
+
+    # -- the per-ccp driver entry -------------------------------------------
+    def process_ccp(
+        self,
+        table: Dict[int, object],
+        spec: JoinSpec,
+        left_set: int,
+        right_set: int,
+        all_mask: int,
+    ) -> int:
+        """Handle one csg-cmp-pair; returns the number of candidate plans
+        generated (the driver's ``plans_built`` contribution)."""
+        builder = self.builder
+        left_plans = list(table[left_set])
+        right_plans = list(table[right_set])
+        nl, nr = len(left_plans), len(right_plans)
+        op = spec.op
+        s_l = 1 if self.explore and pushdown_valid_for(op, 1) else 0
+        s_r = 1 if self.explore and pushdown_valid_for(op, 2) else 0
+        spg = s_l + s_r
+        start = builder._group_counter
+        combined = left_set | right_set
+        is_top = combined == all_mask
+
+        ctx = _CcpContext()
+        ctx.spec = spec
+        ctx.left_plans = left_plans
+        ctx.right_plans = right_plans
+        ctx.nr = nr
+        ctx.start = start
+        ctx.spg = spg
+        ctx.s_l = s_l
+        ctx.gl_cache = {}
+        ctx.gr_cache = {}
+
+        l_sids = [self._sid_of(p) for p in left_plans]
+        r_sids = [self._sid_of(p) for p in right_plans]
+        l_cost = _np.array([p.cost for p in left_plans], dtype=_np.float64)
+        l_card = _np.array([p.cardinality for p in left_plans], dtype=_np.float64)
+        r_cost = _np.array([p.cost for p in right_plans], dtype=_np.float64)
+        r_card = _np.array([p.cardinality for p in right_plans], dtype=_np.float64)
+
+        l_blocks: Dict[int, List[int]] = {}
+        for i, sid in enumerate(l_sids):
+            l_blocks.setdefault(sid, []).append(i)
+        r_blocks: Dict[int, List[int]] = {}
+        for i, sid in enumerate(r_sids):
+            r_blocks.setdefault(sid, []).append(i)
+
+        chunks: List[_Chunk] = []
+        chunk_cost: List[object] = []
+        chunk_card: List[object] = []
+        chunk_arrival: List[object] = []
+        chunk_li: List[object] = []
+        chunk_ri: List[object] = []
+        opaque_pairs: List[int] = []
+        opaque: List[Tuple[int, PlanInfo]] = []
+        built = 0
+        lane_built = 0
+        # Grouping a side is a function of that side alone, so one lane
+        # eval per (side block, ccp) serves every block it pairs with.
+        gl_evals: Dict[int, Tuple[object, object]] = {}
+        gr_evals: Dict[int, Tuple[object, object]] = {}
+
+        for ls, l_pos_list in l_blocks.items():
+            for rs, r_pos_list in r_blocks.items():
+                if ls < 0 or rs < 0:
+                    opaque_pairs.extend(li * nr + ri for li in l_pos_list for ri in r_pos_list)
+                    continue
+                size = len(l_pos_list) * len(r_pos_list)
+                first_li, first_ri = l_pos_list[0], r_pos_list[0]
+                first_pair = first_li * nr + first_ri
+                builder._group_counter = start + first_pair * spg
+                if size == 1:
+                    # A lane recipe only pays off when it covers more than
+                    # one pair; a singleton block runs the literal OpTrees
+                    # code and its plans intern lazily by value.
+                    for rank, plan in self._op_trees_ranked(
+                        left_plans[first_li], right_plans[first_ri], spec
+                    ):
+                        built += 1
+                        opaque.append((first_pair * 4 + rank, plan))
+                    self.counters["singleton_pairs"] += 1
+                    continue
+                # The block's first pair runs the literal OpTrees code at
+                # its exact suffix slot: its plans are real candidates AND
+                # the probe the block's lane recipe derives from.
+                recipe, ranked = self._probe_pair(
+                    left_plans[first_li], right_plans[first_ri], spec
+                )
+                if not is_top:
+                    if recipe.opaque:
+                        for _rank, plan in ranked:
+                            object.__setattr__(plan, "_vec_sid", -1)
+                    else:
+                        by_rank = {v.rank: v for v in recipe.variants}
+                        for rank, plan in ranked:
+                            object.__setattr__(plan, "_vec_variant", by_rank[rank])
+                for rank, plan in ranked:
+                    built += 1
+                    opaque.append((first_pair * 4 + rank, plan))
+                if recipe.opaque or (is_top and recipe.top_opaque):
+                    opaque_pairs.extend(
+                        li * nr + ri
+                        for li in l_pos_list
+                        for ri in r_pos_list
+                        if li * nr + ri != first_pair
+                    )
+                    continue
+                if not recipe.variants:
+                    continue
+                self.counters["batched_pairs"] += size - 1
+                l_pos = _np.array(l_pos_list, dtype=_np.int64)
+                r_pos = _np.array(r_pos_list, dtype=_np.int64)
+                grid = (len(l_pos_list), len(r_pos_list))
+                lc = l_cost[l_pos][:, None]
+                lcd = l_card[l_pos][:, None]
+                rc = r_cost[r_pos][None, :]
+                rcd = r_card[r_pos][None, :]
+                # The first pair is grid cell (0, 0) — flat index 0, the
+                # position lists being ascending — and already ran above:
+                # drop it from every lane.
+                pair_grid = (l_pos[:, None] * nr + r_pos[None, :]).ravel()[1:]
+                li_grid = _np.repeat(l_pos, len(r_pos_list))[1:]
+                ri_grid = _np.tile(r_pos, len(l_pos_list))[1:]
+                glc = glcd = grc = grcd = None
+                if recipe.gl_lane is not None and any(v.use_gl for v in recipe.variants):
+                    ev = gl_evals.get(ls)
+                    if ev is None:
+                        ev = gl_evals[ls] = recipe.gl_lane.eval(l_cost[l_pos], l_card[l_pos])
+                    glc, glcd = ev[0][:, None], ev[1][:, None]
+                if recipe.gr_lane is not None and any(v.use_gr for v in recipe.variants):
+                    ev = gr_evals.get(rs)
+                    if ev is None:
+                        ev = gr_evals[rs] = recipe.gr_lane.eval(r_cost[r_pos], r_card[r_pos])
+                    grc, grcd = ev[0][None, :], ev[1][None, :]
+                for variant in recipe.variants:
+                    cost, card = self._join_lane(
+                        variant,
+                        op,
+                        spec.selectivity,
+                        glc if variant.use_gl else lc,
+                        glcd if variant.use_gl else lcd,
+                        grc if variant.use_gr else rc,
+                        grcd if variant.use_gr else rcd,
+                    )
+                    chunks.append(_Chunk(variant, recipe, ctx))
+                    chunk_cost.append(_np.broadcast_to(cost, grid).ravel()[1:])
+                    chunk_card.append(_np.broadcast_to(card, grid).ravel()[1:])
+                    chunk_arrival.append(pair_grid * 4 + variant.rank)
+                    chunk_li.append(li_grid)
+                    chunk_ri.append(ri_grid)
+                    lane_built += size - 1
+
+        built += lane_built
+        self.counters["lane_candidates"] += lane_built
+
+        # Remaining opaque pairs run the literal OpTrees code at their slot.
+        if opaque_pairs:
+            self.counters["opaque_pairs"] += len(opaque_pairs)
+            for pair in sorted(opaque_pairs):
+                li, ri = divmod(pair, nr)
+                builder._group_counter = start + pair * spg
+                for rank, plan in self._op_trees_ranked(left_plans[li], right_plans[ri], spec):
+                    built += 1
+                    if not is_top:
+                        object.__setattr__(plan, "_vec_sid", -1)
+                    opaque.append((pair * 4 + rank, plan))
+
+        try:
+            if is_top:
+                self._fold_top(table, combined, chunks, chunk_cost, chunk_card,
+                               chunk_arrival, chunk_li, chunk_ri, opaque)
+            elif self.prune is not None:
+                self._fold_prune(table, combined, chunks, chunk_cost, chunk_card,
+                                 chunk_arrival, chunk_li, chunk_ri, opaque)
+            else:
+                self._fold_single(table, combined, chunks, chunk_cost,
+                                  chunk_arrival, chunk_li, chunk_ri, opaque)
+        finally:
+            # The indexed engine consumes exactly one suffix per group()
+            # call, valid side and pair — restore the absolute position.
+            builder._group_counter = start + nl * nr * spg
+        return built
+
+    def _op_trees_ranked(self, left: PlanInfo, right: PlanInfo, spec: JoinSpec):
+        """The driver's ``_op_trees`` with explicit variant ranks."""
+        builder = self.builder
+        plain = builder.join(
+            left, right, spec.op, spec.predicate, spec.selectivity, spec.groupjoin_vector
+        )
+        if plain is not None:
+            yield 0, plain
+        if not self.explore:
+            return
+        grouped_left = grouped_right = None
+        if pushdown_valid_for(spec.op, 1):
+            g_plus = builder.needed_above(left.rel_set) & left.raw_attrs
+            grouped_left = builder.group(left, g_plus)
+            if grouped_left is not None:
+                plan = builder.join(
+                    grouped_left, right, spec.op, spec.predicate, spec.selectivity,
+                    spec.groupjoin_vector,
+                )
+                if plan is not None:
+                    yield 1, plan
+        if pushdown_valid_for(spec.op, 2):
+            g_plus = builder.needed_above(right.rel_set) & right.raw_attrs
+            grouped_right = builder.group(right, g_plus)
+            if grouped_right is not None:
+                plan = builder.join(
+                    left, grouped_right, spec.op, spec.predicate, spec.selectivity,
+                    spec.groupjoin_vector,
+                )
+                if plan is not None:
+                    yield 2, plan
+        if grouped_left is not None and grouped_right is not None:
+            plan = builder.join(
+                grouped_left, grouped_right, spec.op, spec.predicate, spec.selectivity,
+                spec.groupjoin_vector,
+            )
+            if plan is not None:
+                yield 3, plan
+
+    # -- folds ---------------------------------------------------------------
+    def _fold_top(self, table, combined, chunks, chunk_cost, chunk_card,
+                  chunk_arrival, chunk_li, chunk_ri, opaque) -> None:
+        """``insert_top``: keep the first strictly-cheapest finalised
+        plan.  Only the winner is ever materialised."""
+        builder = self.builder
+        fcosts: List[object] = []
+        for chunk, cost, card in zip(chunks, chunk_cost, chunk_card):
+            variant = chunk.variant
+            if not variant.needs_top:
+                # Eqv. 42 elimination: Π(χ(e)) keeps cost and cardinality.
+                fcosts.append(cost)
+                continue
+            rep_distinct = variant.rep.distinct
+            group_by = self.query.group_by
+            fcosts.append(
+                cost
+                + _np.array(
+                    [
+                        grouping_cardinality(
+                            float(c), distinct_after(group_by, rep_distinct, float(c))
+                        )
+                        for c in card
+                    ],
+                    dtype=_np.float64,
+                )
+            )
+        finished_opaque: Dict[int, PlanInfo] = {}
+        o_arrival = o_fcost = None
+        if opaque:
+            o_arrival = _np.array([a for a, _ in opaque], dtype=_np.int64)
+            o_fcost = _np.empty(len(opaque), dtype=_np.float64)
+            for i, (arrival, plan) in enumerate(opaque):
+                finished = builder.finish_top(plan)
+                finished_opaque[arrival] = finished
+                o_fcost[i] = finished.cost
+        parts = fcosts + ([o_fcost] if opaque else [])
+        if not parts:
+            return
+        fcost_all = _np.concatenate(parts)
+        arrival_all = _np.concatenate(chunk_arrival + ([o_arrival] if opaque else []))
+        order = _np.argsort(arrival_all)
+        sorted_fcost = fcost_all[order]
+        # argmin returns the first minimum of the arrival-sorted array:
+        # exactly the plan a sequential strict-< fold would keep.
+        win = int(_np.argmin(sorted_fcost))
+        win_cost = float(sorted_fcost[win])
+        bucket = table.get(combined)
+        if bucket is None:
+            bucket = table[combined] = []
+        if bucket and not (win_cost < bucket[0].cost):
+            return
+        flat = int(order[win])
+        n_lane = len(fcost_all) - len(opaque)
+        if flat >= n_lane:
+            finished = finished_opaque[int(arrival_all[flat])]
+        else:
+            idx = flat
+            finished = None
+            for ci, cost in enumerate(chunk_cost):
+                if idx < len(cost):
+                    joined = self._materialize(
+                        chunks[ci], int(chunk_li[ci][idx]), int(chunk_ri[ci][idx]),
+                        float(cost[idx]),
+                    )
+                    finished = builder.finish_top(joined)
+                    break
+                idx -= len(cost)
+            if finished is None:  # pragma: no cover - index arithmetic is exhaustive
+                raise AssertionError("top candidate index out of range")
+            if finished.cost != win_cost:
+                raise RuntimeError(
+                    "vectorized lane mismatch at top level "
+                    f"({finished.cost} != {win_cost})"
+                )
+        if bucket:
+            bucket[0] = finished
+        else:
+            bucket.append(finished)
+
+    def _fold_single(self, table, combined, chunks, chunk_cost,
+                     chunk_arrival, chunk_li, chunk_ri, opaque) -> None:
+        """dphyp/h1/h2 buckets: a single surviving plan, replaced by the
+        strategy's comparison; losers are never materialised."""
+        candidates = []
+        for chunk, cost, arrival, li, ri in zip(
+            chunks, chunk_cost, chunk_arrival, chunk_li, chunk_ri
+        ):
+            cost_l = cost.tolist()
+            arrival_l = arrival.tolist()
+            li_l = li.tolist()
+            ri_l = ri.tolist()
+            for k in range(len(cost_l)):
+                candidates.append(
+                    (arrival_l[k], cost_l[k], chunk, li_l[k], ri_l[k], None)
+                )
+        for arrival, plan in opaque:
+            candidates.append((arrival, plan.cost, None, 0, 0, plan))
+        if not candidates:
+            return
+        candidates.sort(key=lambda c: c[0])
+        bucket = table.get(combined)
+        if bucket is None:
+            bucket = table[combined] = []
+        current = bucket[0] if bucket else None
+        h2 = self.h2
+        for arrival, cost, chunk, li, ri, plan in candidates:
+            if current is None:
+                accept = True
+            elif h2 is not None:
+                eagerness = plan.eagerness if chunk is None else chunk.variant.eagerness
+                accept = _compare_adjusted(
+                    h2.factor, cost, eagerness, current.cost, current.eagerness
+                )
+            else:
+                accept = cost < current.cost
+            if not accept:
+                continue
+            if plan is None:
+                plan = self._materialize(chunk, li, ri, cost)
+            if bucket:
+                bucket[0] = plan
+            else:
+                bucket.append(plan)
+            current = plan
+
+    def _fold_prune(self, table, combined, chunks, chunk_cost, chunk_card,
+                    chunk_arrival, chunk_li, chunk_ri, opaque) -> None:
+        """EA-Prune: vectorized pre-discard against the pre-batch Pareto
+        frontiers, then an exact arrival-order replay of
+        ``_insert_ordered`` that materialises only entering plans."""
+        bucket = table.get(combined)
+        if bucket is None:
+            bucket = table[combined] = PruneBucket()
+        full = self.criteria == "full"
+        cost_only = self.criteria == "cost-only"
+        counters = self.strategy.counters
+        n_chunks = len(chunks)
+
+        # Vectorized pre-discard: a candidate dominated by a *pre-batch*
+        # frontier is also dominated at its own arrival time — frontiers
+        # only lose plans to dominating candidates, and dominance is
+        # transitive, so some live dominator always remains.
+        pre_parts: List[object] = []
+        if n_chunks:
+            snapshots: Dict[int, Tuple[object, object]] = {}
+            fallback: Dict[object, List[object]] = {}
+            for chunk, cost, card in zip(chunks, chunk_cost, chunk_card):
+                dcard = _np.zeros_like(card) if cost_only else card
+                mask = _np.zeros(len(cost), dtype=bool)
+                if full:
+                    registered = bucket.dominating.get(chunk.sig)
+                    if registered is not None:
+                        # The adjacency list is maintained incrementally by
+                        # ``frontier_for`` and is exactly the dominating set.
+                        dominating = [entry for entry in registered if entry[0]]
+                    else:
+                        # Unregistered signature: scan the frontiers once
+                        # per distinct sig (chunks often share one).
+                        dominating = fallback.get(chunk.sig)
+                        if dominating is None:
+                            dominating = fallback[chunk.sig] = [
+                                entry
+                                for f_sig, entry in bucket.frontiers.items()
+                                if entry[0] and _fd_sig_dominates(f_sig, chunk.sig)
+                            ]
+                else:
+                    entry = bucket.frontiers.get(None)
+                    dominating = [entry] if entry is not None and entry[0] else []
+                for entry in dominating:
+                    arrays = snapshots.get(id(entry))
+                    if arrays is None:
+                        arrays = (
+                            _np.array(entry[0], dtype=_np.float64),
+                            _np.array(entry[1], dtype=_np.float64),
+                        )
+                        snapshots[id(entry)] = arrays
+                    costs_arr, cards_arr = arrays
+                    at = _np.searchsorted(costs_arr, cost, side="right") - 1
+                    valid = at >= 0
+                    mask |= valid & (cards_arr[_np.where(valid, at, 0)] <= dcard)
+                pre_parts.append(mask)
+            self.counters["prefilter_discards"] += int(
+                sum(int(m.sum()) for m in pre_parts)
+            )
+
+        sizes = [len(c) for c in chunk_cost]
+        n_opaque = len(opaque)
+        total = sum(sizes) + n_opaque
+        if not total:
+            return
+        cost_all = _np.concatenate(
+            chunk_cost
+            + ([_np.array([p.cost for _, p in opaque], dtype=_np.float64)] if opaque else [])
+        )
+        if cost_only:
+            card_all = _np.zeros(total, dtype=_np.float64)
+        else:
+            card_all = _np.concatenate(
+                chunk_card
+                + ([_np.array([p.cardinality for _, p in opaque], dtype=_np.float64)]
+                   if opaque else [])
+            )
+        arrival_all = _np.concatenate(
+            chunk_arrival
+            + ([_np.array([a for a, _ in opaque], dtype=_np.int64)] if opaque else [])
+        )
+        chunk_ids = _np.concatenate(
+            [_np.full(size, ci, dtype=_np.int64) for ci, size in enumerate(sizes)]
+            + ([_np.full(n_opaque, -1, dtype=_np.int64)] if opaque else [])
+        )
+        li_all = _np.concatenate(
+            chunk_li + ([_np.zeros(n_opaque, dtype=_np.int64)] if opaque else [])
+        )
+        ri_all = _np.concatenate(
+            chunk_ri + ([_np.zeros(n_opaque, dtype=_np.int64)] if opaque else [])
+        )
+        pre_all = _np.concatenate(
+            (pre_parts if pre_parts else [_np.empty(0, dtype=bool)])
+            + ([_np.zeros(n_opaque, dtype=bool)] if opaque else [])
+        )
+        opaque_plans = dict(opaque)
+
+        order = _np.argsort(arrival_all)
+        chunk_arr = chunk_ids[order]
+        cost_s = cost_all[order].tolist()
+        card_s = card_all[order].tolist()
+        arrival_s = arrival_all[order].tolist()
+        chunk_s = chunk_arr.tolist()
+        li_s = li_all[order].tolist()
+        ri_s = ri_all[order].tolist()
+        pre_s = pre_all[order].tolist()
+
+        # Sequential replay of _insert_ordered in arrival order.  Runs of
+        # pre-discarded candidates whose signatures are already registered
+        # cannot change any frontier or adjacency list — only counters
+        # move, and those are replicated in bulk.
+        seen = [False] * n_chunks
+        i = 0
+        n = total
+        while i < n:
+            cid = chunk_s[i]
+            if pre_s[i] and cid >= 0 and seen[cid]:
+                j = i + 1
+                while j < n:
+                    cj = chunk_s[j]
+                    if not (pre_s[j] and cj >= 0 and seen[cj]):
+                        break
+                    j += 1
+                run = j - i
+                counters["prune_inserts"] += run
+                counters["plans_discarded"] += run
+                counts = _np.bincount(chunk_arr[i:j], minlength=n_chunks)
+                for cid2 in _np.nonzero(counts)[0]:
+                    counters["dominance_checks"] += int(counts[cid2]) * len(
+                        bucket.dominating[chunks[int(cid2)].sig]
+                    )
+                i = j
+                continue
+            counters["prune_inserts"] += 1
+            if cid >= 0:
+                chunk = chunks[cid]
+                sig = chunk.sig
+                seen[cid] = True
+                plan = None
+            else:
+                plan = opaque_plans[arrival_s[i]]
+                sig = _fd_sig_of(plan) if full else None
+            own = bucket.frontier_for(sig)
+            dominating = bucket.dominating[sig]
+            counters["dominance_checks"] += len(dominating)
+            cost = cost_s[i]
+            card = card_s[i]
+            if pre_s[i]:
+                counters["plans_discarded"] += 1
+                i += 1
+                continue
+            discarded = False
+            for costs, cards, _plans in dominating:
+                at = bisect_right(costs, cost) - 1
+                if at >= 0 and cards[at] <= card:
+                    counters["plans_discarded"] += 1
+                    discarded = True
+                    break
+            if discarded:
+                i += 1
+                continue
+            for costs, cards, plans in bucket.dominated[sig]:
+                lo = bisect_left(costs, cost)
+                hi = lo
+                size = len(costs)
+                while hi < size and cards[hi] >= card:
+                    hi += 1
+                if hi > lo:
+                    del costs[lo:hi]
+                    del cards[lo:hi]
+                    del plans[lo:hi]
+                    bucket.count -= hi - lo
+                    counters["plans_evicted"] += hi - lo
+            if plan is None:
+                plan = self._materialize(chunk, li_s[i], ri_s[i], cost)
+            costs, cards, plans = own
+            at = bisect_left(costs, cost)
+            costs.insert(at, cost)
+            cards.insert(at, card)
+            plans.insert(at, plan)
+            bucket.count += 1
+            i += 1
+
+
+def _compare_adjusted(factor: float, new_cost: float, new_eagerness: int,
+                      old_cost: float, old_eagerness: int) -> bool:
+    """``CompareAdjustedCosts`` (Fig. 12) on lane scalars."""
+    if new_eagerness == old_eagerness:
+        return new_cost < old_cost
+    if new_eagerness < old_eagerness:
+        return factor * new_cost < old_cost
+    return new_cost < factor * old_cost

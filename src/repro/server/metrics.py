@@ -52,6 +52,7 @@ class ServerMetrics:
         self._cache_misses = 0
         self._failures = 0
         self._by_strategy: Counter = Counter()
+        self._by_engine: Counter = Counter()
 
     # -- recording -----------------------------------------------------------
     def record_request(self, endpoint: str, status: int, elapsed_seconds: float) -> None:
@@ -67,10 +68,16 @@ class ServerMetrics:
                 stats.errors_5xx += 1
             stats.latencies_ms.append(elapsed_seconds * 1000.0)
 
-    def record_plan(self, strategy: str, cache_hit: bool) -> None:
-        """One successfully served plan (single or batch item)."""
+    def record_plan(self, strategy: str, cache_hit: bool, engine: str = "indexed") -> None:
+        """One successfully served plan (single or batch item).
+
+        *engine* is the driver code path that actually ran — for a
+        ``"vectorized"`` config that fell back (numpy missing, lane
+        support missing), the effective engine, not the requested one.
+        """
         with self._lock:
             self._by_strategy[strategy] += 1
+            self._by_engine[engine] += 1
             if cache_hit:
                 self._cache_hits += 1
             else:
@@ -109,5 +116,6 @@ class ServerMetrics:
                     "hit_rate": self._cache_hits / served if served else 0.0,
                     "failures": self._failures,
                     "by_strategy": dict(self._by_strategy),
+                    "by_engine": dict(self._by_engine),
                 },
             }

@@ -39,6 +39,22 @@ from repro.service.fingerprint import cache_key
 from repro.service.rebind import query_binding, rebind_result
 
 
+def effective_engine(result: OptimizationResult) -> str:
+    """The driver code path that actually produced *result*.
+
+    Read from the run's stats flags, so a ``"vectorized"`` config that
+    silently fell back (numpy missing, unsupported strategy/cost model)
+    reports the engine that ran — cache hits keep the original run's
+    engine, which is what they cost to produce.
+    """
+    stats = result.stats or {}
+    if stats.get("engine_vectorized"):
+        return "vectorized"
+    if stats.get("engine_reference"):
+        return "reference"
+    return "indexed"
+
+
 class RequestError(Exception):
     """A request-scoped failure with an HTTP status and a stable code.
 
@@ -273,7 +289,7 @@ class PlanService:
         if error is not None:
             self.metrics.record_failure()
             raise RequestError(500, "optimizer_error", error)
-        self.metrics.record_plan(result.strategy, result.cache_hit)
+        self.metrics.record_plan(result.strategy, result.cache_hit, effective_engine(result))
         return result
 
     def optimize_body(self, body: dict) -> dict:
@@ -335,7 +351,9 @@ class PlanService:
                 self.metrics.record_failure()
                 items[index] = {"index": index, "error": error, "stage": "optimize"}
                 continue
-            self.metrics.record_plan(result.strategy, result.cache_hit or hit)
+            self.metrics.record_plan(
+                result.strategy, result.cache_hit or hit, effective_engine(result)
+            )
             item = {
                 "index": index,
                 "strategy": result.strategy,

@@ -1,0 +1,37 @@
+"""Shared pytest configuration.
+
+Registers the ``slow`` marker used by the exhaustive cross-engine
+differential matrices (``tests/optimizer/test_engine_differential.py``).
+Slow tests are skipped by default so the tier-1 suite stays fast; run
+them with ``--runslow`` or an explicit ``-m slow`` selection.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (exhaustive differential matrices)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: exhaustive matrix, excluded from tier-1 (enable with --runslow or -m slow)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runslow"):
+        return
+    markexpr = config.getoption("-m", default="") or ""
+    if "slow" in markexpr:
+        return  # the caller selected by marker explicitly
+    skip_slow = pytest.mark.skip(reason="slow matrix: pass --runslow or -m slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -1,0 +1,240 @@
+"""Degradation and adversarial-pruning tests for the vectorized engine.
+
+Two contracts:
+
+* ``engine="vectorized"`` never *fails* for environmental reasons — with
+  numpy missing it warns (``RuntimeWarning``) and runs the indexed path;
+  with an unsupported strategy/cost-model/hook combination it falls back
+  silently.  Results are identical either way.
+* EA-Prune's ordered Pareto buckets (the structure the vectorized folds
+  replay) agree with the seed's pairwise scan on adversarial inputs:
+  exact cost ties, equal FD signatures, multi-plan eviction slices.
+"""
+
+import dataclasses
+import random
+import subprocess
+import sys
+import textwrap
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.optimizer import OptimizerConfig, OptimizerHooks, optimize
+from repro.optimizer.driver import prepare
+from repro.optimizer.planinfo import PlanBuilder
+from repro.optimizer.strategies import EaPruneStrategy
+from repro.optimizer.costmodel import CoutModel
+from repro.workload import topology_query
+
+SRC_DIR = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _cfg(engine, strategy="ea-prune"):
+    return OptimizerConfig(strategy=strategy, engine=engine, cache_capacity=None)
+
+
+class TestNumpyMissingFallback:
+    def test_monkeypatched_numpy_absence_warns_and_matches(self, monkeypatch):
+        from repro.hypergraph import vectorized as vector_graph
+        from repro.optimizer import vectorized as vector_core
+
+        monkeypatch.setattr(vector_core, "_np", None)
+        monkeypatch.setattr(vector_graph, "_np", None)
+        query = topology_query("cycle", 5)
+        with pytest.warns(RuntimeWarning, match="requires numpy"):
+            degraded = optimize(query, config=_cfg("vectorized"))
+        baseline = optimize(query, config=_cfg("indexed"))
+        assert degraded.cost == baseline.cost
+        assert repr(degraded.plan) == repr(baseline.plan)
+        assert degraded.stats["engine_vectorized"] == 0
+        assert degraded.stats["vectorized.fallback"] == 1
+        assert degraded.stats["vectorized.no_numpy"] == 1
+
+    def test_subprocess_with_numpy_import_blocked(self):
+        """End-to-end: a fresh interpreter where ``import numpy`` raises
+        still serves ``engine="vectorized"`` with a warning, and the cost
+        matches an in-process indexed run bit for bit."""
+        script = textwrap.dedent(
+            """
+            import sys, warnings
+
+            class _Block:
+                def find_spec(self, name, path=None, target=None):
+                    if name == "numpy" or name.startswith("numpy."):
+                        raise ImportError("numpy blocked for fallback test")
+                    return None
+
+            sys.meta_path.insert(0, _Block())
+            sys.path.insert(0, sys.argv[1])
+
+            from repro.optimizer import OptimizerConfig, optimize
+            from repro.workload import topology_query
+
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                result = optimize(
+                    topology_query("star", 5),
+                    config=OptimizerConfig(
+                        strategy="ea-prune", engine="vectorized", cache_capacity=None
+                    ),
+                )
+            warned = any(
+                issubclass(w.category, RuntimeWarning) and "requires numpy" in str(w.message)
+                for w in caught
+            )
+            print(f"warned={warned} cost={result.cost!r}")
+            """
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", script, SRC_DIR],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        baseline = optimize(topology_query("star", 5), config=_cfg("indexed"))
+        assert proc.stdout.strip() == f"warned=True cost={baseline.cost!r}"
+
+
+class TestUnsupportedFallback:
+    def test_unsupported_strategy_falls_back_silently(self):
+        query = topology_query("chain", 5)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning would fail the test
+            degraded = optimize(query, config=_cfg("vectorized", strategy="ea-all"))
+        baseline = optimize(query, config=_cfg("indexed", strategy="ea-all"))
+        assert degraded.cost == baseline.cost
+        assert degraded.stats["engine_vectorized"] == 0
+        assert degraded.stats["vectorized.fallback"] == 1
+        assert degraded.stats["vectorized.unsupported"] == 1
+
+    def test_on_plan_hook_falls_back_silently(self):
+        query = topology_query("chain", 5)
+        seen = []
+        hooks = OptimizerHooks(on_plan=seen.append)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            degraded = optimize(query, config=_cfg("vectorized"), hooks=hooks)
+        assert degraded.stats["engine_vectorized"] == 0
+        assert seen  # the hook actually fired on the fallback path
+        baseline = optimize(query, config=_cfg("indexed"))
+        assert degraded.cost == baseline.cost
+
+    def test_supported_run_flags_vectorized(self):
+        pytest.importorskip("numpy")
+        result = optimize(topology_query("chain", 5), config=_cfg("vectorized"))
+        assert result.stats["engine_vectorized"] == 1
+        assert "vectorized.fallback" not in result.stats
+        assert result.stats["vectorized.shape_probes"] > 0
+
+
+# -- adversarial Pareto-bucket tests ----------------------------------------
+
+
+def _base_plans():
+    """Real leaves from a prepared query — the raw material the crafted
+    cost/cardinality/key variants below derive from."""
+    query = topology_query("chain", 4)
+    prepared = prepare(query)
+    builder = PlanBuilder(query, cost_model=CoutModel())
+    return [builder.leaf(v) for v in range(4)]
+
+
+def _variant(plan, cost, card, keys=None, duplicate_free=None):
+    changes = {"cost": float(cost), "cardinality": float(card)}
+    if keys is not None:
+        changes["keys"] = keys
+    if duplicate_free is not None:
+        changes["duplicate_free"] = duplicate_free
+    return dataclasses.replace(plan, **changes)
+
+
+def _survivors(strategy_factory, plans):
+    """Feed *plans* through a fresh bucket, return surviving (cost, card)
+    multiset plus the survivor identity set."""
+    strategy = strategy_factory()
+    bucket = strategy.new_bucket()
+    for plan in plans:
+        strategy.insert(bucket, plan)
+    if isinstance(bucket, list):
+        survivors = list(bucket)
+    else:
+        survivors = [p for _sig, frontier in bucket.frontiers.items() for p in frontier[2]]
+    return sorted((p.cost, p.cardinality) for p in survivors), set(map(id, survivors))
+
+
+def _assert_ordered_matches_scan(criteria, plans):
+    ordered = _survivors(lambda: EaPruneStrategy(criteria, ordered=True), plans)
+    scan = _survivors(lambda: EaPruneStrategy(criteria, ordered=False), plans)
+    assert ordered == scan, criteria
+
+
+class TestAdversarialPruneBuckets:
+    @pytest.mark.parametrize("criteria", ["full", "cost-card", "cost-only"])
+    def test_exact_cost_ties(self, criteria):
+        base = _base_plans()[0]
+        plans = [
+            _variant(base, 100.0, 50.0),
+            _variant(base, 100.0, 50.0),  # exact duplicate: ties dominate
+            _variant(base, 100.0, 40.0),
+            _variant(base, 100.0, 60.0),
+            _variant(base, 90.0, 50.0),
+        ]
+        _assert_ordered_matches_scan(criteria, plans)
+
+    @pytest.mark.parametrize("criteria", ["full", "cost-card", "cost-only"])
+    def test_eviction_slices(self, criteria):
+        base = _base_plans()[0]
+        # An ascending staircase, then one plan dominating a contiguous
+        # slice of it — the ordered bucket must evict exactly that slice.
+        plans = [_variant(base, 10.0 + i, 100.0 - i) for i in range(8)]
+        plans.append(_variant(base, 12.0, 10.0))  # dominates costs 12..17
+        plans.append(_variant(base, 5.0, 200.0))  # incomparable, survives
+        _assert_ordered_matches_scan(criteria, plans)
+
+    def test_equal_fd_signatures_across_relations(self):
+        # Same keys/equiv/duplicate-free triple on different relations:
+        # signatures intern to one entry, so dominance applies across them.
+        a, b = _base_plans()[:2]
+        shared_keys = (frozenset({"k"}),)
+        plans = [
+            _variant(a, 10.0, 5.0, keys=shared_keys, duplicate_free=False),
+            _variant(b, 10.0, 5.0, keys=shared_keys, duplicate_free=False),
+            _variant(a, 8.0, 4.0, keys=shared_keys, duplicate_free=False),
+        ]
+        _assert_ordered_matches_scan("full", plans)
+
+    def test_incomparable_fd_signatures_coexist(self):
+        base = _base_plans()[0]
+        keyed = _variant(base, 10.0, 5.0)
+        keyless = _variant(base, 5.0, 3.0, keys=(), duplicate_free=False)
+        _assert_ordered_matches_scan("full", [keyed, keyless])
+        # The keyless plan is cheaper but offers no keys: under "full"
+        # neither dominates, so both survive in both implementations.
+        survivors, _ = _survivors(
+            lambda: EaPruneStrategy("full", ordered=True), [keyed, keyless]
+        )
+        assert survivors == [(5.0, 3.0), (10.0, 5.0)]
+
+    @pytest.mark.parametrize("criteria", ["full", "cost-card", "cost-only"])
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomized_tie_heavy_sequences(self, criteria, seed):
+        rng = random.Random(seed * 33 + 7)
+        bases = _base_plans()
+        key_pool = [None, (), (frozenset({"k"}),)]
+        plans = []
+        for _ in range(120):
+            base = rng.choice(bases)
+            # Tiny value pools force frequent exact ties in both axes.
+            plans.append(
+                _variant(
+                    base,
+                    rng.choice([10.0, 20.0, 30.0, 40.0]),
+                    rng.choice([1.0, 2.0, 3.0]),
+                    keys=rng.choice(key_pool),
+                    duplicate_free=rng.random() < 0.3,
+                )
+            )
+        _assert_ordered_matches_scan(criteria, plans)
