@@ -199,6 +199,23 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "--grace", type=float, default=10.0,
         help="drain grace period on shutdown in seconds (default: 10)",
     )
+    parser.add_argument(
+        "--async", dest="use_async", action="store_true",
+        help="serve with the async tier: one event loop in front of "
+        "sharded worker processes, each owning a private plan-cache "
+        "shard (see --shards / --cache-dir)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="[--async] worker shard count (default: one per core, max 4); "
+        "--cache-size becomes per-shard capacity",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="[--async] directory for plan-cache shard snapshots: shards "
+        "persist on graceful drain and warm-start from it on boot "
+        "(default: no persistence)",
+    )
     return parser
 
 
@@ -211,6 +228,11 @@ def run_serve(argv) -> int:
 
     args = build_serve_parser().parse_args(argv)
     logging.basicConfig(level=logging.INFO, format="%(message)s", stream=sys.stderr)
+    if args.use_async:
+        return _run_serve_async(args)
+    if args.shards is not None or args.cache_dir is not None:
+        print("error: --shards/--cache-dir require --async", file=sys.stderr)
+        return 1
     try:
         config = ServerConfig(
             host=args.host,
@@ -250,6 +272,79 @@ def run_serve(argv) -> int:
         server.close()
     print(f"shutdown: {'drained cleanly' if drained else 'drain grace expired'}", flush=True)
     return 0 if drained else 1
+
+
+def _run_serve_async(args) -> int:
+    """``repro serve --async``: the event-loop front + worker shards."""
+    import asyncio
+    import signal
+
+    from repro.asyncserver import (
+        AsyncPlanServer,
+        AsyncServerConfig,
+        tune_gc_for_serving,
+    )
+
+    try:
+        config = AsyncServerConfig(
+            host=args.host,
+            port=args.port,
+            shards=args.shards,
+            cache_dir=args.cache_dir,
+            max_inflight=args.max_inflight,
+            scale_factor=args.scale_factor,
+            strategy=args.strategy,
+            factor=args.factor,
+            cost_model=args.cost_model,
+            engine=args.engine,
+            cache_capacity=args.cache_size,
+            request_timeout_seconds=args.timeout,
+            drain_grace_seconds=args.grace,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.no_cache:
+        print("error: --no-cache makes no sense with --async (the shard "
+              "cache IS the tier); use the sync server", file=sys.stderr)
+        return 1
+
+    async def main() -> int:
+        server = AsyncPlanServer(config)
+        try:
+            await server.async_start()
+        except (ValueError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        tune_gc_for_serving()  # dedicated process: latency-oriented GC
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        print(
+            f"repro plan server listening on {server.url}  "
+            f"(async, shards={server.service.supervisor.shards}, "
+            f"strategy={config.strategy}, engine={config.engine}, "
+            f"cache={config.cache_capacity}/shard"
+            f"{', dir=' + config.cache_dir if config.cache_dir else ''})",
+            flush=True,
+        )
+        try:
+            await stop.wait()
+            drained = await server.async_drain()
+        finally:
+            await server.async_close()
+        saved = server.service.supervisor.persistence["saved"]
+        print(
+            f"shutdown: {'drained cleanly' if drained else 'drain grace expired'}"
+            f" ({saved} cached plans snapshotted)"
+            if config.cache_dir
+            else f"shutdown: {'drained cleanly' if drained else 'drain grace expired'}",
+            flush=True,
+        )
+        return 0 if drained else 1
+
+    return asyncio.run(main())
 
 
 def run_explain(argv) -> int:

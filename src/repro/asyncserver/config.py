@@ -1,0 +1,134 @@
+"""`AsyncServerConfig` — the async serving tier's knobs, validated eagerly.
+
+The async tier replaces thread-per-connection with one asyncio event
+loop in front of ``shards`` worker *processes*, each owning a private
+:class:`~repro.service.cache.PlanCache` shard — so capacity knobs here
+are **per shard** where the sync :class:`~repro.server.ServerConfig`'s
+were global.  ``cache_dir`` enables persistence: shards snapshot to
+``<cache_dir>/shard-<i>-of-<N>.plancache`` on graceful drain and
+warm-start from the same files on boot.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.optimizer.config import OptimizerConfig
+
+
+def default_shards() -> int:
+    """Worker-shard count when unspecified: one per core, capped at 4.
+
+    Unlike the batch pool (CPU-bound misses, more workers help), the
+    async tier's warm path is dominated by per-request overhead; extra
+    shards past the core count only add context switching.
+    """
+    try:
+        available = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        available = os.cpu_count() or 1
+    return max(1, min(available, 4))
+
+
+@dataclass(frozen=True)
+class AsyncServerConfig:
+    """Immutable async-tier settings.
+
+    ``shards`` — worker processes, each owning one plan-cache shard
+    (``None`` auto-sizes via :func:`default_shards`).  ``cache_dir`` —
+    directory for shard snapshots; ``None`` disables persistence.
+    ``cache_capacity`` — plan-cache entries **per shard**.
+    ``max_inflight`` bounds requests admitted to the worker tier across
+    all endpoints; excess requests get an immediate 429 (``None``
+    derives ``16 * shards + 32`` — the tier is built for open-loop
+    traffic, so the bound is deliberately deeper than the sync
+    server's).  ``route_cache_capacity`` bounds the front process's
+    SQL-text → shard memo.  ``request_timeout_seconds`` caps one
+    request's wait on its worker (504 on expiry);
+    ``worker_boot_seconds`` caps waiting for a worker's hello at spawn;
+    ``drain_grace_seconds`` is how long a drain waits for in-flight
+    requests before snapshotting and exiting anyway.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    shards: Optional[int] = None
+    cache_dir: Optional[str] = None
+    max_inflight: Optional[int] = None
+    scale_factor: float = 1.0
+    strategy: str = "ea-prune"
+    factor: float = 1.03
+    cost_model: str = "cout"
+    engine: str = "indexed"
+    cache_capacity: int = 512
+    route_cache_capacity: int = 4096
+    request_timeout_seconds: float = 120.0
+    worker_boot_seconds: float = 60.0
+    drain_grace_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.port <= 65535):
+            raise ValueError(f"port must be in [0, 65535] (0 = ephemeral), got {self.port}")
+        if self.shards is not None and self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {self.max_inflight}")
+        if self.scale_factor <= 0:
+            raise ValueError(f"scale_factor must be > 0, got {self.scale_factor}")
+        if self.cache_capacity < 1:
+            raise ValueError(f"cache_capacity must be >= 1, got {self.cache_capacity}")
+        if self.route_cache_capacity < 1:
+            raise ValueError(
+                f"route_cache_capacity must be >= 1, got {self.route_cache_capacity}"
+            )
+        if self.request_timeout_seconds <= 0:
+            raise ValueError(
+                f"request_timeout_seconds must be > 0, got {self.request_timeout_seconds}"
+            )
+        if self.worker_boot_seconds <= 0:
+            raise ValueError(
+                f"worker_boot_seconds must be > 0, got {self.worker_boot_seconds}"
+            )
+        if self.drain_grace_seconds < 0:
+            raise ValueError(
+                f"drain_grace_seconds must be >= 0, got {self.drain_grace_seconds}"
+            )
+        # Validate the optimizer-facing fields eagerly, like everything else.
+        self.optimizer_config()
+
+    def optimizer_config(self) -> OptimizerConfig:
+        """The optimizer settings each worker shard plans under."""
+        return OptimizerConfig(
+            strategy=self.strategy,
+            factor=self.factor,
+            cost_model=self.cost_model,
+            engine=self.engine,
+            workers=None,
+            cache_capacity=self.cache_capacity,
+        )
+
+    @property
+    def effective_shards(self) -> int:
+        return self.shards if self.shards is not None else default_shards()
+
+    @property
+    def effective_max_inflight(self) -> int:
+        if self.max_inflight is not None:
+            return self.max_inflight
+        return 16 * self.effective_shards + 32
+
+    def shard_path(self, shard: int) -> Optional[str]:
+        """The snapshot file for *shard*, or None when persistence is off.
+
+        The shard count is baked into the filename: re-sharding changes
+        the fingerprint → shard mapping, so a ``shard-0-of-2`` file must
+        never warm-start shard 0 of a 4-shard server.
+        """
+        if self.cache_dir is None:
+            return None
+        shards = self.effective_shards
+        return os.path.join(
+            self.cache_dir, f"shard-{shard:03d}-of-{shards:03d}.plancache"
+        )

@@ -1,0 +1,421 @@
+"""One worker shard: a process that *owns* its plan-cache shard.
+
+``python -m repro.asyncserver.worker '<json config>'`` — spawned by the
+:mod:`~repro.asyncserver.supervisor`, one per shard.  Each worker builds
+its own TPC-H catalog and a **private** :class:`~repro.service.cache.PlanCache`;
+the shard router guarantees every structural fingerprint always arrives
+at the same worker, so there is no cross-process lock anywhere on the
+warm path — and, the worker being single-threaded, no lock at all: its
+stats snapshots are consistent by construction.
+
+Requests arrive as :mod:`~repro.asyncserver.frames` on stdin; responses
+(HTTP status + ready-to-send JSON body) leave on stdout.  The worker
+keeps a bounded SQL-text memo (text → parsed query + fingerprint +
+snapshot digests), so the steady-state warm hit is: memo lookup → cache
+key → ``PlanCache.serve`` → ``json.dumps`` of a small dict.  Cold
+misses run :func:`repro.optimizer.optimize` in-process, blocking the
+shard — queries racing to the same shard queue behind the miss, which
+is the sharding contract (one owner per fingerprint).
+
+Persistence: on boot the worker warm-starts from its snapshot file when
+the catalog fingerprint and layout version match (mismatches are
+*refused* and counted as ``rejected`` — a stale plan served after a
+catalog change is a correctness bug); on the supervisor's ``SNAPSHOT``
+command (graceful drain) it writes the shard back to disk atomically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from collections import Counter, OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.api.session import plan_to_dict
+from repro.asyncserver import frames
+from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.driver import optimize
+from repro.plans.render import render_plan
+from repro.query.spec import Query
+from repro.service.cache import PlanCache, SnapshotError
+from repro.service.fingerprint import (
+    PlanCacheKey,
+    cardinality_snapshot,
+    catalog_fingerprint,
+    query_fingerprint,
+    strategy_label,
+)
+from repro.sql.binder import parse_query
+from repro.sql.catalog import Catalog
+
+#: bounded memo of parsed SQL text per worker.
+PARSE_MEMO_CAPACITY = 4096
+
+
+class _RequestFailure(Exception):
+    """A per-request error with an HTTP status and stable code."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def body(self) -> dict:
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+class ShardWorker:
+    """The per-process serving state: catalog, cache shard, memos, counters."""
+
+    def __init__(self, config: dict):
+        self.shard = int(config["shard"])
+        self.shards = int(config["shards"])
+        self.cache_dir = config.get("cache_dir")
+        self.snapshot_path = config.get("snapshot_path")
+        self.base_config = OptimizerConfig(
+            strategy=config.get("strategy", "ea-prune"),
+            factor=config.get("factor", 1.03),
+            cost_model=config.get("cost_model", "cout"),
+            engine=config.get("engine", "indexed"),
+            cache_capacity=None,  # the shard cache is probed explicitly
+        )
+        self.catalog = Catalog.from_tpch(scale_factor=config.get("scale_factor", 1.0))
+        self.catalog_fp = catalog_fingerprint(self.catalog)
+        self.cache = PlanCache(capacity=int(config.get("cache_capacity", 512)))
+        # text → (query, fingerprint, snapshot) — parse/bind/digest once
+        # per distinct SQL spelling.
+        self._parse_memo: "OrderedDict[str, Tuple[Query, str, str]]" = OrderedDict()
+        self._memo_hits = 0
+        self._memo_misses = 0
+        # (strategy, factor, cost_model) request overrides → resolved
+        # (config, key-strategy name, key factor, cost-model name).
+        self._config_memo: Dict[
+            Tuple, Tuple[OptimizerConfig, str, Optional[float], str]
+        ] = {}
+        self.persistence = {"loaded": 0, "saved": 0, "rejected": 0}
+        self.persistence_error: Optional[str] = None
+        self._started = time.monotonic()
+        self._served = 0
+        self._failures = 0
+        self._by_strategy: Counter = Counter()
+        self._by_engine: Counter = Counter()
+
+    # -- persistence ---------------------------------------------------------
+    def warm_start(self) -> None:
+        if not self.snapshot_path or not os.path.exists(self.snapshot_path):
+            return
+        try:
+            self.persistence["loaded"] = self.cache.load_snapshot(
+                self.snapshot_path, catalog_fingerprint=self.catalog_fp
+            )
+        except SnapshotError as error:
+            # Refused: cold-start instead of serving stale plans.  The
+            # file is left in place for post-mortems.
+            self.persistence["rejected"] += 1
+            self.persistence_error = f"{error.reason}: {error.message}"
+            print(
+                f"[shard {self.shard}] snapshot refused ({error.reason}): "
+                f"{error.message}",
+                file=sys.stderr,
+                flush=True,
+            )
+
+    def snapshot(self) -> dict:
+        if not self.snapshot_path:
+            return {"saved": 0, "path": None, "persistence": dict(self.persistence)}
+        os.makedirs(os.path.dirname(self.snapshot_path) or ".", exist_ok=True)
+        saved = self.cache.save_snapshot(
+            self.snapshot_path,
+            catalog_fingerprint=self.catalog_fp,
+            meta={"shard": self.shard, "shards": self.shards},
+        )
+        self.persistence["saved"] += saved
+        return {
+            "saved": saved,
+            "path": self.snapshot_path,
+            "persistence": dict(self.persistence),
+        }
+
+    # -- request plumbing ----------------------------------------------------
+    def _parse(self, sql) -> Tuple[Query, str, str]:
+        if not isinstance(sql, str) or not sql.strip():
+            raise _RequestFailure(400, "bad_request", "'sql' must be a non-empty string")
+        memo = self._parse_memo
+        hit = memo.get(sql)
+        if hit is not None:
+            self._memo_hits += 1
+            memo.move_to_end(sql)
+            return hit
+        self._memo_misses += 1
+        try:
+            query = parse_query(sql, self.catalog)
+        except ValueError as exc:
+            raise _RequestFailure(400, "parse_error", str(exc)) from exc
+        entry = (query, query_fingerprint(query), cardinality_snapshot(query))
+        memo[sql] = entry
+        if len(memo) > PARSE_MEMO_CAPACITY:
+            memo.popitem(last=False)
+        return entry
+
+    def _resolve_config(
+        self, body: dict
+    ) -> Tuple[OptimizerConfig, str, Optional[float], str]:
+        signature = tuple(
+            body.get(field) for field in ("strategy", "factor", "cost_model")
+        )
+        resolved = self._config_memo.get(signature)
+        if resolved is None:
+            overrides = {
+                field: body[field]
+                for field in ("strategy", "factor", "cost_model")
+                if body.get(field) is not None
+            }
+            try:
+                config = (
+                    self.base_config.with_overrides(**overrides)
+                    if overrides
+                    else self.base_config
+                )
+                name, factor = strategy_label(config.resolve_strategy(), config.factor)
+            except (TypeError, ValueError) as exc:
+                raise _RequestFailure(400, "bad_config", str(exc)) from exc
+            resolved = (config, name, factor, config.cost_model_name)
+            self._config_memo[signature] = resolved
+        return resolved
+
+    def _plan(self, sql, body: dict):
+        """Serve or compute one plan; returns ``(result, config)``."""
+        query, fingerprint, snapshot = self._parse(sql)
+        config, strategy, factor, cost_model = self._resolve_config(body)
+        key = PlanCacheKey(
+            fingerprint=fingerprint,
+            snapshot=snapshot,
+            strategy=strategy,
+            factor=factor,
+            cost_model=cost_model,
+        )
+        result = self.cache.serve(key, query)
+        if result is None:
+            try:
+                result = optimize(query, config=config)
+            except Exception as exc:  # noqa: BLE001 - per-request isolation
+                self._failures += 1
+                raise _RequestFailure(
+                    500, "optimizer_error", f"{type(exc).__name__}: {exc}"
+                ) from exc
+            self.cache.store(key, query, result)
+        self._served += 1
+        self._by_strategy[result.strategy] += 1
+        self._by_engine[self._effective_engine(result)] += 1
+        return result, config
+
+    @staticmethod
+    def _effective_engine(result) -> str:
+        """The driver code path that actually produced *result* (the
+        mirror of :func:`repro.server.service.effective_engine` — kept
+        local so the worker does not import the sync HTTP stack)."""
+        stats = result.stats or {}
+        if stats.get("engine_vectorized"):
+            return "vectorized"
+        if stats.get("engine_reference"):
+            return "reference"
+        return "indexed"
+
+    # -- commands ------------------------------------------------------------
+    def handle_optimize(self, body: dict) -> Tuple[int, dict]:
+        started = time.perf_counter()
+        result, config = self._plan(body.get("sql"), body)
+        payload = {
+            "strategy": result.strategy,
+            "cost_model": config.cost_model_name,
+            "cost": result.cost,
+            "cardinality": result.plan.cardinality,
+            "elapsed_seconds": result.elapsed_seconds,
+            "server_seconds": time.perf_counter() - started,
+            "cache_hit": result.cache_hit,
+            "ccp_count": result.ccp_count,
+            "plans_built": result.plans_built,
+            "shard": self.shard,
+        }
+        if body.get("include_plan", True):
+            payload["plan"] = plan_to_dict(result.plan.node)
+        return 200, payload
+
+    def handle_explain(self, body: dict) -> Tuple[int, dict]:
+        result, _config = self._plan(body.get("sql"), body)
+        return 200, {
+            "strategy": result.strategy,
+            "cost": result.cost,
+            "cache_hit": result.cache_hit,
+            "explain": render_plan(result.plan.node),
+            "shard": self.shard,
+        }
+
+    def handle_batch(self, body: dict) -> Tuple[int, dict]:
+        """A shard's slice of one ``/batch``: ``[[index, sql], ...]``."""
+        include_plans = bool(body.get("include_plans", False))
+        items = []
+        for index, sql in body.get("queries", ()):
+            try:
+                result, _config = self._plan(sql, body)
+            except _RequestFailure as failure:
+                stage = "parse" if failure.code in ("parse_error", "bad_request") else "optimize"
+                items.append({"index": index, "error": failure.message, "stage": stage})
+                continue
+            item = {
+                "index": index,
+                "strategy": result.strategy,
+                "cost": result.cost,
+                "cache_hit": result.cache_hit,
+                "elapsed_seconds": result.elapsed_seconds,
+            }
+            if include_plans:
+                item["plan"] = plan_to_dict(result.plan.node)
+            items.append(item)
+        return 200, {"items": items, "shard": self.shard}
+
+    def stats_payload(self) -> dict:
+        """One consistent stats snapshot — single-threaded, so no torn
+        counters are possible by construction."""
+        served = self._served
+        hits = self.cache.stats.hits
+        misses = self.cache.stats.misses
+        return {
+            "shard": self.shard,
+            "pid": os.getpid(),
+            "uptime_seconds": time.monotonic() - self._started,
+            "plans": {
+                "served": served,
+                "cache_hits": hits,
+                "cache_misses": misses,
+                "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                "failures": self._failures,
+                "by_strategy": dict(self._by_strategy),
+                "by_engine": dict(self._by_engine),
+            },
+            "cache": self.cache.describe(),
+            "persistence": dict(self.persistence),
+            "persistence_error": self.persistence_error,
+            "parse_memo": {
+                "size": len(self._parse_memo),
+                "hits": self._memo_hits,
+                "misses": self._memo_misses,
+            },
+        }
+
+    def hello_payload(self) -> dict:
+        return {
+            "shard": self.shard,
+            "pid": os.getpid(),
+            "catalog_fingerprint": self.catalog_fp,
+            "cache_size": len(self.cache),
+            "persistence": dict(self.persistence),
+            "persistence_error": self.persistence_error,
+        }
+
+
+def _dumps(payload: dict) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+#: responses are flushed at least every this-many frames, bounding the
+#: head-of-line latency a burst adds (16 warm hits ~ a millisecond)
+#: while still amortising the pipe syscall over the batch.
+FLUSH_EVERY = 16
+
+
+def _write_all(out_fd: int, out: bytearray) -> None:
+    data = bytes(out)
+    out.clear()
+    written = 0
+    while written < len(data):
+        written += os.write(out_fd, data[written:])
+
+
+def serve(worker: ShardWorker, in_fd: int, out_fd: int) -> None:
+    """The blocking frame loop: read a chunk, answer the complete frames
+    in it, flushing responses in bounded batches."""
+    buffer = bytearray()
+    out = bytearray()
+    running = True
+    while running:
+        try:
+            chunk = os.read(in_fd, 1 << 16)
+        except InterruptedError:  # pragma: no cover - EINTR
+            continue
+        if not chunk:  # supervisor went away: exit without snapshotting
+            break
+        buffer += chunk
+        answered = 0
+        for request_id, kind, payload in frames.feed(buffer):
+            if kind == frames.EXIT:
+                out += frames.pack(request_id, 200, _dumps({"ok": True}))
+                running = False
+                break
+            try:
+                if kind == frames.OPTIMIZE:
+                    status, body = worker.handle_optimize(json.loads(payload))
+                elif kind == frames.EXPLAIN:
+                    status, body = worker.handle_explain(json.loads(payload))
+                elif kind == frames.BATCH:
+                    status, body = worker.handle_batch(json.loads(payload))
+                elif kind == frames.STATS:
+                    status, body = 200, worker.stats_payload()
+                elif kind == frames.SNAPSHOT:
+                    status, body = 200, worker.snapshot()
+                else:
+                    status, body = 400, {
+                        "error": {"code": "bad_command", "message": f"unknown kind {kind}"}
+                    }
+            except _RequestFailure as failure:
+                status, body = failure.status, failure.body()
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                status, body = 400, {
+                    "error": {"code": "bad_json", "message": f"invalid JSON body: {error}"}
+                }
+            except Exception as error:  # noqa: BLE001 - the shard must not die
+                status, body = 500, {
+                    "error": {
+                        "code": "internal",
+                        "message": f"{type(error).__name__}: {error}",
+                    }
+                }
+            out += frames.pack(request_id, status, _dumps(body))
+            answered += 1
+            if answered % FLUSH_EVERY == 0:
+                _write_all(out_fd, out)
+        if out:
+            _write_all(out_fd, out)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.asyncserver.worker '<json config>'", file=sys.stderr)
+        return 2
+    config = json.loads(argv[0])
+
+    # The frame channel owns fd 1.  Point fd 1 at stderr so any stray
+    # print()/traceback inside the optimizer cannot corrupt the stream.
+    out_fd = os.dup(1)
+    os.dup2(2, 1)
+    sys.stdout = sys.stderr
+
+    worker = ShardWorker(config)
+    worker.warm_start()
+    # A worker process exists only to serve its shard: adopt the
+    # latency-oriented GC posture (frozen boot heap, rare full passes).
+    from repro.asyncserver.app import tune_gc_for_serving
+
+    tune_gc_for_serving()
+    hello = frames.pack(0, frames.HELLO, _dumps(worker.hello_payload()))
+    os.write(out_fd, hello)
+    serve(worker, 0, out_fd)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self._handle("POST")
 
     def _handle(self, method: str) -> None:
+        # The whole exchange — routing, response send, metrics record —
+        # counts against wait_idle(), so a drain cannot close the socket
+        # under a response that is still being written (see
+        # PlanService.track_exchange).
+        with self.service.track_exchange():
+            self._exchange(method)
+
+    def _exchange(self, method: str) -> None:
         import time
 
         started = time.perf_counter()

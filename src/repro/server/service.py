@@ -88,6 +88,7 @@ class PlanService:
         self._executor: Optional[ProcessPoolExecutor] = None
         self._executor_lock = threading.Lock()
         self._inflight = 0
+        self._exchanges = 0
         self._idle = threading.Condition()
         self._draining = threading.Event()
 
@@ -125,15 +126,37 @@ class PlanService:
                 if self._inflight == 0:
                     self._idle.notify_all()
 
+    @contextlib.contextmanager
+    def track_exchange(self):
+        """Count one whole HTTP exchange, response send included.
+
+        ``admit()`` bounds *optimizing* work and releases its slot the
+        moment the handler has a payload — but the response bytes and
+        the metrics record land after that.  A drain waiting on the
+        admission counter alone can observe idle while the final
+        response is still being written, close the socket under it, and
+        lose that exchange's metrics record.  ``wait_idle`` therefore
+        waits for both counters to reach zero.
+        """
+        with self._idle:
+            self._exchanges += 1
+        try:
+            yield
+        finally:
+            with self._idle:
+                self._exchanges -= 1
+                if self._exchanges == 0 and self._inflight == 0:
+                    self._idle.notify_all()
+
     def begin_drain(self) -> None:
         """Stop admitting new optimization requests (idempotent)."""
         self._draining.set()
 
     def wait_idle(self, grace: Optional[float] = None) -> bool:
-        """Block until no request is in flight; False if *grace* expired."""
+        """Block until no exchange is in flight; False if *grace* expired."""
         deadline = None if grace is None else time.monotonic() + grace
         with self._idle:
-            while self._inflight > 0:
+            while self._inflight > 0 or self._exchanges > 0:
                 remaining = None if deadline is None else deadline - time.monotonic()
                 if remaining is not None and remaining <= 0:
                     return False
@@ -387,12 +410,27 @@ class PlanService:
         }
 
     def stats_body(self) -> dict:
-        """``GET /stats`` — request metrics merged with the plan cache's."""
+        """``GET /stats`` — request metrics merged with the plan cache's.
+
+        Carries the same reporting surface as the async tier's
+        aggregated stats (``mode`` / ``shards`` / ``persistence`` /
+        ``engine``) so dashboards can scrape either without branching:
+        the sync tier is one unsharded in-process cache with no
+        persistence, and its effective-engine counts come from the same
+        :func:`effective_engine` classification the async workers use.
+        """
         payload = self.metrics.snapshot()
+        payload["mode"] = "sync"
         payload["inflight"] = self.inflight
         payload["draining"] = self.draining
         payload["max_inflight"] = self.config.effective_max_inflight
         payload["workers"] = self.config.effective_workers
+        payload["shards"] = 1
+        payload["persistence"] = {"loaded": 0, "saved": 0, "rejected": 0}
+        payload["engine"] = {
+            "requested": self.config.engine,
+            "effective": payload["plans"]["by_engine"],
+        }
         cache = self.session.cache
         payload["cache"] = cache.describe() if cache is not None else None
         return payload

@@ -24,12 +24,14 @@ from repro.service.batch import (
     optimize_many,
     run_batch,
 )
-from repro.service.cache import CacheStats, PlanCache
+from repro.service.cache import CacheStats, PlanCache, SnapshotError
 from repro.service.fingerprint import (
     PlanCacheKey,
     cache_key,
     cardinality_snapshot,
+    catalog_fingerprint,
     query_fingerprint,
+    shard_for_fingerprint,
 )
 from repro.service.rebind import query_binding, rebind_result
 
@@ -39,12 +41,15 @@ __all__ = [
     "CacheStats",
     "PlanCache",
     "PlanCacheKey",
+    "SnapshotError",
     "cache_key",
     "cardinality_snapshot",
+    "catalog_fingerprint",
     "default_workers",
     "optimize_many",
     "query_binding",
     "query_fingerprint",
     "rebind_result",
     "run_batch",
+    "shard_for_fingerprint",
 ]

@@ -21,6 +21,10 @@ change (:meth:`PlanCache.watch`).
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -30,6 +34,35 @@ from repro.service.fingerprint import PlanCacheKey
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.optimizer.driver import OptimizationResult
+
+#: on-disk snapshot identity + layout version.  Bump the version whenever
+#: the pickled entry layout (PlanCacheKey, OptimizationResult, PlanInfo,
+#: binding tuples) changes incompatibly: a loader must refuse rather than
+#: unpickle entries it would misinterpret.
+SNAPSHOT_FORMAT = "repro-plancache"
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(Exception):
+    """A plan-cache snapshot that must not be loaded.
+
+    *reason* is a stable machine-readable tag:
+
+    * ``"missing"`` — the file does not exist,
+    * ``"corrupt"`` — unreadable header / truncated file,
+    * ``"format"`` / ``"version"`` — written by a different format or an
+      incompatible layout version,
+    * ``"catalog"`` — the catalog fingerprint differs: the snapshot's
+      plans embed statistics that no longer hold (serving them would be a
+      correctness bug, so the loader refuses and the server cold-starts),
+    * ``"checksum"`` — the entry payload does not match its recorded
+      digest (tampered or torn write).
+    """
+
+    def __init__(self, reason: str, message: str):
+        super().__init__(message)
+        self.reason = reason
+        self.message = message
 
 
 @dataclass
@@ -243,6 +276,140 @@ class PlanCache:
         does not keep it alive).
         """
         return catalog.subscribe(self.invalidate)
+
+    # -- persistence ---------------------------------------------------------
+    def save_snapshot(
+        self,
+        path: "str | os.PathLike",
+        *,
+        catalog_fingerprint: str,
+        meta: Optional[dict] = None,
+    ) -> int:
+        """Write every entry to *path*; returns the number written.
+
+        Layout: one JSON header line (format, version, catalog
+        fingerprint, entry count, payload checksum, caller *meta*)
+        followed by a pickled entry list in LRU order (oldest first).
+        The header is validated by :meth:`load_snapshot` **before** any
+        unpickling, so a stale or foreign file is refused cheaply; the
+        checksum guards against truncation and tampering (it is an
+        integrity check against accidents, not a security boundary — the
+        snapshot directory must be trusted, as with any pickle).
+
+        The write is atomic (temp file + ``os.replace``), so a crash
+        mid-save leaves the previous snapshot intact.
+        """
+        with self._lock:
+            entries = [
+                (key, entry.result, tuple(entry.relations), entry.binding)
+                for key, entry in self._entries.items()
+            ]
+        blob = pickle.dumps(entries, protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+            "catalog_fingerprint": catalog_fingerprint,
+            "entries": len(entries),
+            "checksum": hashlib.sha256(blob).hexdigest(),
+            "meta": meta or {},
+        }
+        path = os.fspath(path)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            handle.write(json.dumps(header, sort_keys=True).encode("utf-8"))
+            handle.write(b"\n")
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return len(entries)
+
+    @staticmethod
+    def read_snapshot_header(path: "str | os.PathLike") -> dict:
+        """Parse and structurally validate *path*'s header line only.
+
+        Raises :class:`SnapshotError` (``missing`` / ``corrupt`` /
+        ``format``) without touching the pickled payload.
+        """
+        try:
+            with open(path, "rb") as handle:
+                line = handle.readline(1 << 20)
+        except FileNotFoundError:
+            raise SnapshotError("missing", f"no snapshot at {os.fspath(path)!r}") from None
+        except OSError as exc:
+            raise SnapshotError("corrupt", f"unreadable snapshot: {exc}") from exc
+        try:
+            header = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SnapshotError("corrupt", f"unparsable snapshot header: {exc}") from exc
+        if not isinstance(header, dict) or header.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                "format",
+                f"not a {SNAPSHOT_FORMAT} snapshot: {os.fspath(path)!r}",
+            )
+        return header
+
+    def load_snapshot(
+        self,
+        path: "str | os.PathLike",
+        *,
+        catalog_fingerprint: str,
+    ) -> int:
+        """Warm-start from *path*; returns the number of entries loaded.
+
+        Refuses (raising :class:`SnapshotError`) any file whose format,
+        layout version or **catalog fingerprint** mismatches, or whose
+        payload fails its checksum — a snapshot taken under different
+        catalog statistics would serve stale plans, which is a
+        correctness bug, so the caller must treat a refusal as "cold
+        start", never as "load anyway".
+
+        Entries are inserted preserving the saved LRU order; when the
+        snapshot holds more entries than :attr:`capacity`, only the
+        most-recently-used ``capacity`` entries are kept.  Loading counts
+        toward :attr:`CacheStats.puts` like any other store (and the
+        usual eviction accounting applies), so ``describe()`` stays an
+        honest ledger of how entries entered the cache.
+        """
+        header = self.read_snapshot_header(path)
+        if header.get("version") != SNAPSHOT_VERSION:
+            raise SnapshotError(
+                "version",
+                f"snapshot layout v{header.get('version')} != "
+                f"supported v{SNAPSHOT_VERSION}",
+            )
+        if header.get("catalog_fingerprint") != catalog_fingerprint:
+            raise SnapshotError(
+                "catalog",
+                "snapshot was written under a different catalog "
+                "(statistics changed since the snapshot — refusing to "
+                "serve stale plans)",
+            )
+        with open(path, "rb") as handle:
+            handle.readline(1 << 20)
+            blob = handle.read()
+        if hashlib.sha256(blob).hexdigest() != header.get("checksum"):
+            raise SnapshotError(
+                "checksum", "snapshot payload does not match its checksum "
+                "(tampered or truncated)"
+            )
+        try:
+            entries = pickle.loads(blob)
+        except Exception as exc:  # pickle raises many types
+            raise SnapshotError("corrupt", f"unpicklable snapshot payload: {exc}") from exc
+        if not isinstance(entries, list):
+            raise SnapshotError("corrupt", "snapshot payload is not an entry list")
+        kept = entries[-self.capacity:]
+        with self._lock:
+            for key, result, relations, binding in kept:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                self._entries[key] = _Entry(result, frozenset(relations), binding)
+                self.stats.puts += 1
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+        return len(kept)
 
     # -- introspection -------------------------------------------------------
     def keys(self) -> Tuple[PlanCacheKey, ...]:

@@ -249,6 +249,56 @@ def cardinality_snapshot(query: Query) -> str:
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
 
+def shard_for_fingerprint(fingerprint: str, shards: int) -> int:
+    """The shard (``0 .. shards-1``) owning *fingerprint*'s cache entries.
+
+    The sharded serving tier routes every request by this function so one
+    structural fingerprint always lands on the same worker-owned cache
+    shard, whatever the SQL spelling.  It must therefore be **stable
+    across processes and interpreter runs** — Python's builtin ``hash()``
+    is salted per process and would scatter a query over all shards.
+
+    The fingerprint is already a sha256 hex digest (uniformly
+    distributed), so its leading 64 bits modulo *shards* is both stable
+    and uniform.  Keys that differ only in statistics snapshot, strategy
+    or cost model share a fingerprint and thus a shard, which is exactly
+    right: they describe the same query structure and belong to the same
+    shard's working set.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return int(fingerprint[:16], 16) % shards
+
+
+def catalog_fingerprint(catalog) -> str:
+    """A stable digest of every statistic *catalog* holds (sha256 hex).
+
+    The handle cache persistence validates against: a plan-cache snapshot
+    written under one catalog must not warm-start a server whose catalog
+    (tables, columns, cardinalities, distinct counts, keys) differs —
+    cached plans embed cost decisions derived from exactly these numbers,
+    so serving them under different statistics would be a correctness
+    bug, not a performance one.
+
+    Covers table names, column order, cardinality, per-column distinct
+    counts and declared keys; insensitive to registration order.
+    """
+    parts: List[str] = []
+    for name in catalog.tables():
+        stats = catalog.lookup(name)
+        distinct = ",".join(
+            f"{column}:{stats.distinct_count(column):.9g}" for column in stats.columns
+        )
+        keys = ";".join(sorted(
+            ",".join(sorted(key)) for key in stats.keys
+        ))
+        parts.append(
+            f"{stats.name.lower()}|{','.join(stats.columns)}|"
+            f"{stats.cardinality:.9g}|{distinct}|{keys}"
+        )
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
 def strategy_label(strategy: "str | Strategy", factor: float = 1.03) -> Tuple[str, Optional[float]]:
     """Normalise a strategy spec to (name, effective factor) for keying."""
     chosen = strategy if isinstance(strategy, Strategy) else make_strategy(strategy, factor)

@@ -1,0 +1,119 @@
+"""Shard routing and catalog fingerprints: the async tier's contracts.
+
+The whole no-lock design of the async tier rests on one invariant:
+**a structural fingerprint always routes to the same shard**, so each
+plan-cache entry has exactly one owning process.  These tests pin that
+invariant (including under relation renaming, which fingerprints are
+stable under) and check the hash spreads a realistic mixed-SQL workload
+roughly uniformly.
+"""
+
+import random
+
+import pytest
+
+from repro.service.fingerprint import (
+    catalog_fingerprint,
+    query_fingerprint,
+    shard_for_fingerprint,
+)
+from repro.sql.binder import parse_query
+from repro.sql.catalog import Catalog, TableStats
+from repro.workload import generate_sql_workload
+
+SQL = (
+    "SELECT count(*) FROM nation, supplier "
+    "WHERE nation.n_nationkey = supplier.s_nationkey GROUP BY nation.n_name"
+)
+SQL_RENAMED = (
+    "SELECT count(*) FROM nation AS n, supplier AS s "
+    "WHERE n.n_nationkey = s.s_nationkey GROUP BY n.n_name"
+)
+
+
+class TestShardForFingerprint:
+    def test_deterministic(self):
+        fp = "deadbeef" * 8
+        assert all(
+            shard_for_fingerprint(fp, 4) == shard_for_fingerprint(fp, 4)
+            for _ in range(10)
+        )
+
+    def test_in_range(self):
+        rng = random.Random(7)
+        for shards in (1, 2, 3, 7, 16):
+            for _ in range(50):
+                fp = f"{rng.getrandbits(256):064x}"
+                assert 0 <= shard_for_fingerprint(fp, shards) < shards
+
+    def test_single_shard_always_zero(self):
+        assert shard_for_fingerprint("ff" * 32, 1) == 0
+
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ValueError):
+            shard_for_fingerprint("ab" * 32, 0)
+
+    def test_renamed_query_routes_to_same_shard(self):
+        """Fingerprints are rename-stable, so routing must be too —
+        otherwise the alias spelling would decide which shard's cache
+        gets the entry and isomorphic queries would miss each other."""
+        catalog = Catalog.from_tpch()
+        fp_a = query_fingerprint(parse_query(SQL, catalog))
+        fp_b = query_fingerprint(parse_query(SQL_RENAMED, catalog))
+        assert fp_a == fp_b
+        for shards in (2, 3, 5):
+            assert shard_for_fingerprint(fp_a, shards) == shard_for_fingerprint(
+                fp_b, shards
+            )
+
+    def test_mixed_workload_spreads_roughly_uniformly(self):
+        """No shard owns a grossly outsized share of a mixed workload."""
+        catalog = Catalog.from_tpch()
+        statements = generate_sql_workload(200, random.Random(11))
+        fingerprints = {
+            query_fingerprint(parse_query(sql, catalog)) for sql in statements
+        }
+        assert len(fingerprints) >= 50  # the workload is actually diverse
+        shards = 4
+        counts = [0] * shards
+        for fp in fingerprints:
+            counts[shard_for_fingerprint(fp, shards)] += 1
+        expected = len(fingerprints) / shards
+        for shard, count in enumerate(counts):
+            assert count > expected * 0.5, (shard, counts)
+            assert count < expected * 1.5, (shard, counts)
+
+
+class TestCatalogFingerprint:
+    def test_stable_for_identical_catalogs(self):
+        assert catalog_fingerprint(Catalog.from_tpch()) == catalog_fingerprint(
+            Catalog.from_tpch()
+        )
+
+    def test_scale_factor_changes_fingerprint(self):
+        assert catalog_fingerprint(
+            Catalog.from_tpch(scale_factor=1.0)
+        ) != catalog_fingerprint(Catalog.from_tpch(scale_factor=2.0))
+
+    def test_registering_a_table_changes_fingerprint(self):
+        catalog = Catalog.from_tpch()
+        before = catalog_fingerprint(catalog)
+        catalog.register(
+            TableStats(name="extra", columns=("x",), cardinality=10, distinct={"x": 10})
+        )
+        assert catalog_fingerprint(catalog) != before
+
+    def test_cardinality_change_changes_fingerprint(self):
+        catalog = Catalog.from_tpch()
+        before = catalog_fingerprint(catalog)
+        nation = catalog.lookup("nation")
+        catalog.register(
+            TableStats(
+                name="nation",
+                columns=nation.columns,
+                cardinality=nation.cardinality * 2,
+                distinct=dict(nation.distinct),
+                keys=nation.keys,
+            )
+        )
+        assert catalog_fingerprint(catalog) != before

@@ -1,0 +1,162 @@
+"""PlanCache snapshot persistence: round-trip, refusal, atomicity."""
+
+import json
+import os
+
+import pytest
+
+from repro.service import PlanCache, SnapshotError
+from repro.service.cache import SNAPSHOT_FORMAT, SNAPSHOT_VERSION
+from repro.service.fingerprint import PlanCacheKey
+
+CATALOG_FP = "a" * 64
+OTHER_CATALOG_FP = "b" * 64
+
+
+def key(tag: str) -> PlanCacheKey:
+    return PlanCacheKey(fingerprint=tag, snapshot="snap", strategy="ea-prune")
+
+
+class Plan:
+    """Stand-in for an OptimizationResult (the cache never inspects it)."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def __eq__(self, other):
+        return isinstance(other, Plan) and other.tag == self.tag
+
+    def __hash__(self):
+        return hash(self.tag)
+
+
+def populated(entries=3, capacity=8) -> PlanCache:
+    cache = PlanCache(capacity=capacity)
+    for index in range(entries):
+        cache.put(key(f"q{index}"), Plan(f"p{index}"), relations=[f"rel{index}"])
+    return cache
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_entries(self, tmp_path):
+        path = tmp_path / "shard.plancache"
+        saved = populated().save_snapshot(path, catalog_fingerprint=CATALOG_FP)
+        assert saved == 3
+
+        cache = PlanCache(capacity=8)
+        loaded = cache.load_snapshot(path, catalog_fingerprint=CATALOG_FP)
+        assert loaded == 3
+        assert cache.get(key("q1")).tag == "p1"
+        assert cache.relations_of(key("q2")) == frozenset({"rel2"})
+
+    def test_load_counts_as_puts(self, tmp_path):
+        path = tmp_path / "shard.plancache"
+        populated().save_snapshot(path, catalog_fingerprint=CATALOG_FP)
+        cache = PlanCache(capacity=8)
+        cache.load_snapshot(path, catalog_fingerprint=CATALOG_FP)
+        assert cache.stats.puts == 3
+
+    def test_load_respects_capacity_keeping_most_recent(self, tmp_path):
+        path = tmp_path / "shard.plancache"
+        populated(entries=6).save_snapshot(path, catalog_fingerprint=CATALOG_FP)
+        cache = PlanCache(capacity=2)
+        assert cache.load_snapshot(path, catalog_fingerprint=CATALOG_FP) == 2
+        # The two most-recently-used entries survive, LRU order intact.
+        assert cache.get(key("q0")) is None
+        assert cache.get(key("q4")).tag == "p4"
+        assert cache.get(key("q5")).tag == "p5"
+
+    def test_header_readable_without_unpickling(self, tmp_path):
+        path = tmp_path / "shard.plancache"
+        populated().save_snapshot(
+            path, catalog_fingerprint=CATALOG_FP, meta={"shard": 1}
+        )
+        header = PlanCache.read_snapshot_header(path)
+        assert header["format"] == SNAPSHOT_FORMAT
+        assert header["version"] == SNAPSHOT_VERSION
+        assert header["catalog_fingerprint"] == CATALOG_FP
+        assert header["entries"] == 3
+        assert header["meta"] == {"shard": 1}
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        path = tmp_path / "shard.plancache"
+        populated().save_snapshot(path, catalog_fingerprint=CATALOG_FP)
+        assert sorted(os.listdir(tmp_path)) == ["shard.plancache"]
+
+
+class TestRefusal:
+    """Every refusal must be a typed SnapshotError — callers treat any
+    of these as "cold start", never "load anyway"."""
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotError) as excinfo:
+            PlanCache().load_snapshot(
+                tmp_path / "nope.plancache", catalog_fingerprint=CATALOG_FP
+            )
+        assert excinfo.value.reason == "missing"
+
+    def test_catalog_fingerprint_mismatch(self, tmp_path):
+        path = tmp_path / "shard.plancache"
+        populated().save_snapshot(path, catalog_fingerprint=CATALOG_FP)
+        cache = PlanCache()
+        with pytest.raises(SnapshotError) as excinfo:
+            cache.load_snapshot(path, catalog_fingerprint=OTHER_CATALOG_FP)
+        assert excinfo.value.reason == "catalog"
+        assert len(cache) == 0  # nothing partially loaded
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "shard.plancache"
+        populated().save_snapshot(path, catalog_fingerprint=CATALOG_FP)
+        header, blob = _split(path)
+        header["version"] = SNAPSHOT_VERSION + 1
+        _rewrite(path, header, blob)
+        with pytest.raises(SnapshotError) as excinfo:
+            PlanCache().load_snapshot(path, catalog_fingerprint=CATALOG_FP)
+        assert excinfo.value.reason == "version"
+
+    def test_foreign_format(self, tmp_path):
+        path = tmp_path / "shard.plancache"
+        path.write_bytes(b'{"format": "something-else"}\n')
+        with pytest.raises(SnapshotError) as excinfo:
+            PlanCache().load_snapshot(path, catalog_fingerprint=CATALOG_FP)
+        assert excinfo.value.reason == "format"
+
+    def test_tampered_payload_fails_checksum(self, tmp_path):
+        path = tmp_path / "shard.plancache"
+        populated().save_snapshot(path, catalog_fingerprint=CATALOG_FP)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # flip one payload byte
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SnapshotError) as excinfo:
+            PlanCache().load_snapshot(path, catalog_fingerprint=CATALOG_FP)
+        assert excinfo.value.reason == "checksum"
+
+    def test_truncated_payload_fails_checksum(self, tmp_path):
+        path = tmp_path / "shard.plancache"
+        populated().save_snapshot(path, catalog_fingerprint=CATALOG_FP)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 7])
+        with pytest.raises(SnapshotError) as excinfo:
+            PlanCache().load_snapshot(path, catalog_fingerprint=CATALOG_FP)
+        assert excinfo.value.reason == "checksum"
+
+    def test_garbage_header(self, tmp_path):
+        path = tmp_path / "shard.plancache"
+        path.write_bytes(b"\x80\x04garbage, not a json line")
+        with pytest.raises(SnapshotError) as excinfo:
+            PlanCache().load_snapshot(path, catalog_fingerprint=CATALOG_FP)
+        assert excinfo.value.reason in ("corrupt", "format")
+
+
+def _split(path):
+    with open(path, "rb") as handle:
+        header = json.loads(handle.readline())
+        blob = handle.read()
+    return header, blob
+
+
+def _rewrite(path, header, blob):
+    with open(path, "wb") as handle:
+        handle.write(json.dumps(header, sort_keys=True).encode("utf-8"))
+        handle.write(b"\n")
+        handle.write(blob)
