@@ -257,7 +257,7 @@ def drain_restart_cycle(cache_dir: str, smoke: bool) -> dict:
         port=0, shards=SHARDS, cache_dir=cache_dir, max_inflight=256
     )
     with AsyncPlanServer(config) as first:
-        with ServerClient(port=first.port, timeout=300.0) as client:
+        with ServerClient(port=first.port, timeout=300.0, retries=3) as client:
             for sql in QUERY_MIX:
                 client.optimize(sql, include_plan=False)
             explain_before = client.explain(QUERY_MIX[0])["explain"]
@@ -266,7 +266,7 @@ def drain_restart_cycle(cache_dir: str, smoke: bool) -> dict:
     restart_started = time.perf_counter()
     with AsyncPlanServer(config) as second:
         boot_seconds = time.perf_counter() - restart_started
-        with ServerClient(port=second.port, timeout=300.0) as client:
+        with ServerClient(port=second.port, timeout=300.0, retries=3) as client:
             stats = client.stats()
             first_response = client.optimize(QUERY_MIX[0])
             first_latency = time.perf_counter() - restart_started
@@ -343,7 +343,7 @@ def measure(smoke: bool) -> dict:
         port=0, shards=SHARDS, cache_capacity=512, max_inflight=256
     )
     with AsyncPlanServer(config) as server:
-        with ServerClient(port=server.port, timeout=300.0) as warm:
+        with ServerClient(port=server.port, timeout=300.0, retries=3) as warm:
             for sql in QUERY_MIX:
                 warm.optimize(sql, include_plan=False)
 

@@ -107,7 +107,7 @@ def measure_server() -> dict:
     """EXISTS round-trip + semijoin/antijoin cache separation, in-process."""
     config = ServerConfig(port=0, workers=0, cache_capacity=64)
     with PlanServer(config) as server:
-        with ServerClient(port=server.port, timeout=120.0) as client:
+        with ServerClient(port=server.port, timeout=120.0, retries=3) as client:
             exists_cold = client.optimize(EXISTS_SQL, include_plan=True)
             not_exists = client.optimize(NOT_EXISTS_SQL, include_plan=True)
             exists_warm = client.optimize(EXISTS_SQL, include_plan=False)

@@ -89,7 +89,7 @@ class ClosedLoopClient(threading.Thread):
         self.errors: list = []
 
     def run(self) -> None:
-        with ServerClient(port=self.port, timeout=120.0) as client:
+        with ServerClient(port=self.port, timeout=120.0, retries=3) as client:
             self.barrier.wait()
             for i in range(self.requests):
                 sql = QUERY_MIX[i % len(QUERY_MIX)]
@@ -106,7 +106,7 @@ def run_poisoned_batch(port: int) -> dict:
     """One /batch with a poisoned statement: everything else must plan."""
     statements = [*QUERY_MIX, POISON_SQL, *QUERY_MIX[:2]]
     poison_index = len(QUERY_MIX)
-    with ServerClient(port=port, timeout=120.0) as client:
+    with ServerClient(port=port, timeout=120.0, retries=3) as client:
         report = client.batch(statements)
     failed = [item["index"] for item in report["items"] if "error" in item]
     return {
@@ -128,7 +128,7 @@ def measure(clients: int, requests: int, workers: int) -> dict:
     )
     with PlanServer(config) as server:
         # Warm pass: every shape in the mix lands in the plan cache.
-        with ServerClient(port=server.port, timeout=300.0) as warm:
+        with ServerClient(port=server.port, timeout=300.0, retries=3) as warm:
             for sql in QUERY_MIX:
                 warm.optimize(sql, include_plan=False)
 

@@ -200,6 +200,11 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="drain grace period on shutdown in seconds (default: 10)",
     )
     parser.add_argument(
+        "--degradation", choices=("heuristic", "error"), default="heuristic",
+        help="what a blown --timeout budget returns: a greedy heuristic "
+        "plan marked degraded (200) or a 504 (default: heuristic)",
+    )
+    parser.add_argument(
         "--async", dest="use_async", action="store_true",
         help="serve with the async tier: one event loop in front of "
         "sharded worker processes, each owning a private plan-cache "
@@ -247,6 +252,7 @@ def run_serve(argv) -> int:
             cache_capacity=None if args.no_cache else args.cache_size,
             request_timeout_seconds=args.timeout,
             drain_grace_seconds=args.grace,
+            degradation=args.degradation,
         )
         server = PlanServer(config)
     except (ValueError, OSError) as error:
@@ -300,6 +306,7 @@ def _run_serve_async(args) -> int:
             cache_capacity=args.cache_size,
             request_timeout_seconds=args.timeout,
             drain_grace_seconds=args.grace,
+            degradation=args.degradation,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)

@@ -26,6 +26,7 @@ from repro.api.session import (
 )
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.costmodel import CostModel, CoutModel
+from repro.optimizer.deadline import Deadline, PlanningDeadlineExceeded
 from repro.optimizer.driver import OptimizationResult, OptimizerHooks
 from repro.optimizer.registry import (
     COST_MODELS,
@@ -47,6 +48,8 @@ __all__ = [
     "OptimizerConfig",
     "OptimizerHooks",
     "OptimizationResult",
+    "Deadline",
+    "PlanningDeadlineExceeded",
     "Strategy",
     "CostModel",
     "CoutModel",

@@ -358,6 +358,11 @@ class PlanHandle:
         return self.result.cache_hit
 
     @property
+    def degraded(self) -> bool:
+        """True when this is a deadline-degraded heuristic fallback plan."""
+        return self.result.degraded
+
+    @property
     def plan(self) -> PlanNode:
         """The executable plan tree."""
         return self.result.plan.node
@@ -389,6 +394,7 @@ class PlanHandle:
             "cardinality": self.cardinality,
             "elapsed_seconds": result.elapsed_seconds,
             "cache_hit": result.cache_hit,
+            "degraded": result.degraded,
             "ccp_count": result.ccp_count,
             "plans_built": result.plans_built,
             "plan": plan_to_dict(self.plan),

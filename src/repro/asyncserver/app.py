@@ -36,7 +36,11 @@ from typing import Deque, Optional, Tuple
 
 from repro.asyncserver import frames
 from repro.asyncserver.config import AsyncServerConfig
-from repro.asyncserver.supervisor import WorkerCrashed, WorkerSupervisor
+from repro.asyncserver.supervisor import (
+    WorkerCrashed,
+    WorkerSupervisor,
+    WorkerUnavailable,
+)
 from repro.server.metrics import ServerMetrics
 from repro.service.fingerprint import query_fingerprint, shard_for_fingerprint
 from repro.sql.binder import parse_query
@@ -81,10 +85,14 @@ def _error_bytes(code: str, message: str) -> bytes:
 
 
 def _response_bytes(status: int, body: bytes, *, close: bool = False) -> bytes:
+    # Backpressure statuses advertise a retry hint that ServerClient's
+    # opt-in retry loop honours (mirrors the sync tier).
+    retry_after = "Retry-After: 1\r\n" if status in (429, 503) else ""
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
         "Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{retry_after}"
         f"{'Connection: close' + chr(13) + chr(10) if close else ''}"
         "\r\n"
     )
@@ -232,13 +240,26 @@ class AsyncPlanService:
             payload = self._parse_body(body)
             shard = self.route(payload.get("sql"))
             try:
-                return await self.supervisor.request(shard, kind, body)
+                # Hard (budget + grace) timeout: the worker's cooperative
+                # deadline fires at the budget and answers first, so this
+                # expiring means the worker is wedged — kill it so the
+                # supervisor's crash path restarts the shard.
+                return await self.supervisor.request(
+                    shard, kind, body, timeout=self.config.hard_timeout_seconds
+                )
             except asyncio.TimeoutError:
+                self.supervisor.worker(shard).reap("request hard-timeout")
                 raise _HttpError(
                     504,
                     "timeout",
-                    f"optimization exceeded {self.config.request_timeout_seconds}s",
+                    f"worker unresponsive past the "
+                    f"{self.config.request_timeout_seconds}s budget plus grace"
+                    " — request abandoned",
                 ) from None
+            except WorkerUnavailable as unavailable:
+                raise _HttpError(
+                    503, "shard_unavailable", str(unavailable)
+                ) from unavailable
             except WorkerCrashed as crash:
                 raise _HttpError(500, "worker_pool_failure", str(crash)) from crash
         finally:
@@ -275,11 +296,29 @@ class AsyncPlanService:
                 request["queries"] = chunk
                 try:
                     status, response = await self.supervisor.request(
-                        shard, frames.BATCH, json.dumps(request).encode("utf-8")
+                        shard,
+                        frames.BATCH,
+                        json.dumps(request).encode("utf-8"),
+                        timeout=self.config.hard_timeout_seconds,
                     )
                 except asyncio.TimeoutError:
+                    self.supervisor.worker(shard).reap("batch hard-timeout")
                     return [
-                        {"index": index, "error": "worker timeout", "stage": "optimize"}
+                        {
+                            "index": index,
+                            "error": "worker timeout",
+                            "stage": "optimize",
+                            "timeout": True,
+                        }
+                        for index, _sql in chunk
+                    ]
+                except WorkerUnavailable as unavailable:
+                    return [
+                        {
+                            "index": index,
+                            "error": str(unavailable),
+                            "stage": "route",
+                        }
                         for index, _sql in chunk
                     ]
                 except WorkerCrashed:
@@ -352,6 +391,8 @@ class AsyncPlanService:
         payload["max_inflight"] = self.config.effective_max_inflight
         payload["shards"] = self.supervisor.shards
         payload["restarts"] = self.supervisor.total_restarts
+        payload["supervision"] = self.supervisor.shard_states()
+        payload["degradation"] = self.config.degradation
         payload["plans"] = _merge_plans(details)
         payload["engine"] = {
             "requested": self.config.engine,
@@ -388,7 +429,7 @@ class AsyncPlanService:
 
 
 def _merge_plans(details) -> dict:
-    served = hits = misses = failures = 0
+    served = hits = misses = failures = degraded = timeouts = 0
     by_strategy: Counter = Counter()
     by_engine: Counter = Counter()
     for detail in details:
@@ -397,6 +438,8 @@ def _merge_plans(details) -> dict:
         hits += plans.get("cache_hits", 0)
         misses += plans.get("cache_misses", 0)
         failures += plans.get("failures", 0)
+        degraded += plans.get("degraded", 0)
+        timeouts += plans.get("timeouts", 0)
         by_strategy.update(plans.get("by_strategy", {}))
         by_engine.update(plans.get("by_engine", {}))
     return {
@@ -405,6 +448,8 @@ def _merge_plans(details) -> dict:
         "cache_misses": misses,
         "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
         "failures": failures,
+        "degraded": degraded,
+        "timeouts": timeouts,
         "by_strategy": dict(by_strategy),
         "by_engine": dict(by_engine),
     }

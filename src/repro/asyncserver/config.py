@@ -45,11 +45,24 @@ class AsyncServerConfig:
     derives ``16 * shards + 32`` — the tier is built for open-loop
     traffic, so the bound is deliberately deeper than the sync
     server's).  ``route_cache_capacity`` bounds the front process's
-    SQL-text → shard memo.  ``request_timeout_seconds`` caps one
-    request's wait on its worker (504 on expiry);
+    SQL-text → shard memo.  ``request_timeout_seconds`` is one
+    request's planning budget: workers charge queue time against it and
+    arm the remainder as a cooperative deadline inside the DP, with
+    ``degradation`` picking the outcome of a blown budget — a heuristic
+    plan marked ``degraded: true`` (200) or a 504.  The front waits
+    :attr:`hard_timeout_seconds` (budget + grace) before declaring the
+    worker wedged, answering 504, and killing it for restart.
     ``worker_boot_seconds`` caps waiting for a worker's hello at spawn;
     ``drain_grace_seconds`` is how long a drain waits for in-flight
     requests before snapshotting and exiting anyway.
+
+    Crash supervision: restarts back off exponentially
+    (``restart_backoff_base_seconds`` doubling per crash up to
+    ``restart_backoff_cap_seconds``), and ``breaker_threshold`` crashes
+    within ``breaker_window_seconds`` open a per-shard circuit breaker —
+    the shard's fingerprints answer 503 for
+    ``breaker_cooldown_seconds`` while other shards keep serving, then
+    one restart probe closes the breaker if it boots.
     """
 
     host: str = "127.0.0.1"
@@ -67,6 +80,12 @@ class AsyncServerConfig:
     request_timeout_seconds: float = 120.0
     worker_boot_seconds: float = 60.0
     drain_grace_seconds: float = 10.0
+    degradation: str = "heuristic"
+    restart_backoff_base_seconds: float = 0.5
+    restart_backoff_cap_seconds: float = 30.0
+    breaker_threshold: int = 5
+    breaker_window_seconds: float = 60.0
+    breaker_cooldown_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if not (0 <= self.port <= 65535):
@@ -95,6 +114,29 @@ class AsyncServerConfig:
             raise ValueError(
                 f"drain_grace_seconds must be >= 0, got {self.drain_grace_seconds}"
             )
+        if self.degradation not in ("heuristic", "error"):
+            raise ValueError(
+                f"degradation must be 'heuristic' or 'error', got {self.degradation!r}"
+            )
+        if self.restart_backoff_base_seconds < 0:
+            raise ValueError(
+                f"restart_backoff_base_seconds must be >= 0, got {self.restart_backoff_base_seconds}"
+            )
+        if self.restart_backoff_cap_seconds < self.restart_backoff_base_seconds:
+            raise ValueError(
+                "restart_backoff_cap_seconds must be >= restart_backoff_base_seconds, "
+                f"got {self.restart_backoff_cap_seconds}"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError(f"breaker_threshold must be >= 1, got {self.breaker_threshold}")
+        if self.breaker_window_seconds <= 0:
+            raise ValueError(
+                f"breaker_window_seconds must be > 0, got {self.breaker_window_seconds}"
+            )
+        if self.breaker_cooldown_seconds < 0:
+            raise ValueError(
+                f"breaker_cooldown_seconds must be >= 0, got {self.breaker_cooldown_seconds}"
+            )
         # Validate the optimizer-facing fields eagerly, like everything else.
         self.optimizer_config()
 
@@ -107,6 +149,21 @@ class AsyncServerConfig:
             engine=self.engine,
             workers=None,
             cache_capacity=self.cache_capacity,
+            degradation=self.degradation,
+        )
+
+    @property
+    def hard_timeout_seconds(self) -> float:
+        """The front's hard wait before declaring a worker wedged.
+
+        Budget plus grace: the worker's cooperative deadline fires at
+        ``request_timeout_seconds`` and a degraded (or 504) response
+        travels back within the grace margin, so this expiring means the
+        worker is genuinely stuck (hung, not merely slow) and gets
+        killed for restart.
+        """
+        return self.request_timeout_seconds + max(
+            2.0, 0.25 * self.request_timeout_seconds
         )
 
     @property

@@ -7,10 +7,15 @@ via ``call_soon`` so a burst of requests costs one pipe write).
 
 Crash policy: a worker that dies outside a drain takes its pending
 requests down with 500 ``worker_pool_failure`` responses and is
-restarted immediately (the fresh worker warm-starts from the shard's
-last snapshot when persistence is on, so a crash loses at most the
-plans cached since the previous drain).  During a drain, exits are
-expected and no restart happens.
+restarted with capped exponential backoff (the fresh worker warm-starts
+from the shard's last snapshot when persistence is on, so a crash loses
+at most the plans cached since the previous drain).  A crash *loop* —
+``breaker_threshold`` crashes inside ``breaker_window_seconds`` — opens
+the shard's circuit breaker: its fingerprints answer 503
+(:class:`WorkerUnavailable`) for ``breaker_cooldown_seconds`` while the
+other shards keep serving, then a single restart probe closes the
+breaker if the worker boots.  During a drain, exits are expected and no
+restart happens.
 """
 
 from __future__ import annotations
@@ -21,7 +26,8 @@ import json
 import os
 import sys
 import time
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.asyncserver import frames
 from repro.asyncserver.config import AsyncServerConfig
@@ -29,6 +35,12 @@ from repro.asyncserver.config import AsyncServerConfig
 
 class WorkerCrashed(Exception):
     """The shard's worker died while holding this request."""
+
+
+class WorkerUnavailable(WorkerCrashed):
+    """The shard has no serving worker right now (restart backoff or
+    open circuit breaker) — the front answers 503 so clients retry,
+    rather than queueing onto a process that does not exist."""
 
 
 class WorkerHandle:
@@ -41,6 +53,10 @@ class WorkerHandle:
         self.pending: Dict[int, asyncio.Future] = {}
         self.hello: dict = {}
         self.restarts = 0
+        self.breaker_open = False
+        #: the delay currently (or last) applied before a respawn.
+        self.current_backoff = 0.0
+        self._crash_times: Deque[float] = deque()
         self._send_buffer = bytearray()
         self._flush_scheduled = False
         self._reader_task: Optional[asyncio.Task] = None
@@ -107,28 +123,117 @@ class WorkerHandle:
         if self._draining or self.supervisor.closed:
             return
         # Crash outside a drain: restart the shard (warm-starting from
-        # its last snapshot when persistence is on).
-        self.restarts += 1
-        print(
-            f"[supervisor] shard {self.shard} worker died "
-            f"(restart #{self.restarts}); respawning",
-            file=sys.stderr,
-            flush=True,
-        )
-        try:
-            await self.start()
-        except Exception as error:  # noqa: BLE001 - keep serving other shards
+        # its last snapshot when persistence is on), backing off
+        # exponentially, and opening the circuit breaker on a crash
+        # loop.  While this coroutine sleeps, send() raises
+        # WorkerUnavailable → the front answers 503 for this shard and
+        # the other shards keep serving.
+        self.process = None
+        while not (self._draining or self.supervisor.closed):
+            self.restarts += 1
+            delay = self._note_crash()
+            state = "breaker open; cooling down" if self.breaker_open else "backing off"
             print(
-                f"[supervisor] shard {self.shard} restart failed: {error}",
+                f"[supervisor] shard {self.shard} worker died "
+                f"(restart #{self.restarts}); {state} {delay:.2f}s before respawn",
                 file=sys.stderr,
                 flush=True,
             )
+            if delay > 0:
+                await asyncio.sleep(delay)
+            if self._draining or self.supervisor.closed:
+                return
+            try:
+                await self.start()
+            except Exception as error:  # noqa: BLE001 - keep serving other shards
+                print(
+                    f"[supervisor] shard {self.shard} restart failed: {error}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                process, self.process = self.process, None
+                if process is not None and process.returncode is None:
+                    try:
+                        process.kill()
+                    except ProcessLookupError:
+                        pass
+                continue
+            # Half-open probe booted: close the breaker.  Crash history
+            # stays in the window, so an immediate re-crash (a
+            # deterministic crasher being retried) reopens it at once.
+            self.breaker_open = False
+            self.current_backoff = 0.0
+            return
+
+    def _note_crash(self) -> float:
+        """Record one crash; return the pre-respawn delay.
+
+        Exponential backoff doubles from the configured base per crash in
+        the sliding window, capped; reaching ``breaker_threshold`` crashes
+        in the window opens the breaker and switches the delay to the
+        breaker cooldown.
+        """
+        config = self.supervisor.config
+        now = time.monotonic()
+        self._crash_times.append(now)
+        window = config.breaker_window_seconds
+        while self._crash_times and now - self._crash_times[0] > window:
+            self._crash_times.popleft()
+        crashes = len(self._crash_times)
+        if crashes >= config.breaker_threshold:
+            self.breaker_open = True
+            delay = config.breaker_cooldown_seconds
+        else:
+            delay = min(
+                config.restart_backoff_cap_seconds,
+                config.restart_backoff_base_seconds * (2 ** (crashes - 1)),
+            )
+        self.current_backoff = delay
+        return delay
+
+    def reap(self, reason: str) -> None:
+        """Kill a wedged worker (hard-timeout expiry on the front).
+
+        The kill surfaces as process exit in the reader loop, which runs
+        the normal crash accounting — backoff, breaker, restart — so a
+        hang is just a crash the supervisor has to cause itself.
+        """
+        process = self.process
+        if process is not None and process.returncode is None:
+            print(
+                f"[supervisor] shard {self.shard}: killing wedged worker ({reason})",
+                file=sys.stderr,
+                flush=True,
+            )
+            try:
+                process.kill()
+            except ProcessLookupError:
+                pass
+
+    def describe(self) -> dict:
+        """Supervision state for ``/stats`` (front-process truth only)."""
+        process = self.process
+        return {
+            "shard": self.shard,
+            "alive": process is not None and process.returncode is None,
+            "restarts": self.restarts,
+            "backoff_seconds": self.current_backoff,
+            "breaker_open": self.breaker_open,
+            "crashes_in_window": len(self._crash_times),
+        }
 
     # -- request path --------------------------------------------------------
     def send(self, kind: int, payload: bytes) -> asyncio.Future:
         """Queue one frame; returns a future of ``(status, body_bytes)``."""
+        if self.breaker_open:
+            raise WorkerUnavailable(
+                f"shard {self.shard} circuit breaker open after repeated crashes; "
+                "cooling down"
+            )
         if self.process is None or self.process.stdin is None:
-            raise WorkerCrashed(f"shard {self.shard} has no live worker")
+            raise WorkerUnavailable(
+                f"shard {self.shard} has no live worker (restarting)"
+            )
         request_id = next(self.supervisor.request_ids)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self.pending[request_id] = future
@@ -227,6 +332,8 @@ class WorkerSupervisor:
             "cost_model": config.cost_model,
             "engine": config.engine,
             "cache_capacity": config.cache_capacity,
+            "request_timeout_seconds": config.request_timeout_seconds,
+            "degradation": config.degradation,
         }
 
     def note_persistence(self, counters: Optional[dict]) -> None:
@@ -249,10 +356,19 @@ class WorkerSupervisor:
     def total_restarts(self) -> int:
         return sum(worker.restarts for worker in self.workers)
 
-    async def request(self, shard: int, kind: int, payload: bytes) -> Tuple[int, bytes]:
-        return await self.workers[shard].request(
-            kind, payload, self.config.request_timeout_seconds
-        )
+    def shard_states(self) -> List[dict]:
+        """Per-shard supervision state (restarts/backoff/breaker) for /stats."""
+        return [worker.describe() for worker in self.workers]
+
+    async def request(
+        self, shard: int, kind: int, payload: bytes, timeout: Optional[float] = None
+    ) -> Tuple[int, bytes]:
+        """One request to *shard*.  *timeout* defaults to the request
+        budget; planning endpoints pass the hard (budget + grace) timeout
+        instead so the worker's cooperative deadline answers first."""
+        if timeout is None:
+            timeout = self.config.request_timeout_seconds
+        return await self.workers[shard].request(kind, payload, timeout)
 
     async def broadcast(self, kind: int, payload: bytes) -> List[Optional[Tuple[int, bytes]]]:
         """Send *kind* to every shard; crashed shards yield ``None``."""

@@ -33,9 +33,11 @@ import time
 from collections import Counter, OrderedDict
 from typing import Dict, Optional, Tuple
 
+from repro import chaos
 from repro.api.session import plan_to_dict
 from repro.asyncserver import frames
 from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.deadline import Deadline, PlanningDeadlineExceeded
 from repro.optimizer.driver import optimize
 from repro.plans.render import render_plan
 from repro.query.spec import Query
@@ -81,7 +83,11 @@ class ShardWorker:
             cost_model=config.get("cost_model", "cout"),
             engine=config.get("engine", "indexed"),
             cache_capacity=None,  # the shard cache is probed explicitly
+            degradation=config.get("degradation", "heuristic"),
         )
+        #: per-request planning budget; queue time inside the worker is
+        #: charged against it (see :meth:`_deadline`).
+        self.request_timeout = float(config.get("request_timeout_seconds", 120.0))
         self.catalog = Catalog.from_tpch(scale_factor=config.get("scale_factor", 1.0))
         self.catalog_fp = catalog_fingerprint(self.catalog)
         self.cache = PlanCache(capacity=int(config.get("cache_capacity", 512)))
@@ -100,6 +106,8 @@ class ShardWorker:
         self._started = time.monotonic()
         self._served = 0
         self._failures = 0
+        self._degraded = 0
+        self._timeouts = 0
         self._by_strategy: Counter = Counter()
         self._by_engine: Counter = Counter()
 
@@ -133,6 +141,16 @@ class ShardWorker:
             meta={"shard": self.shard, "shards": self.shards},
         )
         self.persistence["saved"] += saved
+        if chaos.enabled():
+            # Injected snapshot damage (tests/CI): the next warm start
+            # must refuse this file and cold-start.
+            fault = chaos.damage_snapshot(self.snapshot_path)
+            if fault:
+                print(
+                    f"[shard {self.shard}] chaos: snapshot {fault}d on disk",
+                    file=sys.stderr,
+                    flush=True,
+                )
         return {
             "saved": saved,
             "path": self.snapshot_path,
@@ -186,8 +204,23 @@ class ShardWorker:
             self._config_memo[signature] = resolved
         return resolved
 
-    def _plan(self, sql, body: dict):
+    def _deadline(self, arrived: Optional[float]) -> Deadline:
+        """The planning budget left for a request that arrived at
+        *arrived* (``time.monotonic``): the configured request timeout
+        minus time already spent queued behind earlier frames in this
+        single-threaded worker.  A fully consumed budget still returns a
+        Deadline — it fires on the first DP check, so the request
+        degrades (or 504s) immediately instead of planning past its
+        caller's patience."""
+        budget = self.request_timeout
+        if arrived is not None:
+            budget -= time.monotonic() - arrived
+        return Deadline(max(0.0, budget))
+
+    def _plan(self, sql, body: dict, arrived: Optional[float] = None):
         """Serve or compute one plan; returns ``(result, config)``."""
+        if chaos.enabled() and isinstance(sql, str):
+            chaos.before_request(sql)
         query, fingerprint, snapshot = self._parse(sql)
         config, strategy, factor, cost_model = self._resolve_config(body)
         key = PlanCacheKey(
@@ -200,13 +233,24 @@ class ShardWorker:
         result = self.cache.serve(key, query)
         if result is None:
             try:
-                result = optimize(query, config=config)
+                # The deadline rides beside the config (not through
+                # _resolve_config's memo — budgets are per-request).
+                result = optimize(query, config=config, deadline=self._deadline(arrived))
+            except PlanningDeadlineExceeded as exc:
+                # degradation="error": surface the blown budget as 504.
+                self._timeouts += 1
+                raise _RequestFailure(504, "timeout", str(exc)) from exc
             except Exception as exc:  # noqa: BLE001 - per-request isolation
                 self._failures += 1
                 raise _RequestFailure(
                     500, "optimizer_error", f"{type(exc).__name__}: {exc}"
                 ) from exc
-            self.cache.store(key, query, result)
+            if result.degraded:
+                # Never cache a degraded fallback plan (PlanCache.store
+                # also refuses them defensively).
+                self._degraded += 1
+            else:
+                self.cache.store(key, query, result)
         self._served += 1
         self._by_strategy[result.strategy] += 1
         self._by_engine[self._effective_engine(result)] += 1
@@ -225,9 +269,9 @@ class ShardWorker:
         return "indexed"
 
     # -- commands ------------------------------------------------------------
-    def handle_optimize(self, body: dict) -> Tuple[int, dict]:
+    def handle_optimize(self, body: dict, arrived: Optional[float] = None) -> Tuple[int, dict]:
         started = time.perf_counter()
-        result, config = self._plan(body.get("sql"), body)
+        result, config = self._plan(body.get("sql"), body, arrived)
         payload = {
             "strategy": result.strategy,
             "cost_model": config.cost_model_name,
@@ -236,6 +280,7 @@ class ShardWorker:
             "elapsed_seconds": result.elapsed_seconds,
             "server_seconds": time.perf_counter() - started,
             "cache_hit": result.cache_hit,
+            "degraded": result.degraded,
             "ccp_count": result.ccp_count,
             "plans_built": result.plans_built,
             "shard": self.shard,
@@ -244,32 +289,42 @@ class ShardWorker:
             payload["plan"] = plan_to_dict(result.plan.node)
         return 200, payload
 
-    def handle_explain(self, body: dict) -> Tuple[int, dict]:
-        result, _config = self._plan(body.get("sql"), body)
+    def handle_explain(self, body: dict, arrived: Optional[float] = None) -> Tuple[int, dict]:
+        result, _config = self._plan(body.get("sql"), body, arrived)
         return 200, {
             "strategy": result.strategy,
             "cost": result.cost,
             "cache_hit": result.cache_hit,
+            "degraded": result.degraded,
             "explain": render_plan(result.plan.node),
             "shard": self.shard,
         }
 
-    def handle_batch(self, body: dict) -> Tuple[int, dict]:
-        """A shard's slice of one ``/batch``: ``[[index, sql], ...]``."""
+    def handle_batch(self, body: dict, arrived: Optional[float] = None) -> Tuple[int, dict]:
+        """A shard's slice of one ``/batch``: ``[[index, sql], ...]``.
+
+        All items share the request's arrival time, so the whole slice
+        shares one budget — later items in a slice whose earlier items
+        ate the budget degrade rather than extend the request.
+        """
         include_plans = bool(body.get("include_plans", False))
         items = []
         for index, sql in body.get("queries", ()):
             try:
-                result, _config = self._plan(sql, body)
+                result, _config = self._plan(sql, body, arrived)
             except _RequestFailure as failure:
                 stage = "parse" if failure.code in ("parse_error", "bad_request") else "optimize"
-                items.append({"index": index, "error": failure.message, "stage": stage})
+                item = {"index": index, "error": failure.message, "stage": stage}
+                if failure.code == "timeout":
+                    item["timeout"] = True
+                items.append(item)
                 continue
             item = {
                 "index": index,
                 "strategy": result.strategy,
                 "cost": result.cost,
                 "cache_hit": result.cache_hit,
+                "degraded": result.degraded,
                 "elapsed_seconds": result.elapsed_seconds,
             }
             if include_plans:
@@ -293,6 +348,8 @@ class ShardWorker:
                 "cache_misses": misses,
                 "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
                 "failures": self._failures,
+                "degraded": self._degraded,
+                "timeouts": self._timeouts,
                 "by_strategy": dict(self._by_strategy),
                 "by_engine": dict(self._by_engine),
             },
@@ -349,19 +406,27 @@ def serve(worker: ShardWorker, in_fd: int, out_fd: int) -> None:
         if not chunk:  # supervisor went away: exit without snapshotting
             break
         buffer += chunk
+        # Frames in this chunk share an arrival stamp: planning budgets
+        # start when the request reaches the worker's queue, so time
+        # spent queued behind earlier frames counts against them.
+        arrived = time.monotonic()
         answered = 0
         for request_id, kind, payload in frames.feed(buffer):
             if kind == frames.EXIT:
                 out += frames.pack(request_id, 200, _dumps({"ok": True}))
                 running = False
                 break
+            if chaos.should_drop(payload):
+                # Injected frame loss: swallow the request, never answer
+                # (the front's hard timeout fires and reaps this worker).
+                continue
             try:
                 if kind == frames.OPTIMIZE:
-                    status, body = worker.handle_optimize(json.loads(payload))
+                    status, body = worker.handle_optimize(json.loads(payload), arrived)
                 elif kind == frames.EXPLAIN:
-                    status, body = worker.handle_explain(json.loads(payload))
+                    status, body = worker.handle_explain(json.loads(payload), arrived)
                 elif kind == frames.BATCH:
-                    status, body = worker.handle_batch(json.loads(payload))
+                    status, body = worker.handle_batch(json.loads(payload), arrived)
                 elif kind == frames.STATS:
                     status, body = 200, worker.stats_payload()
                 elif kind == frames.SNAPSHOT:

@@ -15,6 +15,7 @@ plan building shared (Fig. 5):
 
 from repro.optimizer.config import OptimizerConfig
 from repro.optimizer.costmodel import CostModel, CoutModel
+from repro.optimizer.deadline import Deadline, PlanningDeadlineExceeded
 from repro.optimizer.driver import (
     OptimizationResult,
     OptimizerHooks,
@@ -47,6 +48,8 @@ __all__ = [
     "OptimizerConfig",
     "OptimizerHooks",
     "PreparedQuery",
+    "Deadline",
+    "PlanningDeadlineExceeded",
     "PlanBuilder",
     "PlanInfo",
     "make_strategy",

@@ -42,6 +42,12 @@ class OptimizerConfig:
     plan-cache keys.  ``workers`` — batch-driver process count (None =
     auto).  ``cache_capacity`` — plan-cache entries for components that
     own a cache, e.g. a session (None or 0 = caching off).
+    ``deadline_seconds`` — cooperative planning budget per optimize call
+    (None = unbounded; 0 = already expired, useful when a request's
+    queue time ate the whole budget).  ``degradation`` — what a blown
+    deadline does: ``"heuristic"`` falls back to a cheap greedy plan
+    marked ``degraded=True``, ``"error"`` raises
+    :class:`~repro.optimizer.deadline.PlanningDeadlineExceeded`.
     """
 
     strategy: Union[str, Strategy] = "ea-prune"
@@ -50,6 +56,8 @@ class OptimizerConfig:
     engine: str = "indexed"
     workers: Optional[int] = None
     cache_capacity: Optional[int] = 512
+    deadline_seconds: Optional[float] = None
+    degradation: str = "heuristic"
 
     def __post_init__(self) -> None:
         if isinstance(self.strategy, str):
@@ -83,6 +91,14 @@ class OptimizerConfig:
         if self.cache_capacity is not None and self.cache_capacity < 0:
             raise ValueError(
                 f"cache_capacity must be >= 0 (or None for no cache), got {self.cache_capacity}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds < 0:
+            raise ValueError(
+                f"deadline_seconds must be >= 0 (or None for unbounded), got {self.deadline_seconds}"
+            )
+        if self.degradation not in ("heuristic", "error"):
+            raise ValueError(
+                f"degradation must be 'heuristic' or 'error', got {self.degradation!r}"
             )
 
     # -- derivation ----------------------------------------------------------

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field, replace
 from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import chaos
 from repro.algebra.expressions import conjunction
 from repro.conflict.detector import AnnotatedEdge, detect
 from repro.hypergraph import vectorized as vector_graph
@@ -52,6 +53,7 @@ from repro.hypergraph.graph import Hypergraph
 from repro.hypergraph.enumerate import enumerate_ccps, enumerate_ccps_reference
 from repro.optimizer import vectorized as vector_core
 from repro.optimizer.config import OptimizerConfig
+from repro.optimizer.deadline import Deadline, PlanningDeadlineExceeded
 from repro.optimizer.edgeindex import EdgeResolver, JoinSpec
 from repro.optimizer.planinfo import PlanBuilder, PlanInfo
 from repro.optimizer.registry import ENGINES
@@ -75,6 +77,11 @@ class OptimizationResult:
     plans_built: int
     table_sizes: Dict[int, int]
     cache_hit: bool = False
+    #: True when this plan is a deadline-degraded heuristic fallback (see
+    #: :mod:`repro.optimizer.deadline`) rather than the configured
+    #: strategy's answer.  Degraded results are never stored in plan
+    #: caches — they are a serve-something answer, not the plan of record.
+    degraded: bool = False
     #: Hot-path instrumentation (edge-index scans, memo hits, dominance
     #: checks) for the run that produced the plan.  Keys are additive
     #: counters; absent on cache hits only in the sense that they still
@@ -162,6 +169,7 @@ def optimize(
     config: Optional[OptimizerConfig] = None,
     hooks: Optional[OptimizerHooks] = None,
     engine: Optional[str] = None,
+    deadline: Optional[Deadline] = None,
 ) -> OptimizationResult:
     """Optimize *query* and return the final plan.
 
@@ -178,6 +186,14 @@ def optimize(
     code path (``"reference"``) or the array core (``"vectorized"``);
     ``None`` defers to ``config.engine``.  The result is identical
     whichever engine runs.
+
+    *deadline* arms a cooperative planning budget checked inside the DP
+    loop (all three engines share it); ``None`` defers to
+    ``config.deadline_seconds``, measured from the start of this run.
+    Cache hits are served before the budget is consulted.  On a blown
+    budget, ``config.degradation`` picks between a heuristic fallback
+    plan marked ``degraded=True`` and raising
+    :class:`~repro.optimizer.deadline.PlanningDeadlineExceeded`.
     """
     if config is None:
         config = OptimizerConfig(strategy=strategy, factor=factor, cache_capacity=None)
@@ -210,6 +226,14 @@ def optimize(
             return served
 
     start = time.perf_counter()
+
+    if deadline is None and config.deadline_seconds is not None:
+        deadline = Deadline(config.deadline_seconds)
+    # Injected planning slowness (tests/CI only) is scoped to deadline
+    # check points, so the heuristic fallback run — no deadline — is fast.
+    chaos_pause = None
+    if deadline is not None and chaos.enabled():
+        chaos_pause = chaos.planning_delay(rel.name for rel in query.relations)
 
     if prepared is not None:
         annotated, graph = prepared.annotated, prepared.graph
@@ -293,45 +317,58 @@ def optimize(
         if on_plan is not None:
             on_plan(finished)
 
-    for s1, s2 in ccps:
-        ccp_count += 1
-        if on_ccp is not None:
-            on_ccp(s1, s2)
-        spec = resolve(s1, s2)
-        if spec is None:
-            continue
-        left_set, right_set = (s2, s1) if spec.swap else (s1, s2)
-        left_bucket = table.get(left_set, ())
-        right_bucket = table.get(right_set, ())
-        if not left_bucket or not right_bucket:
-            continue
-        if vec_engine is not None:
-            plans_built += vec_engine.process_ccp(
-                table, spec, left_set, right_set, all_mask
-            )
-            continue
-        combined = left_set | right_set
-        is_top = combined == all_mask
-        bucket = table.get(combined)
-        if bucket is None:
-            # Top-level entries go through insert_top (single plan, list
-            # semantics); inner entries use the strategy's bucket type.
-            bucket = table[combined] = [] if is_top else chosen.new_bucket()
-        for left_plan in left_bucket:
-            for right_plan in right_bucket:
-                for plan in _op_trees(builder, chosen, left_plan, right_plan, spec):
-                    plans_built += 1
-                    if is_top:
-                        # Report the finalised plan — the candidate the DP
-                        # table actually considers for the full relation set.
-                        plan = builder.finish_top(plan)
-                        if on_plan is not None:
-                            on_plan(plan)
-                        chosen.insert_top(bucket, plan)
-                    else:
-                        if on_plan is not None:
-                            on_plan(plan)
-                        chosen.insert(bucket, plan)
+    try:
+        for s1, s2 in ccps:
+            ccp_count += 1
+            if deadline is not None and deadline.tick() and chaos_pause is not None:
+                time.sleep(chaos_pause)
+                deadline.check()
+            if on_ccp is not None:
+                on_ccp(s1, s2)
+            spec = resolve(s1, s2)
+            if spec is None:
+                continue
+            left_set, right_set = (s2, s1) if spec.swap else (s1, s2)
+            left_bucket = table.get(left_set, ())
+            right_bucket = table.get(right_set, ())
+            if not left_bucket or not right_bucket:
+                continue
+            if vec_engine is not None:
+                plans_built += vec_engine.process_ccp(
+                    table, spec, left_set, right_set, all_mask
+                )
+                continue
+            combined = left_set | right_set
+            is_top = combined == all_mask
+            bucket = table.get(combined)
+            if bucket is None:
+                # Top-level entries go through insert_top (single plan, list
+                # semantics); inner entries use the strategy's bucket type.
+                bucket = table[combined] = [] if is_top else chosen.new_bucket()
+            for left_plan in left_bucket:
+                for right_plan in right_bucket:
+                    for plan in _op_trees(builder, chosen, left_plan, right_plan, spec):
+                        plans_built += 1
+                        if is_top:
+                            # Report the finalised plan — the candidate the DP
+                            # table actually considers for the full relation set.
+                            plan = builder.finish_top(plan)
+                            if on_plan is not None:
+                                on_plan(plan)
+                            chosen.insert_top(bucket, plan)
+                        else:
+                            if on_plan is not None:
+                                on_plan(plan)
+                            chosen.insert(bucket, plan)
+    except PlanningDeadlineExceeded:
+        if config.degradation != "heuristic":
+            raise
+        result = _degraded_fallback(
+            query, prepared, config, engine, start, ccp_count, plans_built
+        )
+        if on_result is not None:
+            on_result(result)
+        return result
 
     final = table.get(all_mask, [])
     if not final:
@@ -374,11 +411,52 @@ def optimize(
         table_sizes={mask: len(plans) for mask, plans in table.items()},
         stats=stats,
     )
-    if cache is not None and key is not None:
+    if cache is not None and key is not None and not result.degraded:
         cache.store(key, query, result)
     if on_result is not None:
         on_result(result)
     return result
+
+
+#: Strategy used for deadline-degraded fallback plans: H1 (Fig. 10), the
+#: paper's cheapest greedy — one plan per DP class, no eager variants.
+DEGRADED_STRATEGY = "h1"
+
+
+def _degraded_fallback(
+    query: Query,
+    prepared: Optional[PreparedQuery],
+    config: OptimizerConfig,
+    engine: str,
+    start: float,
+    primary_ccps: int,
+    primary_plans: int,
+) -> OptimizationResult:
+    """Build the serve-something plan after a blown planning deadline.
+
+    Re-runs the same prepared query under :data:`DEGRADED_STRATEGY` with
+    no deadline (H1 touches each ccp once with a single plan per class,
+    so its runtime is a small fraction of the budget that just expired).
+    The returned result carries ``degraded=True``, total elapsed time
+    including the abandoned primary run, and stats counters recording
+    how far the primary got before the budget fired.
+    """
+    fallback_config = config.with_overrides(
+        strategy=DEGRADED_STRATEGY, deadline_seconds=None
+    )
+    result = optimize(
+        query, prepared=prepared, config=fallback_config, engine=engine
+    )
+    stats = dict(result.stats)
+    stats["degraded"] = 1
+    stats["degraded.primary_ccps"] = primary_ccps
+    stats["degraded.primary_plans"] = primary_plans
+    return replace(
+        result,
+        degraded=True,
+        elapsed_seconds=time.perf_counter() - start,
+        stats=stats,
+    )
 
 
 def _resolve_edge(

@@ -173,6 +173,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(data)))
+            if status in (429, 503):
+                # Backpressure statuses advertise a retry hint that
+                # ServerClient's opt-in retry loop honours.
+                self.send_header("Retry-After", "1")
             self.end_headers()
             self.wfile.write(data)
         except (ConnectionError, BrokenPipeError):  # client gone; nothing to do

@@ -9,34 +9,59 @@ Error handling mirrors the server's JSON shape: any non-2xx response
 raises :class:`ServerError` carrying the HTTP status and the body's
 ``error.code`` / ``error.message`` (``/healthz`` is exempt — a draining
 server's 503 is an answer, not a failure).
+
+Retries are **opt-in** (``retries=N``): transient failures — connection
+errors and 429/503 responses, which the servers emit for backpressure,
+draining, and open circuit breakers — are retried with capped
+exponential backoff and *full jitter* (each sleep is uniform in
+``[0, min(cap, base * 2**attempt)]``, so a thundering herd of clients
+decorrelates instead of re-arriving in lockstep).  A ``Retry-After``
+response header, which both tiers attach to 429/503, takes precedence
+over the computed backoff.  Non-transient errors (400/404/500/504)
+never retry: a 504 means a planning budget was truly blown and a retry
+would blow it again.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
+import time
 from typing import Optional
+
+#: HTTP statuses worth retrying: backpressure and temporary
+#: unavailability.  Everything else is either a client bug (4xx) or a
+#: deterministic failure (500/504) that a retry cannot fix.
+RETRYABLE_STATUSES = frozenset({429, 503})
 
 
 class ServerError(RuntimeError):
     """A non-2xx response from the plan server."""
 
-    def __init__(self, status: int, code: str, message: str, body: Optional[dict] = None):
+    def __init__(self, status: int, code: str, message: str, body: Optional[dict] = None,
+                 retry_after: Optional[float] = None):
         super().__init__(f"HTTP {status} [{code}]: {message}")
         self.status = status
         self.code = code
         self.message = message
         self.body = body if body is not None else {}
+        #: the response's Retry-After hint in seconds, when present.
+        self.retry_after = retry_after
 
 
 class ServerClient:
     """Typed access to every plan-server endpoint over one connection."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 60.0):
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 60.0,
+                 retries: int = 0, backoff_base: float = 0.1, backoff_cap: float = 2.0):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
         self._conn: Optional[http.client.HTTPConnection] = None
 
     # -- plumbing ------------------------------------------------------------
@@ -54,12 +79,58 @@ class ServerClient:
             )
         return self._conn
 
+    def _backoff(self, attempt: int, retry_after: Optional[float]) -> None:
+        """Sleep before retry *attempt* (0-based): server hint, else full
+        jitter on a capped exponential."""
+        if retry_after is not None and retry_after >= 0:
+            delay = min(retry_after, self.backoff_cap)
+        else:
+            delay = random.uniform(
+                0.0, min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+            )
+        if delay > 0:
+            time.sleep(delay)
+
     def _request(self, method: str, path: str, body: Optional[dict] = None,
                  raise_for_status: bool = True) -> dict:
         payload = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if payload is not None else {}
-        # One retry on a dead keep-alive connection (server restarted, or
-        # the idle socket was reaped between calls).
+        attempts = max(1, self.retries + 1)
+        for attempt in range(attempts):
+            last = attempt == attempts - 1
+            try:
+                decoded, status, retry_after = self._exchange(method, path, payload, headers)
+            except (ConnectionError, http.client.HTTPException, OSError):
+                if last:
+                    raise
+                self._backoff(attempt, None)
+                continue
+            if raise_for_status and status >= 400:
+                error = decoded.get("error") or {}
+                server_error = ServerError(
+                    status,
+                    error.get("code", "unknown"),
+                    error.get("message", f"HTTP {status}"),
+                    decoded,
+                    retry_after=retry_after,
+                )
+                if status in RETRYABLE_STATUSES and not last:
+                    self._backoff(attempt, retry_after)
+                    continue
+                raise server_error
+            if isinstance(decoded, dict):
+                decoded.setdefault("_status", status)
+            return decoded
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _exchange(self, method, path, payload, headers):
+        """One request/response on the keep-alive connection.
+
+        Retries **once** on a dead keep-alive socket (server restarted,
+        or the idle connection was reaped between calls) regardless of
+        the retry policy — that reconnect was always free and is not a
+        server failure.
+        """
         for attempt in (0, 1):
             conn = self._connection()
             try:
@@ -71,21 +142,20 @@ class ServerClient:
                 self.close()
                 if attempt:
                     raise
+        retry_after: Optional[float] = None
+        raw_hint = response.getheader("Retry-After")
+        if raw_hint is not None:
+            try:
+                retry_after = float(raw_hint)
+            except ValueError:
+                retry_after = None
         try:
             decoded = json.loads(data.decode("utf-8")) if data else {}
         except json.JSONDecodeError:
             decoded = {"raw": data.decode("utf-8", "replace")}
-        if raise_for_status and response.status >= 400:
-            error = decoded.get("error") or {}
-            raise ServerError(
-                response.status,
-                error.get("code", "unknown"),
-                error.get("message", f"HTTP {response.status}"),
-                decoded,
-            )
-        if isinstance(decoded, dict):
-            decoded.setdefault("_status", response.status)
-        return decoded
+        if not isinstance(decoded, dict):
+            decoded = {"value": decoded}
+        return decoded, response.status, retry_after
 
     def close(self) -> None:
         if self._conn is not None:

@@ -29,9 +29,14 @@ class ServerConfig:
     bounds admitted-but-unfinished requests across *all* endpoints that
     optimize; excess requests are rejected with 429 (``None`` derives
     ``2 * workers + 8``).  ``request_timeout_seconds`` caps one request's
-    wait on the worker pool (504 on expiry); ``drain_grace_seconds`` is
-    how long a SIGTERM drain waits for in-flight requests before giving
-    up.
+    planning budget: the remaining budget (minus any time already spent
+    in the request) is armed as a cooperative deadline inside the worker,
+    and ``degradation`` decides what a blown budget returns —
+    ``"heuristic"`` a cheap greedy plan marked ``degraded: true`` (HTTP
+    200), ``"error"`` an HTTP 504.  A hard wait of
+    :attr:`hard_timeout_seconds` (budget + grace) backstops wedged
+    workers.  ``drain_grace_seconds`` is how long a SIGTERM drain waits
+    for in-flight requests before giving up.
     """
 
     host: str = "127.0.0.1"
@@ -46,6 +51,7 @@ class ServerConfig:
     cache_capacity: Optional[int] = 512
     request_timeout_seconds: float = 120.0
     drain_grace_seconds: float = 10.0
+    degradation: str = "heuristic"
 
     def __post_init__(self) -> None:
         if not (0 <= self.port <= 65535):
@@ -64,6 +70,10 @@ class ServerConfig:
             raise ValueError(
                 f"drain_grace_seconds must be >= 0, got {self.drain_grace_seconds}"
             )
+        if self.degradation not in ("heuristic", "error"):
+            raise ValueError(
+                f"degradation must be 'heuristic' or 'error', got {self.degradation!r}"
+            )
         # Validate the optimizer-facing fields eagerly, like everything else.
         self.optimizer_config()
 
@@ -76,6 +86,20 @@ class ServerConfig:
             engine=self.engine,
             workers=None,  # the server owns its own process pool
             cache_capacity=self.cache_capacity,
+            degradation=self.degradation,
+        )
+
+    @property
+    def hard_timeout_seconds(self) -> float:
+        """The hard wait on a worker before declaring it wedged (504).
+
+        The cooperative deadline inside the worker fires at
+        ``request_timeout_seconds``; the grace margin lets a degraded
+        (or 504-bound) answer travel back before the pool wait gives up,
+        so the hard timeout only triggers for genuinely stuck workers.
+        """
+        return self.request_timeout_seconds + max(
+            2.0, 0.25 * self.request_timeout_seconds
         )
 
     @property

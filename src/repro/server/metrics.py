@@ -51,6 +51,7 @@ class ServerMetrics:
         self._cache_hits = 0
         self._cache_misses = 0
         self._failures = 0
+        self._degraded = 0
         self._by_strategy: Counter = Counter()
         self._by_engine: Counter = Counter()
 
@@ -68,16 +69,26 @@ class ServerMetrics:
                 stats.errors_5xx += 1
             stats.latencies_ms.append(elapsed_seconds * 1000.0)
 
-    def record_plan(self, strategy: str, cache_hit: bool, engine: str = "indexed") -> None:
+    def record_plan(
+        self,
+        strategy: str,
+        cache_hit: bool,
+        engine: str = "indexed",
+        degraded: bool = False,
+    ) -> None:
         """One successfully served plan (single or batch item).
 
         *engine* is the driver code path that actually ran — for a
         ``"vectorized"`` config that fell back (numpy missing, lane
         support missing), the effective engine, not the requested one.
+        *degraded* counts plans served as deadline-degraded heuristic
+        fallbacks (HTTP 200, ``degraded: true``).
         """
         with self._lock:
             self._by_strategy[strategy] += 1
             self._by_engine[engine] += 1
+            if degraded:
+                self._degraded += 1
             if cache_hit:
                 self._cache_hits += 1
             else:
@@ -115,6 +126,7 @@ class ServerMetrics:
                     "cache_misses": self._cache_misses,
                     "hit_rate": self._cache_hits / served if served else 0.0,
                     "failures": self._failures,
+                    "degraded": self._degraded,
                     "by_strategy": dict(self._by_strategy),
                     "by_engine": dict(self._by_engine),
                 },

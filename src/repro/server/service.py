@@ -195,20 +195,41 @@ class PlanService:
             executor.shutdown(wait=False, cancel_futures=True)
 
     def _dispatch(
-        self, payloads: List[Tuple[Query, OptimizerConfig]]
+        self,
+        payloads: List[Tuple[Query, OptimizerConfig]],
+        deadline_at: Optional[float] = None,
     ) -> List[WorkerOutcome]:
-        """Run every payload, in the pool or (workers=0) in this thread."""
+        """Run every payload, in the pool or (workers=0) in this thread.
+
+        *deadline_at* (``time.monotonic()`` terms) is when the request's
+        planning budget expires — normally request arrival plus
+        ``request_timeout_seconds``, so time already burnt on parsing and
+        cache probes is charged against it.  The remaining budget is
+        armed as a cooperative deadline inside each worker run, which
+        either degrades to a heuristic plan or raises
+        (``config.degradation``); the pool wait itself uses the *hard*
+        timeout (budget + grace) purely as a wedged-worker backstop — a
+        healthy worker always answers first.
+        """
         if not payloads:
             return []
+        if deadline_at is None:
+            deadline_at = time.monotonic() + self.config.request_timeout_seconds
+        budget = max(0.0, deadline_at - time.monotonic())
+        payloads = [
+            (query, config.with_overrides(deadline_seconds=budget))
+            for query, config in payloads
+        ]
         if self.config.effective_workers == 0:
             return [_optimize_payload(payload) for payload in payloads]
+        grace = self.config.hard_timeout_seconds - self.config.request_timeout_seconds
         executor = self._pool()
         try:
             futures = [executor.submit(_optimize_payload, p) for p in payloads]
-            deadline = time.monotonic() + self.config.request_timeout_seconds
+            hard_deadline = deadline_at + grace
             outcomes = []
             for future in futures:
-                remaining = max(0.0, deadline - time.monotonic())
+                remaining = max(0.0, hard_deadline - time.monotonic())
                 try:
                     outcomes.append(future.result(timeout=remaining))
                 except FutureTimeout:
@@ -217,7 +238,8 @@ class PlanService:
                     raise RequestError(
                         504,
                         "timeout",
-                        f"optimization exceeded {self.config.request_timeout_seconds:g}s",
+                        f"worker unresponsive past the {self.config.request_timeout_seconds:g}s "
+                        "budget plus grace — request abandoned",
                     ) from None
             return outcomes
         except RequestError:
@@ -229,9 +251,13 @@ class PlanService:
             ) from exc
 
     def _optimize_indexed(
-        self, indexed: List[Tuple[int, Query]], config: OptimizerConfig
-    ) -> Dict[int, Tuple[Optional[OptimizationResult], Optional[str], bool]]:
-        """Optimize ``(index, query)`` pairs → index → (result, error, hit).
+        self,
+        indexed: List[Tuple[int, Query]],
+        config: OptimizerConfig,
+        deadline_at: Optional[float] = None,
+    ) -> Dict[int, Tuple[Optional[OptimizationResult], Optional[str], bool, bool]]:
+        """Optimize ``(index, query)`` pairs → index → (result, error, hit,
+        timed_out).
 
         Probes the session cache once per distinct key, dispatches the
         misses to the pool in one wave, stores successes back, and serves
@@ -240,7 +266,7 @@ class PlanService:
         runs independently.
         """
         cache = self.session.cache
-        out: Dict[int, Tuple[Optional[OptimizationResult], Optional[str], bool]] = {}
+        out: Dict[int, Tuple[Optional[OptimizationResult], Optional[str], bool, bool]] = {}
         to_run: List[Tuple[int, Query, Optional[object]]] = []
         duplicates: Dict[object, List[Tuple[int, Query]]] = {}
         if cache is None:
@@ -253,22 +279,26 @@ class PlanService:
                 )
                 served = cache.serve(key, query)
                 if served is not None:
-                    out[index] = (served, None, True)
+                    out[index] = (served, None, True, False)
                 elif key in duplicates:
                     duplicates[key].append((index, query))
                 else:
                     duplicates[key] = []
                     to_run.append((index, query, key))
 
-        outcomes = self._dispatch([(query, config) for _, query, _ in to_run])
+        outcomes = self._dispatch(
+            [(query, config) for _, query, _ in to_run], deadline_at
+        )
         for (index, query, key), outcome in zip(to_run, outcomes):
             if outcome.ok:
                 result = outcome.result
-                if cache is not None and key is not None:
+                # Degraded fallback plans are never cached (PlanCache.store
+                # also refuses them defensively).
+                if cache is not None and key is not None and not result.degraded:
                     cache.store(key, query, result)
-                out[index] = (result, None, False)
+                out[index] = (result, None, False, False)
             else:
-                out[index] = (None, outcome.error, False)
+                out[index] = (None, outcome.error, False, outcome.deadline)
             for dup_index, dup_query in duplicates.get(key, ()):
                 if outcome.ok:
                     # Rebind the in-hand result directly — a cache.serve()
@@ -277,9 +307,9 @@ class PlanService:
                     shared = rebind_result(
                         outcome.result, query_binding(query), dup_query
                     ).as_cache_hit()
-                    out[dup_index] = (shared, None, True)
+                    out[dup_index] = (shared, None, True, False)
                 else:
-                    out[dup_index] = (None, outcome.error, False)
+                    out[dup_index] = (None, outcome.error, False, outcome.deadline)
         return out
 
     # -- request bodies ------------------------------------------------------
@@ -305,21 +335,33 @@ class PlanService:
             raise RequestError(400, "parse_error", str(exc)) from exc
 
     def _optimize_one(
-        self, sql, config: OptimizerConfig
+        self, sql, config: OptimizerConfig, deadline_at: Optional[float] = None
     ) -> OptimizationResult:
         query = self._parse(sql)
-        (result, error, _hit) = self._optimize_indexed([(0, query)], config)[0]
+        (result, error, _hit, timed_out) = self._optimize_indexed(
+            [(0, query)], config, deadline_at
+        )[0]
         if error is not None:
+            if timed_out:
+                # degradation="error": the cooperative deadline fired inside
+                # the worker and the run was abandoned there (no CPU leaks).
+                raise RequestError(504, "timeout", error)
             self.metrics.record_failure()
             raise RequestError(500, "optimizer_error", error)
-        self.metrics.record_plan(result.strategy, result.cache_hit, effective_engine(result))
+        self.metrics.record_plan(
+            result.strategy,
+            result.cache_hit,
+            effective_engine(result),
+            degraded=result.degraded,
+        )
         return result
 
     def optimize_body(self, body: dict) -> dict:
         """``POST /optimize`` — one SQL statement → its plan as JSON."""
         config = self._derive_config(body)
         started = time.perf_counter()
-        result = self._optimize_one(body.get("sql"), config)
+        deadline_at = time.monotonic() + self.config.request_timeout_seconds
+        result = self._optimize_one(body.get("sql"), config, deadline_at)
         payload = {
             "strategy": result.strategy,
             "cost_model": config.cost_model_name,
@@ -328,6 +370,7 @@ class PlanService:
             "elapsed_seconds": result.elapsed_seconds,
             "server_seconds": time.perf_counter() - started,
             "cache_hit": result.cache_hit,
+            "degraded": result.degraded,
             "ccp_count": result.ccp_count,
             "plans_built": result.plans_built,
         }
@@ -338,11 +381,13 @@ class PlanService:
     def explain_body(self, body: dict) -> dict:
         """``POST /explain`` — optimize and render the plan as text."""
         config = self._derive_config(body)
-        result = self._optimize_one(body.get("sql"), config)
+        deadline_at = time.monotonic() + self.config.request_timeout_seconds
+        result = self._optimize_one(body.get("sql"), config, deadline_at)
         return {
             "strategy": result.strategy,
             "cost": result.cost,
             "cache_hit": result.cache_hit,
+            "degraded": result.degraded,
             "explain": render_plan(result.plan.node),
         }
 
@@ -359,6 +404,7 @@ class PlanService:
         config = self._derive_config(body)
         include_plans = bool(body.get("include_plans", False))
         started = time.perf_counter()
+        deadline_at = time.monotonic() + self.config.request_timeout_seconds
 
         items: List[Optional[dict]] = [None] * len(sqls)
         indexed: List[Tuple[int, Query]] = []
@@ -369,19 +415,28 @@ class PlanService:
                 self.metrics.record_failure()
                 items[index] = {"index": index, "error": exc.message, "stage": "parse"}
 
-        for index, (result, error, hit) in self._optimize_indexed(indexed, config).items():
+        outcomes = self._optimize_indexed(indexed, config, deadline_at)
+        for index, (result, error, hit, timed_out) in outcomes.items():
             if error is not None:
-                self.metrics.record_failure()
-                items[index] = {"index": index, "error": error, "stage": "optimize"}
+                if not timed_out:
+                    self.metrics.record_failure()
+                item = {"index": index, "error": error, "stage": "optimize"}
+                if timed_out:
+                    item["timeout"] = True
+                items[index] = item
                 continue
             self.metrics.record_plan(
-                result.strategy, result.cache_hit or hit, effective_engine(result)
+                result.strategy,
+                result.cache_hit or hit,
+                effective_engine(result),
+                degraded=result.degraded,
             )
             item = {
                 "index": index,
                 "strategy": result.strategy,
                 "cost": result.cost,
                 "cache_hit": result.cache_hit or hit,
+                "degraded": result.degraded,
                 "elapsed_seconds": result.elapsed_seconds,
             }
             if include_plans:
@@ -425,6 +480,7 @@ class PlanService:
         payload["draining"] = self.draining
         payload["max_inflight"] = self.config.effective_max_inflight
         payload["workers"] = self.config.effective_workers
+        payload["degradation"] = self.config.degradation
         payload["shards"] = 1
         payload["persistence"] = {"loaded": 0, "saved": 0, "rejected": 0}
         payload["engine"] = {

@@ -135,6 +135,9 @@ class WorkerOutcome:
     result: Optional[OptimizationResult]
     error: Optional[str]
     elapsed_seconds: float
+    #: True when the error is a blown planning deadline
+    #: (``degradation="error"``) — servers map it to 504 instead of 500.
+    deadline: bool = False
 
     @property
     def ok(self) -> bool:
@@ -144,10 +147,22 @@ class WorkerOutcome:
 def _optimize_payload(payload: Tuple[Query, OptimizerConfig]) -> WorkerOutcome:
     """Pool worker: one optimizer run, errors captured (module-level for
     pickling)."""
+    from repro import chaos
+    from repro.optimizer.deadline import PlanningDeadlineExceeded
+
     query, config = payload
+    if chaos.enabled():
+        chaos.before_request(" ".join(rel.name for rel in query.relations))
     started = time.perf_counter()
     try:
         result = optimize(query, config=config)
+    except PlanningDeadlineExceeded as exc:
+        return WorkerOutcome(
+            None,
+            f"{type(exc).__name__}: {exc}",
+            time.perf_counter() - started,
+            deadline=True,
+        )
     except Exception as exc:  # noqa: BLE001 - per-item fault isolation
         return WorkerOutcome(None, f"{type(exc).__name__}: {exc}", time.perf_counter() - started)
     return WorkerOutcome(result, None, result.elapsed_seconds)

@@ -176,7 +176,13 @@ class PlanCache:
         The counterpart of :meth:`serve`: records the base tables the plan
         scans (the handle eager invalidation grabs) and *query*'s naming
         (so renamed-but-isomorphic hits can be rebound).
+
+        Deadline-degraded results are refused (silently): a degraded plan
+        is a serve-something fallback, not the plan of record, and caching
+        one would pin the degraded answer past the deadline that caused it.
         """
+        if getattr(result, "degraded", False):
+            return
         from repro.service.rebind import query_binding
 
         self.put(

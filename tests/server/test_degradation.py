@@ -1,0 +1,123 @@
+"""Sync-tier deadline degradation over real HTTP.
+
+A query that blows its ``request_timeout_seconds`` budget must come back
+as HTTP 200 with ``degraded: true`` and an H1 plan when
+``degradation="heuristic"`` (the default), or as a 504 when
+``degradation="error"`` — and either way the worker must stop planning
+within one deadline check interval, so the next request finds a free
+worker instead of one still grinding the abandoned query.
+"""
+
+import time
+
+import pytest
+
+from repro.server import PlanServer, ServerClient, ServerConfig, ServerError
+
+# Six relations: enough ccps that the DP loop runs past its first
+# deadline check under a zero-ish budget.
+BIG_SQL = (
+    "SELECT count(*) AS cnt "
+    "FROM lineitem, orders, customer, supplier, nation, region "
+    "WHERE lineitem.l_orderkey = orders.o_orderkey "
+    "AND orders.o_custkey = customer.c_custkey "
+    "AND lineitem.l_suppkey = supplier.s_suppkey "
+    "AND supplier.s_nationkey = nation.n_nationkey "
+    "AND nation.n_regionkey = region.r_regionkey"
+)
+SMALL_SQL = "SELECT count(*) AS cnt FROM region GROUP BY r_name"
+# The alias marks the query for chaos slow-planning (1s per deadline
+# check) once REPRO_CHAOS is armed; without chaos it is just an alias.
+SLOW_SQL = (
+    "SELECT count(*) AS cnt FROM nation chaos_slow_1000, supplier "
+    "WHERE chaos_slow_1000.n_nationkey = supplier.s_nationkey"
+)
+
+
+class TestHeuristicDegradation:
+    @pytest.fixture(scope="class")
+    def server(self):
+        config = ServerConfig(
+            port=0, workers=0, request_timeout_seconds=0.001
+        )
+        with PlanServer(config) as running:
+            yield running
+
+    def test_blown_budget_returns_degraded_200(self, server):
+        with ServerClient(port=server.port) as client:
+            body = client.optimize(BIG_SQL)
+            assert body["_status"] == 200
+            assert body["degraded"] is True
+            assert body["strategy"] == "h1"
+            assert body["cost"] > 0
+
+    def test_degraded_plans_never_cached(self, server):
+        with ServerClient(port=server.port) as client:
+            client.optimize(BIG_SQL)
+            body = client.optimize(BIG_SQL)
+            assert body["degraded"] is True
+            assert body["cache_hit"] is False
+
+    def test_stats_count_degraded_plans(self, server):
+        with ServerClient(port=server.port) as client:
+            client.optimize(BIG_SQL)
+            stats = client.stats()
+            assert stats["plans"]["degraded"] >= 1
+            assert stats["degradation"] == "heuristic"
+
+    def test_batch_flags_degraded_items(self, server):
+        with ServerClient(port=server.port) as client:
+            report = client.batch([BIG_SQL, SMALL_SQL])
+            flags = [item.get("degraded") for item in report["items"]]
+            assert flags[0] is True
+            assert report["failed"] == 0
+
+    def test_explain_carries_degraded_flag(self, server):
+        with ServerClient(port=server.port) as client:
+            body = client.explain(BIG_SQL)
+            assert body["degraded"] is True
+
+
+class TestErrorModeDegradation:
+    def test_blown_budget_is_a_504(self):
+        config = ServerConfig(
+            port=0, workers=0, request_timeout_seconds=0.001,
+            degradation="error",
+        )
+        with PlanServer(config) as server:
+            with ServerClient(port=server.port) as client:
+                with pytest.raises(ServerError) as exc_info:
+                    client.optimize(BIG_SQL)
+                assert exc_info.value.status == 504
+                assert exc_info.value.code == "timeout"
+                # A generous budget still plans normally.
+                body = client.optimize(SMALL_SQL)
+                assert body["degraded"] is False
+
+
+class TestWorkerReleasedAfterTimeout:
+    def test_pool_worker_freed_within_one_check_interval(self, monkeypatch):
+        """Regression: a 504 used to only cancel the *future*, leaving
+        the pool worker grinding the abandoned query — the next request
+        then queued behind a zombie computation.  With cooperative
+        deadlines the worker itself stops at the next check point, so a
+        follow-up query on a single-worker pool completes promptly."""
+        monkeypatch.setenv("REPRO_CHAOS", "1")
+        config = ServerConfig(
+            port=0, workers=1, request_timeout_seconds=0.2,
+            degradation="error",
+        )
+        with PlanServer(config) as server:
+            with ServerClient(port=server.port, timeout=60.0) as client:
+                client.optimize(SMALL_SQL)  # force the pool to spawn
+                with pytest.raises(ServerError) as exc_info:
+                    client.optimize(SLOW_SQL)
+                assert exc_info.value.status == 504
+                # The single pool worker must be free again: a clean
+                # query completes far faster than the chaos grind would
+                # allow if the worker were still stuck on SLOW_SQL.
+                started = time.perf_counter()
+                body = client.optimize(SMALL_SQL)
+                elapsed = time.perf_counter() - started
+                assert body["degraded"] is False
+                assert elapsed < 5.0
