@@ -205,6 +205,24 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "plan marked degraded (200) or a 504 (default: heuristic)",
     )
     parser.add_argument(
+        "--recost-bound", type=float, default=2.0,
+        help="serve a stale cached plan while its re-cost stays within "
+        "this factor of a cheap greedy replan; past it the entry is "
+        "fully re-optimized (default: 2.0)",
+    )
+    parser.add_argument(
+        "--revalidate-workers", type=int, default=1,
+        help="background threads re-costing stale cache entries after "
+        "statistics drift (sync tier; the async tier revalidates "
+        "per shard) (default: 1)",
+    )
+    parser.add_argument(
+        "--band-width", type=float, default=None,
+        help="log10 band width for banded cache keys: statistics "
+        "snapshots within the same band share one cache entry "
+        "(default: exact snapshots)",
+    )
+    parser.add_argument(
         "--async", dest="use_async", action="store_true",
         help="serve with the async tier: one event loop in front of "
         "sharded worker processes, each owning a private plan-cache "
@@ -253,6 +271,9 @@ def run_serve(argv) -> int:
             request_timeout_seconds=args.timeout,
             drain_grace_seconds=args.grace,
             degradation=args.degradation,
+            recost_bound=args.recost_bound,
+            revalidate_workers=args.revalidate_workers,
+            snapshot_band_width=args.band_width,
         )
         server = PlanServer(config)
     except (ValueError, OSError) as error:
@@ -307,6 +328,8 @@ def _run_serve_async(args) -> int:
             request_timeout_seconds=args.timeout,
             drain_grace_seconds=args.grace,
             degradation=args.degradation,
+            recost_bound=args.recost_bound,
+            snapshot_band_width=args.band_width,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)

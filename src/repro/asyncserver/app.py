@@ -52,7 +52,9 @@ logger = logging.getLogger("repro.asyncserver")
 MAX_BODY_BYTES = 8 * 1024 * 1024
 MAX_HEADER_BYTES = 64 * 1024
 
-KNOWN_PATHS = frozenset({"/optimize", "/explain", "/batch", "/healthz", "/stats"})
+KNOWN_PATHS = frozenset(
+    {"/optimize", "/explain", "/batch", "/healthz", "/stats", "/stats_update"}
+)
 
 _REASONS = {
     200: "OK",
@@ -212,6 +214,9 @@ class AsyncPlanService:
         if path == "/stats":
             self._require(method, "GET", path)
             return 200, json.dumps(await self.stats_body()).encode("utf-8")
+        if path == "/stats_update":
+            self._require(method, "POST", path)
+            return await self._stats_update_request(body)
         if path == "/healthz":
             self._require(method, "GET", path)
             status, payload = self.healthz_body()
@@ -357,6 +362,59 @@ class AsyncPlanService:
         finally:
             self._release()
 
+    async def _stats_update_request(self, body: bytes) -> Tuple[int, bytes]:
+        """``POST /stats_update`` — broadcast one statistics drift.
+
+        Every shard owns a private catalog copy, so the delta goes to
+        all of them (each marks its own entries stale and revalidates a
+        bounded inline batch — an independent per-shard task).  The
+        control plane takes no admission slot: drift must land even
+        under 429 pressure.  Any shard rejecting the update (unknown
+        table, bad body) fails the whole request with that shard's
+        error, since a half-applied drift would leave shards planning
+        under different statistics.
+        """
+        payload = self._parse_body(body)  # reject bad JSON before fan-out
+        if not isinstance(payload.get("table"), str):
+            raise _HttpError(400, "bad_request", "'table' must be a non-empty string")
+        replies = await self.supervisor.broadcast(
+            frames.STATS_UPDATE, json.dumps(payload).encode("utf-8")
+        )
+        shards: list = []
+        for reply in replies:
+            if reply is None:
+                continue
+            status, response = reply
+            detail = json.loads(response)
+            if status != 200:
+                error = detail.get("error", {})
+                raise _HttpError(
+                    status,
+                    error.get("code", "stats_update_failed"),
+                    error.get("message", "shard rejected the statistics update"),
+                )
+            shards.append(detail)
+        if not shards:
+            raise _HttpError(503, "shard_unavailable", "no shard answered the update")
+        merged = {
+            key: shards[0].get(key)
+            for key in (
+                "relation",
+                "old_cardinality",
+                "new_cardinality",
+                "cardinality_ratio",
+                "distinct_changed",
+            )
+        }
+        merged["shards"] = len(shards)
+        merged["marked_stale"] = sum(s.get("marked_stale", 0) for s in shards)
+        merged["stale_entries"] = sum(s.get("stale_entries", 0) for s in shards)
+        inline: Counter = Counter()
+        for shard in shards:
+            inline.update(shard.get("revalidated_inline", {}))
+        merged["revalidated_inline"] = dict(inline)
+        return 200, json.dumps(merged).encode("utf-8")
+
     # -- introspection -------------------------------------------------------
     def healthz_body(self) -> Tuple[int, dict]:
         if self.draining:
@@ -430,6 +488,7 @@ class AsyncPlanService:
 
 def _merge_plans(details) -> dict:
     served = hits = misses = failures = degraded = timeouts = 0
+    stale_served = recosted = replanned = 0
     by_strategy: Counter = Counter()
     by_engine: Counter = Counter()
     for detail in details:
@@ -440,6 +499,9 @@ def _merge_plans(details) -> dict:
         failures += plans.get("failures", 0)
         degraded += plans.get("degraded", 0)
         timeouts += plans.get("timeouts", 0)
+        stale_served += plans.get("stale_served", 0)
+        recosted += plans.get("recosted", 0)
+        replanned += plans.get("replanned", 0)
         by_strategy.update(plans.get("by_strategy", {}))
         by_engine.update(plans.get("by_engine", {}))
     return {
@@ -450,6 +512,9 @@ def _merge_plans(details) -> dict:
         "failures": failures,
         "degraded": degraded,
         "timeouts": timeouts,
+        "stale_served": stale_served,
+        "recosted": recosted,
+        "replanned": replanned,
         "by_strategy": dict(by_strategy),
         "by_engine": dict(by_engine),
     }

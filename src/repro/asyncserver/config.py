@@ -56,6 +56,13 @@ class AsyncServerConfig:
     ``drain_grace_seconds`` is how long a drain waits for in-flight
     requests before snapshotting and exiting anyway.
 
+    Stale-while-revalidate: ``recost_bound`` is how far a re-costed
+    stale plan may regress past the cheap-replan reference before full
+    re-enumeration, ``revalidate_batch`` bounds inline revalidation per
+    ``STATS_UPDATE`` frame (the rest drains in serve-loop idle gaps),
+    and ``snapshot_band_width`` (log10 decades, ``None`` = exact)
+    enables banded cache keys so nearby statistics share entries.
+
     Crash supervision: restarts back off exponentially
     (``restart_backoff_base_seconds`` doubling per crash up to
     ``restart_backoff_cap_seconds``), and ``breaker_threshold`` crashes
@@ -81,6 +88,9 @@ class AsyncServerConfig:
     worker_boot_seconds: float = 60.0
     drain_grace_seconds: float = 10.0
     degradation: str = "heuristic"
+    recost_bound: float = 2.0
+    revalidate_batch: int = 8
+    snapshot_band_width: Optional[float] = None
     restart_backoff_base_seconds: float = 0.5
     restart_backoff_cap_seconds: float = 30.0
     breaker_threshold: int = 5
@@ -118,6 +128,10 @@ class AsyncServerConfig:
             raise ValueError(
                 f"degradation must be 'heuristic' or 'error', got {self.degradation!r}"
             )
+        if self.revalidate_batch < 1:
+            raise ValueError(
+                f"revalidate_batch must be >= 1, got {self.revalidate_batch}"
+            )
         if self.restart_backoff_base_seconds < 0:
             raise ValueError(
                 f"restart_backoff_base_seconds must be >= 0, got {self.restart_backoff_base_seconds}"
@@ -150,6 +164,8 @@ class AsyncServerConfig:
             workers=None,
             cache_capacity=self.cache_capacity,
             degradation=self.degradation,
+            snapshot_band_width=self.snapshot_band_width,
+            recost_bound=self.recost_bound,
         )
 
     @property

@@ -39,6 +39,7 @@ BATCH = 3
 STATS = 4
 SNAPSHOT = 5
 EXIT = 6
+STATS_UPDATE = 7
 
 #: worker → front boot announcement (sent once, request_id 0).
 HELLO = 100

@@ -334,6 +334,9 @@ class WorkerSupervisor:
             "cache_capacity": config.cache_capacity,
             "request_timeout_seconds": config.request_timeout_seconds,
             "degradation": config.degradation,
+            "recost_bound": config.recost_bound,
+            "revalidate_batch": config.revalidate_batch,
+            "snapshot_band_width": config.snapshot_band_width,
         }
 
     def note_persistence(self, counters: Optional[dict]) -> None:

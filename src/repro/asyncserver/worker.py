@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import select
 import sys
 import time
 from collections import Counter, OrderedDict
@@ -41,7 +42,7 @@ from repro.optimizer.deadline import Deadline, PlanningDeadlineExceeded
 from repro.optimizer.driver import optimize
 from repro.plans.render import render_plan
 from repro.query.spec import Query
-from repro.service.cache import PlanCache, SnapshotError
+from repro.service.cache import FRESH, PlanCache, SnapshotError
 from repro.service.fingerprint import (
     PlanCacheKey,
     cardinality_snapshot,
@@ -49,8 +50,9 @@ from repro.service.fingerprint import (
     query_fingerprint,
     strategy_label,
 )
+from repro.service.revalidate import StaleRevalidator
 from repro.sql.binder import parse_query
-from repro.sql.catalog import Catalog
+from repro.sql.catalog import Catalog, TableStats
 
 #: bounded memo of parsed SQL text per worker.
 PARSE_MEMO_CAPACITY = 4096
@@ -84,6 +86,8 @@ class ShardWorker:
             engine=config.get("engine", "indexed"),
             cache_capacity=None,  # the shard cache is probed explicitly
             degradation=config.get("degradation", "heuristic"),
+            snapshot_band_width=config.get("snapshot_band_width"),
+            recost_bound=float(config.get("recost_bound", 2.0)),
         )
         #: per-request planning budget; queue time inside the worker is
         #: charged against it (see :meth:`_deadline`).
@@ -91,9 +95,18 @@ class ShardWorker:
         self.catalog = Catalog.from_tpch(scale_factor=config.get("scale_factor", 1.0))
         self.catalog_fp = catalog_fingerprint(self.catalog)
         self.cache = PlanCache(capacity=int(config.get("cache_capacity", 512)))
-        # text → (query, fingerprint, snapshot) — parse/bind/digest once
-        # per distinct SQL spelling.
-        self._parse_memo: "OrderedDict[str, Tuple[Query, str, str]]" = OrderedDict()
+        # Stats drift lands via STATS_UPDATE frames; the revalidator runs
+        # inline (drain() only — never kicked, so its thread pool stays
+        # empty and the worker stays single-threaded by construction).
+        self.revalidate_batch = int(config.get("revalidate_batch", 8))
+        self.revalidator = StaleRevalidator(
+            self.cache, self.catalog, self.base_config,
+            on_event=self._record_revalidation,
+        )
+        # text → (query, fingerprint, key snapshot, exact snapshot) —
+        # parse/bind/digest once per distinct SQL spelling (key snapshot
+        # is banded when snapshot_band_width is configured).
+        self._parse_memo: "OrderedDict[str, Tuple[Query, str, str, str]]" = OrderedDict()
         self._memo_hits = 0
         self._memo_misses = 0
         # (strategy, factor, cost_model) request overrides → resolved
@@ -108,6 +121,9 @@ class ShardWorker:
         self._failures = 0
         self._degraded = 0
         self._timeouts = 0
+        self._stale_served = 0
+        self._recosted = 0
+        self._replanned = 0
         self._by_strategy: Counter = Counter()
         self._by_engine: Counter = Counter()
 
@@ -157,8 +173,14 @@ class ShardWorker:
             "persistence": dict(self.persistence),
         }
 
+    def _record_revalidation(self, outcome: str) -> None:
+        if outcome == "recosted":
+            self._recosted += 1
+        elif outcome == "replanned":
+            self._replanned += 1
+
     # -- request plumbing ----------------------------------------------------
-    def _parse(self, sql) -> Tuple[Query, str, str]:
+    def _parse(self, sql) -> Tuple[Query, str, str, str]:
         if not isinstance(sql, str) or not sql.strip():
             raise _RequestFailure(400, "bad_request", "'sql' must be a non-empty string")
         memo = self._parse_memo
@@ -172,7 +194,10 @@ class ShardWorker:
             query = parse_query(sql, self.catalog)
         except ValueError as exc:
             raise _RequestFailure(400, "parse_error", str(exc)) from exc
-        entry = (query, query_fingerprint(query), cardinality_snapshot(query))
+        exact = cardinality_snapshot(query)
+        band = self.base_config.snapshot_band_width
+        key_snapshot = cardinality_snapshot(query, band) if band is not None else exact
+        entry = (query, query_fingerprint(query), key_snapshot, exact)
         memo[sql] = entry
         if len(memo) > PARSE_MEMO_CAPACITY:
             memo.popitem(last=False)
@@ -221,7 +246,7 @@ class ShardWorker:
         """Serve or compute one plan; returns ``(result, config)``."""
         if chaos.enabled() and isinstance(sql, str):
             chaos.before_request(sql)
-        query, fingerprint, snapshot = self._parse(sql)
+        query, fingerprint, snapshot, exact = self._parse(sql)
         config, strategy, factor, cost_model = self._resolve_config(body)
         key = PlanCacheKey(
             fingerprint=fingerprint,
@@ -230,7 +255,14 @@ class ShardWorker:
             factor=factor,
             cost_model=cost_model,
         )
-        result = self.cache.serve(key, query)
+        found = self.cache.serve_entry(key, query, exact_snapshot=exact)
+        result = None
+        if found is not None:
+            result, state = found
+            if state != FRESH:
+                # Stale-while-revalidate: answered now from the stale
+                # entry; the idle-loop revalidator brings it back fresh.
+                self._stale_served += 1
         if result is None:
             try:
                 # The deadline rides beside the config (not through
@@ -250,7 +282,7 @@ class ShardWorker:
                 # also refuses them defensively).
                 self._degraded += 1
             else:
-                self.cache.store(key, query, result)
+                self.cache.store(key, query, result, sql=sql, exact_snapshot=exact)
         self._served += 1
         self._by_strategy[result.strategy] += 1
         self._by_engine[self._effective_engine(result)] += 1
@@ -332,6 +364,80 @@ class ShardWorker:
             items.append(item)
         return 200, {"items": items, "shard": self.shard}
 
+    def handle_stats_update(self, body: dict) -> Tuple[int, dict]:
+        """Apply one statistics drift to this shard's private catalog.
+
+        Scales (``cardinality_factor``) or sets (``cardinality``) a
+        table's row count, marks dependent cache entries stale, flushes
+        the parse memo (its queries and digests embed the old
+        statistics) and revalidates a bounded inline batch; the rest of
+        the backlog drains in the serve loop's idle gaps while requests
+        keep being answered from the stale entries.
+        """
+        table = body.get("table")
+        if not isinstance(table, str) or not table.strip():
+            raise _RequestFailure(400, "bad_request", "'table' must be a non-empty string")
+        old = self.catalog.lookup(table)
+        if old is None:
+            raise _RequestFailure(404, "unknown_table", f"unknown table {table!r}")
+        factor = body.get("cardinality_factor")
+        absolute = body.get("cardinality")
+        if (factor is None) == (absolute is None):
+            raise _RequestFailure(
+                400, "bad_request",
+                "provide exactly one of 'cardinality_factor' or 'cardinality'",
+            )
+        try:
+            if factor is not None:
+                factor = float(factor)
+                if factor <= 0:
+                    raise ValueError("cardinality_factor must be > 0")
+                new_cardinality = old.cardinality * factor
+            else:
+                new_cardinality = float(absolute)
+                if new_cardinality <= 0:
+                    raise ValueError("cardinality must be > 0")
+                factor = new_cardinality / old.cardinality if old.cardinality else 1.0
+        except (TypeError, ValueError) as exc:
+            raise _RequestFailure(400, "bad_request", str(exc)) from exc
+        new_stats = TableStats(
+            name=old.name,
+            columns=old.columns,
+            cardinality=new_cardinality,
+            distinct={
+                column: min(value * factor, new_cardinality)
+                for column, value in old.distinct.items()
+            },
+            keys=old.keys,
+        )
+        delta = self.catalog.update_stats(table, new_stats)
+        marked = self.cache.mark_stale(delta.relation)
+        self._parse_memo.clear()
+        counts = self.revalidator.drain(limit=self.revalidate_batch)
+        payload = dict(delta.payload())
+        payload.update(
+            shard=self.shard,
+            marked_stale=marked,
+            stale_entries=self.cache.stale_count(),
+            revalidated_inline=counts,
+        )
+        return 200, payload
+
+    def stale_backlog(self) -> bool:
+        """Whether idle-loop revalidation has entries left to process."""
+        return self.cache.stale_count() > 0
+
+    def revalidate_some(self, limit: int = 1) -> bool:
+        """Revalidate up to *limit* stale entries (idle-gap work).
+
+        Returns whether any entry actually left the stale backlog —
+        False means everything claimed failed (e.g. replans that
+        deadline-degrade) and went back to stale, so the caller must
+        stop looping rather than spin on the same entry.
+        """
+        counts = self.revalidator.drain(limit=limit)
+        return counts["recosted"] + counts["replanned"] + counts["dropped"] > 0
+
     def stats_payload(self) -> dict:
         """One consistent stats snapshot — single-threaded, so no torn
         counters are possible by construction."""
@@ -350,6 +456,9 @@ class ShardWorker:
                 "failures": self._failures,
                 "degraded": self._degraded,
                 "timeouts": self._timeouts,
+                "stale_served": self._stale_served,
+                "recosted": self._recosted,
+                "replanned": self._replanned,
                 "by_strategy": dict(self._by_strategy),
                 "by_engine": dict(self._by_engine),
             },
@@ -429,6 +538,8 @@ def serve(worker: ShardWorker, in_fd: int, out_fd: int) -> None:
                     status, body = worker.handle_batch(json.loads(payload), arrived)
                 elif kind == frames.STATS:
                     status, body = 200, worker.stats_payload()
+                elif kind == frames.STATS_UPDATE:
+                    status, body = worker.handle_stats_update(json.loads(payload))
                 elif kind == frames.SNAPSHOT:
                     status, body = 200, worker.snapshot()
                 else:
@@ -454,6 +565,16 @@ def serve(worker: ShardWorker, in_fd: int, out_fd: int) -> None:
                 _write_all(out_fd, out)
         if out:
             _write_all(out_fd, out)
+        # Idle-gap revalidation: with every received frame answered and
+        # flushed, drain the stale backlog one entry at a time, yielding
+        # the moment new input arrives — the async tier's "task per
+        # shard" revalidator, expressed in this blocking loop.
+        while running and worker.stale_backlog():
+            ready, _, _ = select.select([in_fd], [], [], 0)
+            if ready:
+                break
+            if not worker.revalidate_some(1):
+                break  # backlog is all failures; retry on a later gap
 
 
 def main(argv=None) -> int:

@@ -48,6 +48,14 @@ class OptimizerConfig:
     deadline does: ``"heuristic"`` falls back to a cheap greedy plan
     marked ``degraded=True``, ``"error"`` raises
     :class:`~repro.optimizer.deadline.PlanningDeadlineExceeded`.
+    ``snapshot_band_width`` — log10 band width for plan-cache snapshot
+    keys (None = exact statistics in the key); with banding, nearby
+    statistics share a structural cache entry and drift within a band
+    re-costs the cached plan instead of missing.  ``recost_bound`` — the
+    stale-while-revalidate regression bound (≥ 1): a stale plan
+    re-costed under fresh statistics is still served while its cost
+    stays within ``recost_bound ×`` a cheap H1 lower bound; past it,
+    full re-optimization is queued.
     """
 
     strategy: Union[str, Strategy] = "ea-prune"
@@ -58,6 +66,8 @@ class OptimizerConfig:
     cache_capacity: Optional[int] = 512
     deadline_seconds: Optional[float] = None
     degradation: str = "heuristic"
+    snapshot_band_width: Optional[float] = None
+    recost_bound: float = 2.0
 
     def __post_init__(self) -> None:
         if isinstance(self.strategy, str):
@@ -100,6 +110,13 @@ class OptimizerConfig:
             raise ValueError(
                 f"degradation must be 'heuristic' or 'error', got {self.degradation!r}"
             )
+        if self.snapshot_band_width is not None and not self.snapshot_band_width > 0:
+            raise ValueError(
+                "snapshot_band_width must be > 0 (or None for exact keys), "
+                f"got {self.snapshot_band_width}"
+            )
+        if not self.recost_bound >= 1.0:
+            raise ValueError(f"recost_bound must be >= 1, got {self.recost_bound}")
 
     # -- derivation ----------------------------------------------------------
     def with_overrides(self, **overrides) -> "OptimizerConfig":

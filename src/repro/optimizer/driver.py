@@ -215,12 +215,26 @@ def optimize(
     on_result = hooks.on_result if hooks is not None else None
 
     key = None
+    exact_snapshot = None
     if cache is not None:
-        from repro.service.fingerprint import cache_key
+        from repro.service.fingerprint import cache_key, cardinality_snapshot
 
-        key = cache_key(query, chosen, config.factor, cost_model=cost_model.name)
-        served = cache.serve(key, query)
-        if served is not None:
+        key = cache_key(
+            query, chosen, config.factor, cost_model=cost_model.name,
+            band_width=config.snapshot_band_width,
+        )
+        # With banded keys the exact snapshot travels separately: it is
+        # what serve_entry compares to detect within-band drift (stale
+        # serving) and what the entry remembers for re-costing.  Without
+        # banding the key's snapshot IS the exact one — no second digest.
+        exact_snapshot = (
+            cardinality_snapshot(query)
+            if config.snapshot_band_width is not None
+            else key.snapshot
+        )
+        found = cache.serve_entry(key, query, exact_snapshot=exact_snapshot)
+        if found is not None:
+            served, _state = found
             if on_result is not None:
                 on_result(served)
             return served
@@ -412,7 +426,7 @@ def optimize(
         stats=stats,
     )
     if cache is not None and key is not None and not result.degraded:
-        cache.store(key, query, result)
+        cache.store(key, query, result, exact_snapshot=exact_snapshot)
     if on_result is not None:
         on_result(result)
     return result

@@ -5,6 +5,7 @@ JSON over HTTP, stdlib only::
     POST /optimize   {"sql": ..., "strategy"?, "factor"?, "cost_model"?, "include_plan"?}
     POST /batch      {"queries": [...], ..., "include_plans"?}
     POST /explain    {"sql": ..., ...}
+    POST /stats_update {"table": ..., "cardinality_factor" | "cardinality"}
     GET  /stats
     GET  /healthz
 
@@ -40,7 +41,7 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 
 #: the routable paths; anything else is metered under one "<other>"
 #: bucket so arbitrary client paths cannot grow the metrics dict.
-KNOWN_PATHS = ("/optimize", "/batch", "/explain", "/stats", "/healthz")
+KNOWN_PATHS = ("/optimize", "/batch", "/explain", "/stats", "/stats_update", "/healthz")
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
@@ -139,6 +140,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
             if path == "/explain":
                 with service.admit():
                     return 200, service.explain_body(self._parse_json(raw))
+            if path == "/stats_update":
+                # Control-plane: applies a catalog delta without taking an
+                # admission slot — drift must land even under 429 pressure.
+                return 200, service.stats_update_body(self._parse_json(raw))
             if path in ("/healthz", "/stats"):
                 raise RequestError(405, "method_not_allowed", f"GET {path} (not POST)")
             raise RequestError(404, "not_found", f"unknown path {path!r}")

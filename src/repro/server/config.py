@@ -37,6 +37,13 @@ class ServerConfig:
     :attr:`hard_timeout_seconds` (budget + grace) backstops wedged
     workers.  ``drain_grace_seconds`` is how long a SIGTERM drain waits
     for in-flight requests before giving up.
+
+    ``recost_bound`` / ``revalidate_workers`` / ``snapshot_band_width``
+    shape the stale-while-revalidate path: how far a re-costed stale
+    plan may regress past the cheap-replan reference before full
+    re-enumeration, how many background revalidation threads drain the
+    stale backlog, and (optionally) the log10 band width for banded
+    cache keys so nearby statistics snapshots share entries.
     """
 
     host: str = "127.0.0.1"
@@ -52,6 +59,9 @@ class ServerConfig:
     request_timeout_seconds: float = 120.0
     drain_grace_seconds: float = 10.0
     degradation: str = "heuristic"
+    recost_bound: float = 2.0
+    revalidate_workers: int = 1
+    snapshot_band_width: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not (0 <= self.port <= 65535):
@@ -74,6 +84,10 @@ class ServerConfig:
             raise ValueError(
                 f"degradation must be 'heuristic' or 'error', got {self.degradation!r}"
             )
+        if self.revalidate_workers < 1:
+            raise ValueError(
+                f"revalidate_workers must be >= 1, got {self.revalidate_workers}"
+            )
         # Validate the optimizer-facing fields eagerly, like everything else.
         self.optimizer_config()
 
@@ -87,6 +101,8 @@ class ServerConfig:
             workers=None,  # the server owns its own process pool
             cache_capacity=self.cache_capacity,
             degradation=self.degradation,
+            snapshot_band_width=self.snapshot_band_width,
+            recost_bound=self.recost_bound,
         )
 
     @property

@@ -52,6 +52,9 @@ class ServerMetrics:
         self._cache_misses = 0
         self._failures = 0
         self._degraded = 0
+        self._stale_served = 0
+        self._recosted = 0
+        self._replanned = 0
         self._by_strategy: Counter = Counter()
         self._by_engine: Counter = Counter()
 
@@ -99,6 +102,23 @@ class ServerMetrics:
         with self._lock:
             self._failures += 1
 
+    def record_stale_served(self) -> None:
+        """One request answered from a stale (not-yet-revalidated) entry."""
+        with self._lock:
+            self._stale_served += 1
+
+    def record_revalidation(self, outcome: str) -> None:
+        """One background revalidation: ``"recosted"`` entries kept their
+        shape (plan replayed under fresh statistics, within bound);
+        ``"replanned"`` entries went through full re-enumeration.  Other
+        outcomes (``"dropped"``/``"failed"``) are not counted here — they
+        surface through the cache's own ``describe()`` block."""
+        with self._lock:
+            if outcome == "recosted":
+                self._recosted += 1
+            elif outcome == "replanned":
+                self._replanned += 1
+
     # -- reporting -----------------------------------------------------------
     def snapshot(self) -> dict:
         """A JSON-ready copy of every counter, consistent under the lock."""
@@ -127,6 +147,9 @@ class ServerMetrics:
                     "hit_rate": self._cache_hits / served if served else 0.0,
                     "failures": self._failures,
                     "degraded": self._degraded,
+                    "stale_served": self._stale_served,
+                    "recosted": self._recosted,
+                    "replanned": self._replanned,
                     "by_strategy": dict(self._by_strategy),
                     "by_engine": dict(self._by_engine),
                 },

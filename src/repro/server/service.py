@@ -20,6 +20,7 @@ killing the worker protocol.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import multiprocessing
 import threading
 import time
@@ -35,8 +36,10 @@ from repro.query.spec import Query
 from repro.server.config import ServerConfig
 from repro.server.metrics import ServerMetrics
 from repro.service.batch import WorkerOutcome, _optimize_payload
-from repro.service.fingerprint import cache_key
+from repro.service.cache import FRESH
+from repro.service.fingerprint import cache_key, cardinality_snapshot
 from repro.service.rebind import query_binding, rebind_result
+from repro.service.revalidate import StaleRevalidator
 
 
 def effective_engine(result: OptimizationResult) -> str:
@@ -85,6 +88,14 @@ class PlanService:
             )
         )
         self.metrics = ServerMetrics()
+        self.revalidator: Optional[StaleRevalidator] = None
+        if self.session.cache is not None and self.session.catalog is not None:
+            # Stats-drift deltas mark entries stale; this pool re-costs or
+            # re-plans them off the request path (stale-while-revalidate).
+            self.revalidator = self.session.enable_revalidation(
+                workers=config.revalidate_workers,
+                on_event=self.metrics.record_revalidation,
+            )
         self._executor: Optional[ProcessPoolExecutor] = None
         self._executor_lock = threading.Lock()
         self._inflight = 0
@@ -252,50 +263,60 @@ class PlanService:
 
     def _optimize_indexed(
         self,
-        indexed: List[Tuple[int, Query]],
+        indexed: List[Tuple[int, Query, Optional[str]]],
         config: OptimizerConfig,
         deadline_at: Optional[float] = None,
     ) -> Dict[int, Tuple[Optional[OptimizationResult], Optional[str], bool, bool]]:
-        """Optimize ``(index, query)`` pairs → index → (result, error, hit,
-        timed_out).
+        """Optimize ``(index, query, sql)`` triples → index → (result,
+        error, hit, timed_out).
 
         Probes the session cache once per distinct key, dispatches the
         misses to the pool in one wave, stores successes back, and serves
         in-request duplicates through the cache (which rebinds plans for
-        renamed-but-isomorphic spellings).  Without a cache every query
-        runs independently.
+        renamed-but-isomorphic spellings).  Cache keys are band-aware
+        (``snapshot_band_width``); stale entries are served as-is — the
+        background revalidator owns bringing them back to fresh — and
+        counted in ``plans.stale_served``.  *sql* rides along into the
+        stored entry so revalidation can re-parse under fresh statistics.
+        Without a cache every query runs independently.
         """
         cache = self.session.cache
+        banded = config.snapshot_band_width is not None
         out: Dict[int, Tuple[Optional[OptimizationResult], Optional[str], bool, bool]] = {}
-        to_run: List[Tuple[int, Query, Optional[object]]] = []
+        to_run: List[Tuple[int, Query, Optional[object], Optional[str], Optional[str]]] = []
         duplicates: Dict[object, List[Tuple[int, Query]]] = {}
         if cache is None:
-            to_run = [(index, query, None) for index, query in indexed]
+            to_run = [(index, query, None, sql, None) for index, query, sql in indexed]
         else:
-            for index, query in indexed:
+            for index, query, sql in indexed:
                 key = cache_key(
                     query, config.strategy, config.factor,
                     cost_model=config.cost_model_name,
+                    band_width=config.snapshot_band_width,
                 )
-                served = cache.serve(key, query)
-                if served is not None:
+                exact = cardinality_snapshot(query) if banded else key.snapshot
+                found = cache.serve_entry(key, query, exact_snapshot=exact)
+                if found is not None:
+                    served, state = found
+                    if state != FRESH:
+                        self.metrics.record_stale_served()
                     out[index] = (served, None, True, False)
                 elif key in duplicates:
                     duplicates[key].append((index, query))
                 else:
                     duplicates[key] = []
-                    to_run.append((index, query, key))
+                    to_run.append((index, query, key, sql, exact))
 
         outcomes = self._dispatch(
-            [(query, config) for _, query, _ in to_run], deadline_at
+            [(query, config) for _, query, _, _, _ in to_run], deadline_at
         )
-        for (index, query, key), outcome in zip(to_run, outcomes):
+        for (index, query, key, sql, exact), outcome in zip(to_run, outcomes):
             if outcome.ok:
                 result = outcome.result
                 # Degraded fallback plans are never cached (PlanCache.store
                 # also refuses them defensively).
                 if cache is not None and key is not None and not result.degraded:
-                    cache.store(key, query, result)
+                    cache.store(key, query, result, sql=sql, exact_snapshot=exact)
                 out[index] = (result, None, False, False)
             else:
                 out[index] = (None, outcome.error, False, outcome.deadline)
@@ -339,7 +360,7 @@ class PlanService:
     ) -> OptimizationResult:
         query = self._parse(sql)
         (result, error, _hit, timed_out) = self._optimize_indexed(
-            [(0, query)], config, deadline_at
+            [(0, query, sql)], config, deadline_at
         )[0]
         if error is not None:
             if timed_out:
@@ -407,10 +428,10 @@ class PlanService:
         deadline_at = time.monotonic() + self.config.request_timeout_seconds
 
         items: List[Optional[dict]] = [None] * len(sqls)
-        indexed: List[Tuple[int, Query]] = []
+        indexed: List[Tuple[int, Query, Optional[str]]] = []
         for index, sql in enumerate(sqls):
             try:
-                indexed.append((index, self._parse(sql)))
+                indexed.append((index, self._parse(sql), sql))
             except RequestError as exc:
                 self.metrics.record_failure()
                 items[index] = {"index": index, "error": exc.message, "stage": "parse"}
@@ -452,6 +473,59 @@ class PlanService:
             "wall_seconds": time.perf_counter() - started,
             "items": items,
         }
+
+    def stats_update_body(self, body: dict) -> dict:
+        """``POST /stats_update`` — apply a statistics drift to the catalog.
+
+        The control-plane entry point for drift: scale a table's row
+        count (``cardinality_factor``, distinct counts scaled alongside
+        and clamped to the new cardinality) or set it outright
+        (``cardinality``).  Emits the typed delta through the catalog,
+        which marks dependent cache entries stale and kicks background
+        revalidation; requests keep being served meanwhile.
+        """
+        table = body.get("table")
+        if not isinstance(table, str) or not table.strip():
+            raise RequestError(400, "bad_request", "'table' must be a non-empty string")
+        old = self.session.catalog.lookup(table)
+        if old is None:
+            raise RequestError(404, "unknown_table", f"unknown table {table!r}")
+        factor = body.get("cardinality_factor")
+        absolute = body.get("cardinality")
+        if (factor is None) == (absolute is None):
+            raise RequestError(
+                400,
+                "bad_request",
+                "provide exactly one of 'cardinality_factor' or 'cardinality'",
+            )
+        try:
+            if factor is not None:
+                factor = float(factor)
+                if factor <= 0:
+                    raise ValueError("cardinality_factor must be > 0")
+                new_cardinality = old.cardinality * factor
+            else:
+                new_cardinality = float(absolute)
+                if new_cardinality <= 0:
+                    raise ValueError("cardinality must be > 0")
+                factor = new_cardinality / old.cardinality if old.cardinality else 1.0
+        except (TypeError, ValueError) as exc:
+            raise RequestError(400, "bad_request", str(exc)) from exc
+        # Distinct counts drift with the table (sub-linearly in reality;
+        # linear-with-clamp is the standard homogeneity assumption).
+        new_stats = dataclasses.replace(
+            old,
+            cardinality=new_cardinality,
+            distinct={
+                column: min(value * factor, new_cardinality)
+                for column, value in old.distinct.items()
+            },
+        )
+        delta = self.session.catalog.update_stats(table, new_stats)
+        cache = self.session.cache
+        payload = dict(delta.payload())
+        payload["stale_entries"] = cache.stale_count() if cache is not None else 0
+        return payload
 
     def healthz_body(self) -> Tuple[int, dict]:
         """``GET /healthz`` — 200 while serving, 503 once draining."""

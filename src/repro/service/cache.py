@@ -40,7 +40,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: binding tuples) changes incompatibly: a loader must refuse rather than
 #: unpickle entries it would misinterpret.
 SNAPSHOT_FORMAT = "repro-plancache"
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+
+#: entry lifecycle states.  ``fresh`` — statistics unchanged since the
+#: plan was stored; ``stale`` — a stats delta touched one of the plan's
+#: base tables (or its exact snapshot no longer matches the query's), the
+#: entry keeps serving while awaiting revalidation; ``revalidating`` — a
+#: background revalidator claimed it (still servable).  Revalidation ends
+#: the cycle with :meth:`PlanCache.refresh` (back to ``fresh``) or
+#: eviction.
+FRESH = "fresh"
+STALE = "stale"
+REVALIDATING = "revalidating"
 
 
 class SnapshotError(Exception):
@@ -74,6 +85,9 @@ class CacheStats:
     puts: int = 0
     evictions: int = 0
     invalidations: int = 0
+    marked_stale: int = 0
+    stale_hits: int = 0
+    refreshed: int = 0
 
     @property
     def lookups(self) -> int:
@@ -87,18 +101,22 @@ class CacheStats:
     def snapshot(self) -> "CacheStats":
         """A field-by-field copy — NOT atomic against concurrent updates.
 
-        These counters mutate under :attr:`PlanCache._lock`; reading five
-        of them here without that lock can tear (e.g. a ``hits`` from
-        before and a ``misses`` from after another thread's lookup).  Use
+        These counters mutate under :attr:`PlanCache._lock`; reading them
+        here without that lock can tear (e.g. a ``hits`` from before and
+        a ``misses`` from after another thread's lookup).  Use
         :meth:`PlanCache.stats_snapshot` for a consistent copy.
         """
-        return CacheStats(self.hits, self.misses, self.puts, self.evictions, self.invalidations)
+        return CacheStats(
+            self.hits, self.misses, self.puts, self.evictions, self.invalidations,
+            self.marked_stale, self.stale_hits, self.refreshed,
+        )
 
     def __repr__(self) -> str:
         return (
             f"CacheStats(hits={self.hits}, misses={self.misses}, puts={self.puts}, "
             f"evictions={self.evictions}, invalidations={self.invalidations}, "
-            f"hit_rate={self.hit_rate:.1%})"
+            f"marked_stale={self.marked_stale}, stale_hits={self.stale_hits}, "
+            f"refreshed={self.refreshed}, hit_rate={self.hit_rate:.1%})"
         )
 
 
@@ -109,6 +127,36 @@ class _Entry:
     #: naming of the query the result was computed for (service.rebind.Binding);
     #: None means "serve verbatim" (caller guarantees name compatibility).
     binding: Optional[Tuple] = None
+    #: lifecycle state — FRESH / STALE / REVALIDATING.
+    state: str = FRESH
+    #: the *exact* (unbanded) cardinality snapshot the plan was costed
+    #: under; with banded keys this is how drift-within-a-band is
+    #: detected on access (exact mismatch → serve stale + revalidate).
+    exact_snapshot: Optional[str] = None
+    #: re-parseable source text (when the entry came through a SQL front
+    #: door) so a background revalidator can rebuild the query under
+    #: fresh statistics without the original request.
+    sql: Optional[str] = None
+    #: the stored query object — transient revalidation context, NOT
+    #: persisted in snapshots (it can hold resolver caches).
+    query: Optional[object] = None
+
+
+@dataclass(frozen=True)
+class StaleClaim:
+    """One stale entry claimed for revalidation (:meth:`PlanCache.claim_stale`).
+
+    Carries the cached result (for re-costing), the source SQL and/or
+    query object (for re-parsing under fresh statistics), and the exact
+    snapshot the plan was costed under (for drift diagnostics).
+    """
+
+    key: PlanCacheKey
+    result: "OptimizationResult"
+    sql: Optional[str]
+    exact_snapshot: Optional[str]
+    query: Optional[object]
+    binding: Optional[Tuple]
 
 
 class PlanCache:
@@ -160,22 +208,66 @@ class PlanCache:
         entry came from a renamed-but-isomorphic query, and marks the copy
         as a cache hit.  Returns None on miss.
         """
+        found = self.serve_entry(key, query)
+        return found[0] if found is not None else None
+
+    def serve_entry(
+        self,
+        key: PlanCacheKey,
+        query,
+        exact_snapshot: Optional[str] = None,
+    ) -> Optional[Tuple["OptimizationResult", str]]:
+        """Like :meth:`serve`, but lifecycle-aware: ``(result, state)``.
+
+        *exact_snapshot* is the probing query's exact (unbanded)
+        cardinality snapshot.  Under banded keys a drifted-but-nearby
+        snapshot still *hits* the structural entry; if it differs from
+        the snapshot the entry was costed under, the entry is marked
+        stale on the spot (stale-while-revalidate: the caller serves the
+        returned result now and queues revalidation).  The returned state
+        is the entry's state **at serve time** — :data:`STALE` /
+        :data:`REVALIDATING` results should bump a ``stale_served``
+        metric upstream.
+        """
         from repro.service.rebind import rebind_result
 
-        found = self.lookup(key)
-        if found is None:
-            return None
-        result, binding = found
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            if (
+                entry.state == FRESH
+                and exact_snapshot is not None
+                and entry.exact_snapshot is not None
+                and entry.exact_snapshot != exact_snapshot
+            ):
+                entry.state = STALE
+                self.stats.marked_stale += 1
+            state = entry.state
+            if state != FRESH:
+                self.stats.stale_hits += 1
+            result, binding = entry.result, entry.binding
         if binding is not None:
             result = rebind_result(result, binding, query)
-        return result.as_cache_hit()
+        return result.as_cache_hit(), state
 
-    def store(self, key: PlanCacheKey, query, result: "OptimizationResult") -> None:
+    def store(
+        self,
+        key: PlanCacheKey,
+        query,
+        result: "OptimizationResult",
+        sql: Optional[str] = None,
+        exact_snapshot: Optional[str] = None,
+    ) -> None:
         """Store a freshly computed *result* for *query* under *key*.
 
         The counterpart of :meth:`serve`: records the base tables the plan
         scans (the handle eager invalidation grabs) and *query*'s naming
-        (so renamed-but-isomorphic hits can be rebound).
+        (so renamed-but-isomorphic hits can be rebound).  *sql* and
+        *exact_snapshot* feed the revalidation path — see :class:`_Entry`.
 
         Deadline-degraded results are refused (silently): a degraded plan
         is a serve-something fallback, not the plan of record, and caching
@@ -190,6 +282,9 @@ class PlanCache:
             result,
             relations=(rel.source_table for rel in query.relations),
             binding=query_binding(query),
+            sql=sql,
+            exact_snapshot=exact_snapshot,
+            query=query,
         )
 
     def put(
@@ -198,6 +293,9 @@ class PlanCache:
         result: "OptimizationResult",
         relations: Iterable[str] = (),
         binding: Optional[Tuple] = None,
+        sql: Optional[str] = None,
+        exact_snapshot: Optional[str] = None,
+        query: Optional[object] = None,
     ) -> None:
         """Store *result* under *key*.
 
@@ -205,11 +303,21 @@ class PlanCache:
         eager invalidation grabs when the catalog changes.  *binding* is
         the source query's naming (see :func:`repro.service.rebind.query_binding`)
         so hits for renamed-but-isomorphic queries can be rebound.
+        *sql* / *exact_snapshot* / *query* are revalidation context (see
+        :class:`_Entry`); a fresh store always lands in :data:`FRESH`.
         """
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-            self._entries[key] = _Entry(result, frozenset(relations), binding)
+            self._entries[key] = _Entry(
+                result,
+                frozenset(relations),
+                binding,
+                state=FRESH,
+                exact_snapshot=exact_snapshot,
+                sql=sql,
+                query=query,
+            )
             self.stats.puts += 1
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
@@ -245,6 +353,19 @@ class PlanCache:
         return self.invalidate(None)
 
     # -- invalidation --------------------------------------------------------
+    def drop(self, key: PlanCacheKey) -> bool:
+        """Remove one entry (counted as an invalidation); False if absent.
+
+        The revalidator's last resort for entries it cannot rebuild a
+        query for (no stored SQL or query object) — dropping keeps the
+        cache honest rather than serving a plan nobody can re-cost.
+        """
+        with self._lock:
+            if self._entries.pop(key, None) is None:
+                return False
+            self.stats.invalidations += 1
+            return True
+
     def invalidate(self, relation: Optional[str] = None) -> int:
         """Drop entries touching *relation* (or everything when None).
 
@@ -283,6 +404,127 @@ class PlanCache:
         """
         return catalog.subscribe(self.invalidate)
 
+    def watch_deltas(self, catalog) -> Callable[[], None]:
+        """Subscribe to *catalog* stats deltas, marking entries stale.
+
+        The lifecycle-aware sibling of :meth:`watch`:
+        :meth:`~repro.sql.catalog.Catalog.update_stats` drift events mark
+        affected entries :data:`STALE` instead of dropping them, so the
+        server keeps serving them while a revalidator re-costs or
+        re-plans (stale-while-revalidate).  Returns the unsubscribe
+        handle.
+        """
+        return catalog.subscribe_deltas(lambda delta: self.mark_stale(delta.relation))
+
+    # -- lifecycle -----------------------------------------------------------
+    def mark_stale(self, relation: Optional[str] = None) -> int:
+        """Mark fresh entries touching *relation* (or all, when None) stale.
+
+        The stale-while-revalidate counterpart of :meth:`invalidate`:
+        entries stay servable — :meth:`serve_entry` reports their state so
+        callers can count stale serves — until a revalidator refreshes or
+        evicts them.  Entries already stale or claimed for revalidation
+        are left alone.  Returns the number of entries newly marked.
+        """
+        with self._lock:
+            marked = 0
+            needle = relation.lower() if relation is not None else None
+            for entry in self._entries.values():
+                if entry.state != FRESH:
+                    continue
+                if needle is not None and not any(
+                    name.lower() == needle for name in entry.relations
+                ):
+                    continue
+                entry.state = STALE
+                marked += 1
+            self.stats.marked_stale += marked
+            return marked
+
+    def claim_stale(self, limit: Optional[int] = None) -> Tuple["StaleClaim", ...]:
+        """Atomically claim up to *limit* stale entries for revalidation.
+
+        Each claimed entry transitions ``stale → revalidating`` (so two
+        revalidator threads never double-plan one entry) and is returned
+        as a :class:`StaleClaim` carrying everything a revalidator needs.
+        Claims for entries evicted mid-revalidation simply no-op at
+        :meth:`refresh` time.
+        """
+        with self._lock:
+            claims = []
+            for key, entry in self._entries.items():
+                if entry.state != STALE:
+                    continue
+                entry.state = REVALIDATING
+                claims.append(
+                    StaleClaim(
+                        key=key,
+                        result=entry.result,
+                        sql=entry.sql,
+                        exact_snapshot=entry.exact_snapshot,
+                        query=entry.query,
+                        binding=entry.binding,
+                    )
+                )
+                if limit is not None and len(claims) >= limit:
+                    break
+            return tuple(claims)
+
+    def refresh(
+        self,
+        key: PlanCacheKey,
+        result: "OptimizationResult",
+        exact_snapshot: Optional[str] = None,
+        new_key: Optional[PlanCacheKey] = None,
+    ) -> bool:
+        """Complete a revalidation: install *result* and return to fresh.
+
+        When re-optimization moved the entry's snapshot past its band
+        (*new_key*), the entry migrates: the old key is dropped and the
+        refreshed result stored under *new_key*.  Deadline-degraded
+        results are refused — the degraded-plan cache guard extends to
+        the revalidation path, so a background replan that blew its
+        deadline leaves the cached (optimal) entry stale rather than
+        overwriting it.  Returns True when the entry was refreshed.
+        """
+        if getattr(result, "degraded", False):
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is not None and entry.state == REVALIDATING:
+                    entry.state = STALE  # retryable; never cache degraded
+            return False
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False  # evicted mid-revalidation
+            entry.result = result
+            entry.state = FRESH
+            if exact_snapshot is not None:
+                entry.exact_snapshot = exact_snapshot
+            target = new_key if new_key is not None else key
+            self._entries[target] = entry
+            self._entries.move_to_end(target)
+            self.stats.refreshed += 1
+            return True
+
+    def requeue(self, key: PlanCacheKey) -> None:
+        """Return a claimed entry to stale (revalidation failed, retry later)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.state == REVALIDATING:
+                entry.state = STALE
+
+    def entry_state(self, key: PlanCacheKey) -> Optional[str]:
+        """The lifecycle state of *key*'s entry (None when absent)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.state if entry is not None else None
+
+    def stale_count(self) -> int:
+        """Entries currently awaiting (or under) revalidation."""
+        with self._lock:
+            return sum(1 for entry in self._entries.values() if entry.state != FRESH)
+
     # -- persistence ---------------------------------------------------------
     def save_snapshot(
         self,
@@ -306,8 +548,21 @@ class PlanCache:
         mid-save leaves the previous snapshot intact.
         """
         with self._lock:
+            # v2 layout: lifecycle state and revalidation context ride
+            # along (the transient query object does not — it is not
+            # reliably picklable and re-parsing from sql is cheap).
+            # REVALIDATING demotes to STALE: the claim dies with the
+            # process, so the restarted server must be able to re-claim.
             entries = [
-                (key, entry.result, tuple(entry.relations), entry.binding)
+                (
+                    key,
+                    entry.result,
+                    tuple(entry.relations),
+                    entry.binding,
+                    STALE if entry.state == REVALIDATING else entry.state,
+                    entry.exact_snapshot,
+                    entry.sql,
+                )
                 for key, entry in self._entries.items()
             ]
         blob = pickle.dumps(entries, protocol=pickle.HIGHEST_PROTOCOL)
@@ -407,10 +662,17 @@ class PlanCache:
             raise SnapshotError("corrupt", "snapshot payload is not an entry list")
         kept = entries[-self.capacity:]
         with self._lock:
-            for key, result, relations, binding in kept:
+            for key, result, relations, binding, state, exact_snapshot, sql in kept:
                 if key in self._entries:
                     self._entries.move_to_end(key)
-                self._entries[key] = _Entry(result, frozenset(relations), binding)
+                self._entries[key] = _Entry(
+                    result,
+                    frozenset(relations),
+                    binding,
+                    state=state,
+                    exact_snapshot=exact_snapshot,
+                    sql=sql,
+                )
                 self.stats.puts += 1
                 while len(self._entries) > self.capacity:
                     self._entries.popitem(last=False)
@@ -438,5 +700,11 @@ class PlanCache:
                 "puts": float(self.stats.puts),
                 "evictions": float(self.stats.evictions),
                 "invalidations": float(self.stats.invalidations),
+                "marked_stale": float(self.stats.marked_stale),
+                "stale_hits": float(self.stats.stale_hits),
+                "refreshed": float(self.stats.refreshed),
+                "stale_entries": float(
+                    sum(1 for entry in self._entries.values() if entry.state != FRESH)
+                ),
                 "hit_rate": self.stats.hit_rate,
             }

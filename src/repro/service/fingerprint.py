@@ -38,6 +38,7 @@ priced searches, so neither may share entries).
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -199,7 +200,21 @@ def query_fingerprint(query: Query) -> str:
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
 
-def cardinality_snapshot(query: Query) -> str:
+def _band_token(value: float, band_width: float) -> str:
+    """Quantize a positive statistic onto a log10 grid of *band_width*.
+
+    ``b<k>`` where ``k = round(log10(value) / band_width)`` — every value
+    within the same band (half a band either side of the grid point)
+    produces the same token, so snapshots whose statistics drifted less
+    than ~half a band apart digest identically.  Non-positive values get
+    their own token (cardinality 0 must never band with cardinality 1).
+    """
+    if value <= 0:
+        return "b!"
+    return f"b{math.floor(math.log10(value) / band_width + 0.5):d}"
+
+
+def cardinality_snapshot(query: Query, band_width: Optional[float] = None) -> str:
     """Digest of every statistic the cost model consumes (sha256 hex).
 
     Covers relation cardinalities, per-attribute distinct counts (by
@@ -214,33 +229,50 @@ def cardinality_snapshot(query: Query) -> str:
     storage-ordered selectivity list would let two different problems
     (same structure, selectivities attached to different predicates)
     share a full cache key and serve each other's plans.
+
+    With *band_width* set (> 0, in log10 decades), every statistic is
+    quantized onto a log-scale grid before digesting, so *nearby*
+    snapshots share the digest: a stats refresh that moves a cardinality
+    by less than ~half a band maps the query to the same structural
+    cache entry, whose exact statistics the entry itself remembers for
+    re-costing.  Banded and exact digests never collide — the band width
+    is salted into the banded payload.
     """
+    if band_width is not None and not band_width > 0:
+        raise ValueError(f"band_width must be > 0 (or None for exact), got {band_width}")
+    if band_width is None:
+        stat6 = lambda value: f"{value:.6g}"  # noqa: E731 — local formatters
+        stat9 = lambda value: f"{value:.9g}"  # noqa: E731
+    else:
+        stat6 = stat9 = lambda value: _band_token(value, band_width)  # noqa: E731
     canon = _Canonicalizer(query)
     parts: List[str] = []
+    if band_width is not None:
+        parts.append(f"band={band_width:.9g}")
     for canon_vertex, vertex in enumerate(canon.vertex_order):
         rel = query.relations[vertex]
         positions = {attr: i for i, attr in enumerate(rel.attributes)}
         distinct = ",".join(
-            f"{i}:{rel.distinct_count(attr):.6g}" for attr, i in positions.items()
+            f"{i}:{stat6(rel.distinct_count(attr))}" for attr, i in positions.items()
         )
         keys = ";".join(sorted(
             ",".join(sorted(str(positions[a]) for a in key)) for key in rel.keys
         ))
-        parts.append(f"{canon_vertex}|{rel.cardinality:.6g}|{distinct}|{keys}")
+        parts.append(f"{canon_vertex}|{stat6(rel.cardinality)}|{distinct}|{keys}")
 
     # tree_operators (STO) yields operator nodes in the same pre-order
     # _Canonicalizer.tree serializes, so slot i here pairs with the
     # fingerprint's i-th tree operator — never with edge-list order.
     parts.append("treesel=" + ",".join(
-        f"{query.edge(node.edge_id).selectivity:.9g}" for node in tree_operators(query.tree)
+        stat9(query.edge(node.edge_id).selectivity) for node in tree_operators(query.tree)
     ))
     floating = sorted(
-        f"{canon.floating_edge(eid)}:{query.edge(eid).selectivity:.9g}"
+        f"{canon.floating_edge(eid)}:{stat9(query.edge(eid).selectivity)}"
         for eid in query.floating_edge_ids
     )
     parts.append("floatsel=" + ";".join(floating))
     parts.append("localsel=" + ",".join(
-        f"{canon_vertex}:{sel:.9g}"
+        f"{canon_vertex}:{stat9(sel)}"
         for canon_vertex, sel in sorted(
             (canon.vertex(vertex), sel)
             for vertex, (_pred, sel) in query.local_predicates.items()
@@ -310,16 +342,20 @@ def cache_key(
     strategy: "str | Strategy" = "ea-prune",
     factor: float = 1.03,
     cost_model: str = "cout",
+    band_width: Optional[float] = None,
 ) -> PlanCacheKey:
     """The full plan-cache key for optimizing *query* with *strategy*.
 
     *cost_model* is the registered cost-model name — plans priced by
-    different models must not share entries.
+    different models must not share entries.  *band_width* (log10
+    decades, None = exact) selects the banded snapshot variant so nearby
+    statistics share one structural entry — see
+    :func:`cardinality_snapshot`.
     """
     name, effective_factor = strategy_label(strategy, factor)
     return PlanCacheKey(
         fingerprint=query_fingerprint(query),
-        snapshot=cardinality_snapshot(query),
+        snapshot=cardinality_snapshot(query, band_width=band_width),
         strategy=name,
         factor=effective_factor,
         cost_model=cost_model,

@@ -1,0 +1,214 @@
+"""Background revalidation of stale plan-cache entries.
+
+The serving half of stale-while-revalidate: when a
+:meth:`~repro.sql.catalog.Catalog.update_stats` delta marks cache
+entries stale, requests keep being served from them (the regression is
+bounded — see :mod:`repro.optimizer.recost`) while a
+:class:`StaleRevalidator` works through the backlog off the request
+path:
+
+1. claim a batch of stale entries (``stale → revalidating``, so two
+   workers never double-plan one entry),
+2. rebuild each entry's query under the *fresh* catalog — re-parsing
+   its stored SQL when it came through a SQL front door, else
+   refreshing the stored query object's statistics in place,
+3. re-cost the cached plan and apply the ``recost_bound`` test:
+   within bound → refresh the entry in place (``plans.recosted``),
+   past it → full re-optimization (``plans.replanned``),
+4. a replan that deadline-degrades never overwrites the entry
+   (:meth:`~repro.service.cache.PlanCache.refresh` refuses degraded
+   results); the entry returns to ``stale`` and is retried later.
+
+The executor is a small thread pool (``revalidate_workers``): the DP
+replan is CPU-bound but rare, re-costing is microseconds, and running
+in-process keeps the cache and catalog shared without pickling.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Optional
+
+from repro.optimizer.config import OptimizerConfig
+from repro.service.cache import PlanCache, StaleClaim
+from repro.service.fingerprint import cache_key, cardinality_snapshot
+
+logger = logging.getLogger("repro.service.revalidate")
+
+#: stale entries claimed per drain round — bounds how long the cache
+#: lock's claim transaction runs and how much work one round commits to.
+CLAIM_BATCH = 32
+
+
+class StaleRevalidator:
+    """Re-cost or re-plan stale cache entries in the background.
+
+    *on_event* (optional) receives ``"recosted"`` / ``"replanned"`` /
+    ``"dropped"`` / ``"failed"`` once per processed entry — the hook
+    server metrics hang off.  Call :meth:`subscribe` to attach to the
+    catalog's delta channel (mark-stale + kick); :meth:`kick` schedules
+    a drain manually; :meth:`drain` runs one synchronously (tests,
+    CLI).
+    """
+
+    def __init__(
+        self,
+        cache: PlanCache,
+        catalog,
+        config: OptimizerConfig,
+        workers: int = 1,
+        on_event: Optional[Callable[[str], None]] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"revalidate workers must be >= 1, got {workers}")
+        self.cache = cache
+        self.catalog = catalog
+        self.config = config
+        self.on_event = on_event
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="revalidate"
+        )
+        self._unsubscribe: Optional[Callable[[], None]] = None
+        self._closed = threading.Event()
+
+    # -- wiring --------------------------------------------------------------
+    def subscribe(self) -> "StaleRevalidator":
+        """Attach to the catalog: deltas mark entries stale, then kick."""
+        if self._unsubscribe is None:
+            self._unsubscribe = self.catalog.subscribe_deltas(self._on_delta)
+        return self
+
+    def _on_delta(self, delta) -> None:
+        marked = self.cache.mark_stale(delta.relation)
+        if marked:
+            self.kick()
+
+    def kick(self) -> None:
+        """Schedule a background drain of the stale backlog (idempotent
+        enough: an extra drain finding no stale entries is a no-op)."""
+        if self._closed.is_set():
+            return
+        try:
+            self._executor.submit(self._drain_safely)
+        except RuntimeError:  # executor already shut down (close race)
+            pass
+
+    def _drain_safely(self) -> None:
+        try:
+            self.drain()
+        except Exception:  # noqa: BLE001 - a background thread must not die loudly
+            logger.exception("revalidation drain failed")
+
+    # -- the work ------------------------------------------------------------
+    def drain(self, limit: Optional[int] = None) -> dict:
+        """Process the stale backlog (up to *limit* entries); counts dict.
+
+        Runs in the calling thread — the background path calls it from
+        an executor thread, tests and the CLI call it directly.
+        """
+        counts = {"recosted": 0, "replanned": 0, "dropped": 0, "failed": 0}
+        processed = 0
+        # Failed entries go back to STALE (retryable on a *later* drain);
+        # re-claiming them in this one would livelock — a permanently
+        # failing entry (e.g. every replan deadline-degrades) would be
+        # claimed, failed and requeued forever.
+        failed_keys = set()
+        while not self._closed.is_set():
+            batch = CLAIM_BATCH
+            if limit is not None:
+                batch = min(batch, limit - processed)
+                if batch <= 0:
+                    break
+            claims = self.cache.claim_stale(limit=batch)
+            if not claims:
+                break
+            progressed = False
+            for claim in claims:
+                if claim.key in failed_keys:
+                    self.cache.requeue(claim.key)
+                    continue
+                outcome = self._revalidate(claim)
+                if outcome == "failed":
+                    failed_keys.add(claim.key)
+                counts[outcome] += 1
+                processed += 1
+                progressed = True
+                if self.on_event is not None:
+                    self.on_event(outcome)
+            if not progressed:
+                break
+        return counts
+
+    def _revalidate(self, claim: StaleClaim) -> str:
+        from repro.optimizer.driver import optimize, prepare
+        from repro.optimizer.recost import (
+            evaluate_stale,
+            recosted_result,
+            refresh_query_stats,
+        )
+
+        try:
+            if claim.sql is not None and self.catalog is not None:
+                from repro.sql.binder import parse_query
+
+                query = parse_query(claim.sql, self.catalog)
+            elif claim.query is not None and self.catalog is not None:
+                query = refresh_query_stats(claim.query, self.catalog)
+            else:
+                self.cache.drop(claim.key)
+                return "dropped"
+
+            prepared = prepare(query)
+            # The entry keeps *its* optimization settings: an entry stored
+            # under a per-request strategy/factor/cost-model override must
+            # be re-costed and re-keyed under those, not session defaults.
+            overrides = {
+                "strategy": claim.key.strategy,
+                "cost_model": claim.key.cost_model,
+            }
+            if claim.key.factor is not None:
+                overrides["factor"] = claim.key.factor
+            entry_config = self.config.with_overrides(**overrides)
+            new_key = cache_key(
+                query,
+                entry_config.strategy,
+                entry_config.factor,
+                cost_model=entry_config.cost_model_name,
+                band_width=entry_config.snapshot_band_width,
+            )
+            exact = cardinality_snapshot(query)
+            decision = evaluate_stale(
+                query, claim.result, config=entry_config, prepared=prepared
+            )
+            if decision.serve:
+                refreshed = recosted_result(
+                    claim.result, decision.plan, decision.elapsed_seconds
+                )
+                self.cache.refresh(
+                    claim.key, refreshed, exact_snapshot=exact, new_key=new_key
+                )
+                return "recosted"
+            # Past the bound (or replay failed): full re-optimization.
+            # The run respects the config's planning deadline; a degraded
+            # fallback is refused by refresh() (entry returns to stale) —
+            # the degraded-plan guard extends to the revalidation path.
+            result = optimize(query, prepared=prepared, config=entry_config)
+            refreshed = self.cache.refresh(
+                claim.key, result, exact_snapshot=exact, new_key=new_key
+            )
+            return "replanned" if refreshed else "failed"
+        except Exception:  # noqa: BLE001 - per-entry fault isolation
+            logger.exception("revalidation failed for %s", claim.key)
+            self.cache.requeue(claim.key)
+            return "failed"
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the catalog and stop the worker pool (idempotent)."""
+        self._closed.set()
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        self._executor.shutdown(wait=True, cancel_futures=True)

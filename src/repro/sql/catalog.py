@@ -20,6 +20,43 @@ class TableStats:
         return max(1.0, min(self.distinct.get(column, self.cardinality), self.cardinality))
 
 
+@dataclass(frozen=True)
+class StatsDelta:
+    """One statistics drift event: a table's stats moved old → new.
+
+    Emitted by :meth:`Catalog.update_stats` to delta subscribers so they
+    can react *proportionally* — a plan cache marks affected entries
+    stale for re-costing instead of dropping them wholesale (the
+    stale-while-revalidate path), and a monitor can log how far the
+    numbers moved.
+    """
+
+    relation: str
+    old: TableStats
+    new: TableStats
+
+    @property
+    def cardinality_ratio(self) -> float:
+        """new/old row count (1.0 = unchanged; guards old == 0)."""
+        if self.old.cardinality <= 0:
+            return float("inf") if self.new.cardinality > 0 else 1.0
+        return self.new.cardinality / self.old.cardinality
+
+    def payload(self) -> dict:
+        """A JSON-ready old → new summary (for /stats and logs)."""
+        return {
+            "relation": self.relation,
+            "old_cardinality": self.old.cardinality,
+            "new_cardinality": self.new.cardinality,
+            "cardinality_ratio": self.cardinality_ratio,
+            "distinct_changed": sorted(
+                column
+                for column in self.new.columns
+                if self.old.distinct_count(column) != self.new.distinct_count(column)
+            ),
+        }
+
+
 class Catalog:
     """A set of tables the binder can resolve.
 
@@ -31,6 +68,7 @@ class Catalog:
     def __init__(self):
         self._tables: Dict[str, TableStats] = {}
         self._listeners: List[Callable[[str], object]] = []
+        self._delta_listeners: List[Callable[[StatsDelta], object]] = []
 
     def subscribe(self, callback: Callable[[str], object]) -> Callable[[], None]:
         """Call *callback(table_name)* whenever a table (re)registers.
@@ -38,7 +76,23 @@ class Catalog:
         Returns an unsubscribe handle; calling it detaches the callback
         (idempotent), releasing the catalog's reference to it.
         """
-        self._listeners.append(callback)
+        return self._attach(self._listeners, callback)
+
+    def subscribe_deltas(
+        self, callback: Callable[[StatsDelta], object]
+    ) -> Callable[[], None]:
+        """Call *callback(delta)* whenever :meth:`update_stats` drifts a
+        table's statistics.  Deltas carry the old AND new stats, so a
+        subscriber can react proportionally (mark-stale + re-cost) where
+        the name-only :meth:`subscribe` channel can only invalidate.
+
+        Returns an unsubscribe handle like :meth:`subscribe`.
+        """
+        return self._attach(self._delta_listeners, callback)
+
+    @staticmethod
+    def _attach(listeners: List, callback) -> Callable[[], None]:
+        listeners.append(callback)
         detached = False
 
         def unsubscribe() -> None:
@@ -48,7 +102,7 @@ class Catalog:
             if detached:
                 return
             detached = True
-            self._listeners.remove(callback)
+            listeners.remove(callback)
 
         return unsubscribe
 
@@ -61,6 +115,39 @@ class Catalog:
                 # A misbehaving subscriber must not fail table registration
                 # or starve the remaining subscribers.
                 continue
+
+    def update_stats(self, table: str, stats: TableStats) -> StatsDelta:
+        """Drift an existing table's statistics, emitting a typed delta.
+
+        The successor to the re-register idiom for statistics refreshes:
+        where :meth:`register` announces "this table changed, drop
+        everything" to name subscribers, ``update_stats`` requires the
+        table to already exist and tells delta subscribers exactly how
+        its numbers moved (old → new), which is what lifecycle-aware
+        caches need to mark entries stale and re-cost instead of
+        cold-starting.  Name subscribers are deliberately NOT notified —
+        wholesale invalidation is exactly what this path replaces.
+
+        Raises ``KeyError`` for unknown tables and ``ValueError`` when
+        *stats* names a different table.
+        """
+        old = self._tables.get(table.lower())
+        if old is None:
+            raise KeyError(f"unknown table {table!r} (register it first)")
+        if stats.name.lower() != table.lower():
+            raise ValueError(
+                f"stats are for table {stats.name!r}, not {table!r}"
+            )
+        self._tables[table.lower()] = stats
+        delta = StatsDelta(relation=old.name, old=old, new=stats)
+        for callback in list(self._delta_listeners):
+            try:
+                callback(delta)
+            except Exception:
+                # A misbehaving subscriber must not abort the update or
+                # starve the remaining subscribers.
+                continue
+        return delta
 
     def lookup(self, name: str) -> Optional[TableStats]:
         return self._tables.get(name.lower())

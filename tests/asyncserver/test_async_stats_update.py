@@ -1,0 +1,91 @@
+"""Async-tier ``POST /stats_update``: drift broadcast across shards.
+
+Every worker shard owns a private catalog, so a drift must reach all of
+them atomically-enough: the front broadcasts one STATS_UPDATE frame per
+shard and merges the replies (any shard failing fails the request —
+half-applied drift would leave shards pricing the same tables
+differently).  The endpoint deliberately takes no admission slot: the
+control plane must land even when the data plane is saturated with 429s.
+"""
+
+import pytest
+
+from repro.asyncserver import AsyncPlanServer, AsyncServerConfig
+from repro.server.client import ServerClient, ServerError
+
+SQL = (
+    "SELECT ns.n_name, count(*) AS cnt FROM nation ns "
+    "JOIN supplier s ON ns.n_nationkey = s.s_nationkey GROUP BY ns.n_name"
+)
+SQL_OTHER = "SELECT count(*) FROM region GROUP BY r_name"
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = AsyncServerConfig(
+        port=0, shards=2, cache_capacity=64, snapshot_band_width=1.0
+    )
+    with AsyncPlanServer(config) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    with ServerClient(port=server.port) as c:
+        yield c
+
+
+class TestBroadcast:
+    def test_drift_reaches_every_shard_and_merges(self, client):
+        before = client.optimize(SQL, include_plan=False)
+        body = client._request(
+            "POST", "/stats_update",
+            {"table": "supplier", "cardinality_factor": 4.0},
+        )
+        assert body["_status"] == 200
+        assert body["shards"] == 2
+        assert body["relation"] == "supplier"
+        assert body["cardinality_ratio"] == 4.0
+        assert body["marked_stale"] >= 1
+        assert isinstance(body["revalidated_inline"], dict)
+
+        # The shard revalidated inline (or will in an idle gap): the
+        # entry must end up re-priced under the 4x statistics.
+        after = client.optimize(SQL, include_plan=False)
+        assert after["cost"] > before["cost"]
+
+    def test_untouched_tables_keep_their_plans(self, client):
+        before = client.optimize(SQL_OTHER, include_plan=False)
+        client._request(
+            "POST", "/stats_update",
+            {"table": "orders", "cardinality_factor": 2.0},
+        )
+        after = client.optimize(SQL_OTHER, include_plan=False)
+        assert after["cost"] == before["cost"]
+
+    def test_merged_stats_expose_lifecycle_counters(self, client):
+        plans = client.stats()["plans"]
+        for counter in ("stale_served", "recosted", "replanned"):
+            assert counter in plans
+
+    def test_unknown_table_is_404_on_every_shard(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client._request(
+                "POST", "/stats_update",
+                {"table": "nowhere", "cardinality_factor": 2.0},
+            )
+        assert excinfo.value.status == 404
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {"table": "supplier"},
+            {"table": "supplier", "cardinality_factor": 2.0, "cardinality": 5.0},
+            {"table": "supplier", "cardinality_factor": -3.0},
+            {"table": None, "cardinality_factor": 2.0},
+        ],
+    )
+    def test_invalid_bodies_are_400(self, client, body):
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/stats_update", body)
+        assert excinfo.value.status == 400

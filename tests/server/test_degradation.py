@@ -12,7 +12,14 @@ import time
 
 import pytest
 
+from repro.optimizer import OptimizerConfig, optimize
 from repro.server import PlanServer, ServerClient, ServerConfig, ServerError
+from repro.service import PlanCache
+from repro.service.cache import STALE
+from repro.service.fingerprint import cache_key, cardinality_snapshot
+from repro.service.revalidate import StaleRevalidator
+from repro.sql import parse_query
+from repro.sql.catalog import Catalog, TableStats
 
 # Six relations: enough ccps that the DP loop runs past its first
 # deadline check under a zero-ish budget.
@@ -93,6 +100,59 @@ class TestErrorModeDegradation:
                 # A generous budget still plans normally.
                 body = client.optimize(SMALL_SQL)
                 assert body["degraded"] is False
+
+
+class TestDegradedRevalidationGuard:
+    def test_degraded_replan_never_overwrites_cached_plan(self):
+        """Regression: the degraded-plan cache guard must extend to the
+        background revalidation path.  A stale entry whose replan blows
+        its deadline (H1 fallback, ``degraded: true``) must NOT have the
+        degraded plan installed over the cached optimal one — the entry
+        returns to stale and keeps serving the original plan."""
+        catalog = Catalog.from_tpch()
+        cache = PlanCache(capacity=8)
+        sql = (
+            "SELECT c.c_custkey, sum(l.l_extendedprice) AS revenue "
+            "FROM customer c "
+            "JOIN orders o ON c.c_custkey = o.o_custkey "
+            "JOIN lineitem l ON o.o_orderkey = l.l_orderkey "
+            "GROUP BY c.c_custkey"
+        )
+        # Plan and store under a healthy budget.
+        healthy = OptimizerConfig()
+        query = parse_query(sql, catalog)
+        cached = optimize(query, config=healthy)
+        entry_key = cache_key(
+            query, healthy.strategy, healthy.factor,
+            cost_model=healthy.cost_model_name,
+        )
+        cache.store(entry_key, query, cached, sql=sql,
+                    exact_snapshot=cardinality_snapshot(query))
+
+        # Drift far past the recost bound so revalidation must replan —
+        # under a zero-ish deadline the replan degrades.
+        old = catalog.lookup("lineitem")
+        rows = old.cardinality * 16.0
+        catalog.update_stats(
+            "lineitem",
+            TableStats(
+                name=old.name, columns=old.columns, cardinality=rows,
+                distinct={c: min(v * 16.0, rows) for c, v in old.distinct.items()},
+                keys=old.keys,
+            ),
+        )
+        cache.mark_stale("lineitem")
+        strangled = OptimizerConfig(deadline_seconds=1e-9)
+        counts = StaleRevalidator(cache, catalog, strangled).drain()
+
+        assert counts["failed"] == 1
+        assert counts["replanned"] == 0
+        # Entry is back to stale (retryable), still serving the optimal plan.
+        assert cache.entry_state(entry_key) == STALE
+        served, state = cache.serve_entry(entry_key, query)
+        assert state == STALE
+        assert served.cost == cached.cost
+        assert served.degraded is False
 
 
 class TestWorkerReleasedAfterTimeout:

@@ -1,0 +1,101 @@
+"""Sync-tier ``POST /stats_update``: drift lands, lifecycle turns over HTTP.
+
+The control-plane endpoint statistics maintenance calls: it must apply
+the drift to the catalog, mark affected cache entries stale (they keep
+serving), and hand the backlog to the background revalidator — all
+observable through ``/stats``.
+"""
+
+import time
+
+import pytest
+
+from repro.server import PlanServer, ServerClient, ServerConfig, ServerError
+
+SQL = (
+    "SELECT ns.n_name, count(*) AS cnt FROM nation ns "
+    "JOIN supplier s ON ns.n_nationkey = s.s_nationkey GROUP BY ns.n_name"
+)
+
+
+def wait_for_revalidation(client, minimum=1, timeout=10.0):
+    """Poll /stats until the background revalidator has processed
+    *minimum* entries (it runs on its own thread)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        plans = client.stats()["plans"]
+        if plans["recosted"] + plans["replanned"] >= minimum:
+            return plans
+        time.sleep(0.05)
+    raise AssertionError(f"revalidation did not reach {minimum} in {timeout}s")
+
+
+class TestStatsUpdate:
+    @pytest.fixture()
+    def server(self):
+        config = ServerConfig(
+            port=0, workers=0, snapshot_band_width=1.0, recost_bound=2.0
+        )
+        with PlanServer(config) as running:
+            yield running
+
+    def test_drift_marks_recosts_and_reprices(self, server):
+        with ServerClient(port=server.port) as client:
+            before = client.optimize(SQL)
+            assert client.optimize(SQL)["cache_hit"] is True
+
+            body = client._request(
+                "POST", "/stats_update",
+                {"table": "supplier", "cardinality_factor": 4.0},
+            )
+            assert body["_status"] == 200
+            assert body["relation"] == "supplier"
+            assert body["cardinality_ratio"] == 4.0
+            assert body["old_cardinality"] * 4.0 == body["new_cardinality"]
+
+            plans = wait_for_revalidation(client)
+            assert plans["recosted"] + plans["replanned"] >= 1
+            after = client.optimize(SQL)
+            assert after["cost"] > before["cost"]  # re-priced under 4x rows
+            stats = client.stats()
+            assert stats["cache"]["marked_stale"] >= 1
+            assert stats["cache"]["stale_entries"] == 0  # backlog drained
+
+    def test_absolute_cardinality_variant(self, server):
+        with ServerClient(port=server.port) as client:
+            body = client._request(
+                "POST", "/stats_update",
+                {"table": "supplier", "cardinality": 123456.0},
+            )
+            assert body["new_cardinality"] == 123456.0
+
+    def test_unknown_table_is_404(self, server):
+        with ServerClient(port=server.port) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client._request(
+                    "POST", "/stats_update",
+                    {"table": "nowhere", "cardinality_factor": 2.0},
+                )
+            assert excinfo.value.status == 404
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {"table": "supplier"},  # neither knob
+            {"table": "supplier", "cardinality_factor": 2.0, "cardinality": 5.0},
+            {"table": "supplier", "cardinality_factor": 0.0},
+            {"table": "supplier", "cardinality": -1.0},
+            {"table": 7, "cardinality_factor": 2.0},
+        ],
+    )
+    def test_invalid_bodies_are_400(self, server, body):
+        with ServerClient(port=server.port) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client._request("POST", "/stats_update", body)
+            assert excinfo.value.status == 400
+
+    def test_stats_exposes_lifecycle_counters(self, server):
+        with ServerClient(port=server.port) as client:
+            plans = client.stats()["plans"]
+            for counter in ("stale_served", "recosted", "replanned"):
+                assert counter in plans

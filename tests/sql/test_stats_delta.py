@@ -1,0 +1,152 @@
+"""Catalog.update_stats: typed drift deltas and their subscription channel."""
+
+import pytest
+
+from repro.service import PlanCache
+from repro.service.cache import FRESH, STALE
+from repro.service.fingerprint import PlanCacheKey
+from repro.sql.catalog import Catalog, StatsDelta, TableStats
+
+
+def stats(name: str, rows: float, distinct=None) -> TableStats:
+    return TableStats(
+        name=name,
+        columns=("a", "b"),
+        cardinality=rows,
+        distinct=distinct if distinct is not None else {"a": rows, "b": rows / 2},
+    )
+
+
+def make_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register(stats("orders", 100.0))
+    catalog.register(stats("customer", 50.0))
+    return catalog
+
+
+class TestUpdateStats:
+    def test_emits_old_and_new(self):
+        catalog = make_catalog()
+        delta = catalog.update_stats("orders", stats("orders", 400.0))
+        assert isinstance(delta, StatsDelta)
+        assert delta.relation == "orders"
+        assert delta.old.cardinality == 100.0
+        assert delta.new.cardinality == 400.0
+        assert delta.cardinality_ratio == 4.0
+        # The catalog now resolves to the new statistics.
+        assert catalog.lookup("orders").cardinality == 400.0
+
+    def test_payload_is_json_ready(self):
+        catalog = make_catalog()
+        delta = catalog.update_stats(
+            "orders", stats("orders", 400.0, distinct={"a": 400.0, "b": 50.0})
+        )
+        payload = delta.payload()
+        assert payload["relation"] == "orders"
+        assert payload["old_cardinality"] == 100.0
+        assert payload["new_cardinality"] == 400.0
+        assert payload["cardinality_ratio"] == 4.0
+        assert payload["distinct_changed"] == ["a"]  # b kept 50.0
+
+    def test_table_lookup_is_case_insensitive(self):
+        catalog = make_catalog()
+        delta = catalog.update_stats("ORDERS", stats("Orders", 200.0))
+        assert delta.cardinality_ratio == 2.0
+
+    def test_unknown_table_raises_key_error(self):
+        with pytest.raises(KeyError):
+            make_catalog().update_stats("lineitem", stats("lineitem", 1.0))
+
+    def test_mismatched_name_raises_value_error(self):
+        with pytest.raises(ValueError):
+            make_catalog().update_stats("orders", stats("customer", 1.0))
+
+    def test_zero_old_cardinality_ratio_guard(self):
+        catalog = Catalog()
+        catalog.register(stats("empty", 0.0))
+        delta = catalog.update_stats("empty", stats("empty", 10.0))
+        assert delta.cardinality_ratio == float("inf")
+
+
+class TestDeltaSubscription:
+    def test_delta_subscribers_see_the_event(self):
+        catalog = make_catalog()
+        seen = []
+        catalog.subscribe_deltas(seen.append)
+        catalog.update_stats("orders", stats("orders", 300.0))
+        assert len(seen) == 1
+        assert seen[0].relation == "orders"
+        assert seen[0].new.cardinality == 300.0
+
+    def test_name_subscribers_are_not_notified(self):
+        # update_stats replaces wholesale invalidation; notifying the
+        # name channel too would drop the very entries the delta channel
+        # is trying to keep servable.
+        catalog = make_catalog()
+        names = []
+        catalog.subscribe(names.append)
+        catalog.update_stats("orders", stats("orders", 300.0))
+        assert names == []
+
+    def test_raising_subscriber_does_not_starve_others(self):
+        catalog = make_catalog()
+        seen = []
+
+        def broken(delta):
+            raise RuntimeError("subscriber bug")
+
+        catalog.subscribe_deltas(broken)
+        catalog.subscribe_deltas(seen.append)
+        delta = catalog.update_stats("orders", stats("orders", 300.0))
+        assert delta.relation == "orders"  # the update itself succeeded
+        assert len(seen) == 1
+
+    def test_unsubscribe_detaches(self):
+        catalog = make_catalog()
+        seen = []
+        unsubscribe = catalog.subscribe_deltas(seen.append)
+        unsubscribe()
+        catalog.update_stats("orders", stats("orders", 300.0))
+        assert seen == []
+
+    def test_unsubscribe_is_one_shot(self):
+        # A second call must not detach another subscription that happens
+        # to compare equal.
+        catalog = make_catalog()
+        seen = []
+        first = catalog.subscribe_deltas(seen.append)
+        first()
+        catalog.subscribe_deltas(seen.append)
+        first()  # stale handle: must be a no-op now
+        catalog.update_stats("orders", stats("orders", 300.0))
+        assert len(seen) == 1
+
+
+class TestCacheDeltaHook:
+    def key(self, tag: str) -> PlanCacheKey:
+        return PlanCacheKey(fingerprint=tag, snapshot="snap", strategy="ea-prune")
+
+    def test_watch_deltas_marks_stale_instead_of_dropping(self):
+        catalog = make_catalog()
+        cache = PlanCache(capacity=8)
+        cache.watch_deltas(catalog)
+        cache.put(self.key("q1"), object(), relations=["orders"])
+        cache.put(self.key("q2"), object(), relations=["customer"])
+
+        catalog.update_stats("orders", stats("orders", 400.0))
+
+        # The affected entry is stale but still present and servable;
+        # the untouched one stays fresh.
+        assert cache.entry_state(self.key("q1")) == STALE
+        assert cache.entry_state(self.key("q2")) == FRESH
+        assert len(cache) == 2
+        assert cache.stale_count() == 1
+
+    def test_unwatch_stops_marking(self):
+        catalog = make_catalog()
+        cache = PlanCache(capacity=8)
+        unwatch = cache.watch_deltas(catalog)
+        cache.put(self.key("q1"), object(), relations=["orders"])
+        unwatch()
+        catalog.update_stats("orders", stats("orders", 400.0))
+        assert cache.entry_state(self.key("q1")) == FRESH
