@@ -223,6 +223,22 @@ def build_serve_parser() -> argparse.ArgumentParser:
         "(default: exact snapshots)",
     )
     parser.add_argument(
+        "--dataset", default=None,
+        help="enable POST /execute against this dataset: 'tpch-sf<scale>' "
+        "(generated, e.g. tpch-sf0.01) or a directory of .csv/.parquet "
+        "files (default: planning only, /execute answers 409)",
+    )
+    parser.add_argument(
+        "--data-dir", default=None,
+        help="directory of .csv/.parquet files to serve /execute against "
+        "(shorthand for --dataset <dir>)",
+    )
+    parser.add_argument(
+        "--executor", choices=("interpreter", "columnar"), default="columnar",
+        help="default /execute backend when a request names none "
+        "(default: columnar)",
+    )
+    parser.add_argument(
         "--async", dest="use_async", action="store_true",
         help="serve with the async tier: one event loop in front of "
         "sharded worker processes, each owning a private plan-cache "
@@ -251,6 +267,10 @@ def run_serve(argv) -> int:
 
     args = build_serve_parser().parse_args(argv)
     logging.basicConfig(level=logging.INFO, format="%(message)s", stream=sys.stderr)
+    if args.dataset is not None and args.data_dir is not None:
+        print("error: --dataset and --data-dir are mutually exclusive", file=sys.stderr)
+        return 1
+    args.dataset = args.dataset if args.dataset is not None else args.data_dir
     if args.use_async:
         return _run_serve_async(args)
     if args.shards is not None or args.cache_dir is not None:
@@ -274,6 +294,8 @@ def run_serve(argv) -> int:
             recost_bound=args.recost_bound,
             revalidate_workers=args.revalidate_workers,
             snapshot_band_width=args.band_width,
+            dataset=args.dataset,
+            default_executor=args.executor,
         )
         server = PlanServer(config)
     except (ValueError, OSError) as error:
@@ -330,6 +352,8 @@ def _run_serve_async(args) -> int:
             degradation=args.degradation,
             recost_bound=args.recost_bound,
             snapshot_band_width=args.band_width,
+            dataset=args.dataset,
+            default_executor=args.executor,
         )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)

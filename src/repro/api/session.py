@@ -134,9 +134,15 @@ class PlannerSession:
         statement = self.sql(query) if isinstance(query, str) else self.statement(query)
         return statement.optimize(**overrides)
 
-    def execute(self, query: Union[str, Query], **overrides):
-        """Optimize and immediately execute against the session database."""
-        return self.optimize(query, **overrides).execute()
+    def execute(self, query: Union[str, Query], executor: Optional[str] = None,
+                limit: Optional[int] = None, **overrides):
+        """Optimize and immediately execute against the session database.
+
+        *executor* picks the backend (``"interpreter"`` /
+        ``"columnar"``); *limit* truncates the result.  Remaining
+        *overrides* are per-call optimizer config fields.
+        """
+        return self.optimize(query, **overrides).execute(executor=executor, limit=limit)
 
     # -- workloads -----------------------------------------------------------
     def optimize_many(
@@ -361,8 +367,8 @@ class PlanHandle:
 
     Wraps the driver's :class:`OptimizationResult` and keeps the
     statement (and through it the session) in reach: ``.explain()``
-    renders, ``.execute()`` interprets against the session database,
-    ``.to_dict()`` serialises for JSON serving.
+    renders, ``.execute()`` runs the plan against the session database
+    (either backend), ``.to_dict()`` serialises for JSON serving.
     """
 
     def __init__(
@@ -407,9 +413,23 @@ class PlanHandle:
         """The plan rendered as an indented EXPLAIN-style tree."""
         return render_plan(self.plan)
 
-    def execute(self, database: Optional[Mapping] = None):
-        """Interpret the plan against *database* (default: the session's)."""
-        from repro.exec import execute
+    def execute(
+        self,
+        database: Optional[Mapping] = None,
+        executor: Optional[str] = None,
+        limit: Optional[int] = None,
+    ):
+        """Run the plan against *database* (default: the session's).
+
+        *database* is a mapping of relation name → scan source, or a
+        :class:`~repro.data.tables.Dataset` (resolved per-relation via
+        the query's source-table bindings).  *executor* picks the
+        backend — ``"interpreter"`` (the recursive reference) or
+        ``"columnar"`` (vectorized physical operators); default is
+        :data:`repro.exec.DEFAULT_EXECUTOR`.  *limit*, when given,
+        truncates the result to its first rows.
+        """
+        from repro.exec import DEFAULT_EXECUTOR, run_plan
 
         target = database if database is not None else self.statement.session.database
         if target is None:
@@ -417,7 +437,14 @@ class PlanHandle:
                 "no database to execute against — pass execute(database=...) or "
                 "construct the session with PlannerSession(database=...)"
             )
-        return execute(self.plan, target)
+        if hasattr(target, "database_for"):  # a Dataset: bind per-relation views
+            target = target.database_for(self.statement.query)
+        return run_plan(
+            self.plan,
+            target,
+            executor=executor if executor is not None else DEFAULT_EXECUTOR,
+            limit=limit,
+        )
 
     def to_dict(self) -> dict:
         """A JSON-serializable description of this plan (for serving)."""

@@ -53,7 +53,7 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 MAX_HEADER_BYTES = 64 * 1024
 
 KNOWN_PATHS = frozenset(
-    {"/optimize", "/explain", "/batch", "/healthz", "/stats", "/stats_update"}
+    {"/optimize", "/explain", "/batch", "/execute", "/healthz", "/stats", "/stats_update"}
 )
 
 _REASONS = {
@@ -208,6 +208,11 @@ class AsyncPlanService:
         if path == "/explain":
             self._require(method, "POST", path)
             return await self._plan_request(frames.EXPLAIN, body)
+        if path == "/execute":
+            self._require(method, "POST", path)
+            # Same fingerprint-routing as /optimize: the executing shard
+            # is the one whose cache shard owns the plan.
+            return await self._plan_request(frames.EXECUTE, body)
         if path == "/batch":
             self._require(method, "POST", path)
             return await self._batch_request(body)
@@ -452,6 +457,7 @@ class AsyncPlanService:
         payload["supervision"] = self.supervisor.shard_states()
         payload["degradation"] = self.config.degradation
         payload["plans"] = _merge_plans(details)
+        payload["executions"] = _merge_executions(details)
         payload["engine"] = {
             "requested": self.config.engine,
             "effective": payload["plans"]["by_engine"],
@@ -517,6 +523,26 @@ def _merge_plans(details) -> dict:
         "replanned": replanned,
         "by_strategy": dict(by_strategy),
         "by_engine": dict(by_engine),
+    }
+
+
+def _merge_executions(details) -> dict:
+    """Sum the shards' /execute counters (per-shard detail keeps the rest)."""
+    count = rows = 0
+    seconds = 0.0
+    by_executor: Counter = Counter()
+    for detail in details:
+        executions = detail.get("executions", {})
+        count += executions.get("count", 0)
+        rows += executions.get("rows_returned", 0)
+        seconds += executions.get("seconds_total", 0.0)
+        by_executor.update(executions.get("by_executor", {}))
+    return {
+        "count": count,
+        "by_executor": dict(by_executor),
+        "rows_returned": rows,
+        "seconds_total": seconds,
+        "mean_ms": (seconds / count) * 1000.0 if count else None,
     }
 
 

@@ -63,6 +63,12 @@ class AsyncServerConfig:
     and ``snapshot_band_width`` (log10 decades, ``None`` = exact)
     enables banded cache keys so nearby statistics share entries.
 
+    ``dataset`` enables ``POST /execute``: a
+    :func:`~repro.data.provision.dataset_from_spec` spec (``tpch-sf0.01``
+    or a directory) provisioned **per worker shard** at boot —
+    generation is deterministic, so every shard holds identical data.
+    ``default_executor`` is the backend used when a request names none.
+
     Crash supervision: restarts back off exponentially
     (``restart_backoff_base_seconds`` doubling per crash up to
     ``restart_backoff_cap_seconds``), and ``breaker_threshold`` crashes
@@ -96,6 +102,8 @@ class AsyncServerConfig:
     breaker_threshold: int = 5
     breaker_window_seconds: float = 60.0
     breaker_cooldown_seconds: float = 30.0
+    dataset: Optional[str] = None
+    default_executor: str = "columnar"
 
     def __post_init__(self) -> None:
         if not (0 <= self.port <= 65535):
@@ -151,6 +159,17 @@ class AsyncServerConfig:
             raise ValueError(
                 f"breaker_cooldown_seconds must be >= 0, got {self.breaker_cooldown_seconds}"
             )
+        from repro.exec import EXECUTORS
+
+        if self.default_executor not in EXECUTORS:
+            raise ValueError(
+                f"default_executor must be one of {', '.join(EXECUTORS)}, "
+                f"got {self.default_executor!r}"
+            )
+        if self.dataset is not None:
+            from repro.data.provision import validate_dataset_spec
+
+            validate_dataset_spec(self.dataset)
         # Validate the optimizer-facing fields eagerly, like everything else.
         self.optimizer_config()
 

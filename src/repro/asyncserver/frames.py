@@ -40,6 +40,7 @@ STATS = 4
 SNAPSHOT = 5
 EXIT = 6
 STATS_UPDATE = 7
+EXECUTE = 8
 
 #: worker → front boot announcement (sent once, request_id 0).
 HELLO = 100

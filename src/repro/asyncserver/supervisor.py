@@ -337,6 +337,8 @@ class WorkerSupervisor:
             "recost_bound": config.recost_bound,
             "revalidate_batch": config.revalidate_batch,
             "snapshot_band_width": config.snapshot_band_width,
+            "dataset": config.dataset,
+            "default_executor": config.default_executor,
         }
 
     def note_persistence(self, counters: Optional[dict]) -> None:

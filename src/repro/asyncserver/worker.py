@@ -57,6 +57,11 @@ from repro.sql.catalog import Catalog, TableStats
 #: bounded memo of parsed SQL text per worker.
 PARSE_MEMO_CAPACITY = 4096
 
+#: default /execute row cap (mirrors the sync tier's; an explicit
+#: ``"limit": null`` lifts it).  Kept local so the worker does not
+#: import the sync HTTP stack.
+DEFAULT_EXECUTE_LIMIT = 1000
+
 
 class _RequestFailure(Exception):
     """A per-request error with an HTTP status and stable code."""
@@ -92,6 +97,14 @@ class ShardWorker:
         #: per-request planning budget; queue time inside the worker is
         #: charged against it (see :meth:`_deadline`).
         self.request_timeout = float(config.get("request_timeout_seconds", 120.0))
+        # Execution tier: every shard provisions its own dataset copy
+        # (generation is deterministic, so shards hold identical data).
+        self.dataset = None
+        self.default_executor = config.get("default_executor", "columnar")
+        if config.get("dataset"):
+            from repro.data.provision import dataset_from_spec
+
+            self.dataset = dataset_from_spec(config["dataset"])
         self.catalog = Catalog.from_tpch(scale_factor=config.get("scale_factor", 1.0))
         self.catalog_fp = catalog_fingerprint(self.catalog)
         self.cache = PlanCache(capacity=int(config.get("cache_capacity", 512)))
@@ -126,6 +139,9 @@ class ShardWorker:
         self._replanned = 0
         self._by_strategy: Counter = Counter()
         self._by_engine: Counter = Counter()
+        self._executions: Counter = Counter()
+        self._execution_rows = 0
+        self._execution_seconds = 0.0
 
     # -- persistence ---------------------------------------------------------
     def warm_start(self) -> None:
@@ -332,6 +348,79 @@ class ShardWorker:
             "shard": self.shard,
         }
 
+    def handle_execute(self, body: dict, arrived: Optional[float] = None) -> Tuple[int, dict]:
+        """``EXECUTE`` — plan (cached or fresh) and run against the shard's
+        dataset copy.  Mirrors the sync tier's ``execute_body``: the same
+        request fields (``executor`` / ``limit``), the same columnar
+        response shape, the same 409 when no dataset is provisioned."""
+        if self.dataset is None:
+            raise _RequestFailure(
+                409,
+                "no_dataset",
+                "no dataset loaded — start the server with a dataset "
+                "(e.g. --dataset tpch-sf0.01) to execute plans",
+            )
+        from repro.algebra.values import NULL
+        from repro.exec import EXECUTORS, run_plan
+
+        executor = body.get("executor", self.default_executor)
+        if executor not in EXECUTORS:
+            raise _RequestFailure(
+                400,
+                "bad_executor",
+                f"unknown executor {executor!r} (one of: {', '.join(EXECUTORS)})",
+            )
+        if "limit" not in body:
+            limit = DEFAULT_EXECUTE_LIMIT
+        else:
+            limit = body["limit"]
+            if limit is not None and (
+                not isinstance(limit, int) or isinstance(limit, bool) or limit < 0
+            ):
+                raise _RequestFailure(
+                    400, "bad_request", "'limit' must be an integer >= 0 or null"
+                )
+        started = time.perf_counter()
+        sql = body.get("sql")
+        result, _config = self._plan(sql, body, arrived)
+        query, _fingerprint, _snapshot, _exact = self._parse(sql)
+        try:
+            database = self.dataset.database_for(query)
+        except KeyError as exc:
+            raise _RequestFailure(
+                404, "unknown_table", f"dataset has no table for {exc.args[0]!r}"
+            ) from exc
+        run_started = time.perf_counter()
+        try:
+            relation = run_plan(result.plan.node, database, executor=executor, limit=limit)
+        except Exception as exc:  # noqa: BLE001 - per-request isolation
+            self._failures += 1
+            raise _RequestFailure(
+                500, "execution_error", f"{type(exc).__name__}: {exc}"
+            ) from exc
+        execution_seconds = time.perf_counter() - run_started
+        self._executions[executor] += 1
+        self._execution_rows += len(relation)
+        self._execution_seconds += execution_seconds
+        columns = list(relation.attributes)
+        return 200, {
+            "strategy": result.strategy,
+            "cost": result.cost,
+            "cache_hit": result.cache_hit,
+            "degraded": result.degraded,
+            "executor": executor,
+            "limit": limit,
+            "columns": columns,
+            "rows": [
+                [None if row[column] is NULL else row[column] for column in columns]
+                for row in relation
+            ],
+            "row_count": len(relation),
+            "execution_seconds": execution_seconds,
+            "server_seconds": time.perf_counter() - started,
+            "shard": self.shard,
+        }
+
     def handle_batch(self, body: dict, arrived: Optional[float] = None) -> Tuple[int, dict]:
         """A shard's slice of one ``/batch``: ``[[index, sql], ...]``.
 
@@ -462,6 +551,12 @@ class ShardWorker:
                 "by_strategy": dict(self._by_strategy),
                 "by_engine": dict(self._by_engine),
             },
+            "executions": {
+                "count": sum(self._executions.values()),
+                "by_executor": dict(self._executions),
+                "rows_returned": self._execution_rows,
+                "seconds_total": self._execution_seconds,
+            },
             "cache": self.cache.describe(),
             "persistence": dict(self.persistence),
             "persistence_error": self.persistence_error,
@@ -536,6 +631,8 @@ def serve(worker: ShardWorker, in_fd: int, out_fd: int) -> None:
                     status, body = worker.handle_explain(json.loads(payload), arrived)
                 elif kind == frames.BATCH:
                     status, body = worker.handle_batch(json.loads(payload), arrived)
+                elif kind == frames.EXECUTE:
+                    status, body = worker.handle_execute(json.loads(payload), arrived)
                 elif kind == frames.STATS:
                     status, body = 200, worker.stats_payload()
                 elif kind == frames.STATS_UPDATE:

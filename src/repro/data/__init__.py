@@ -1,0 +1,31 @@
+"""Data tier: columnar base tables, datasets, and file loading.
+
+The execution tier (:mod:`repro.exec`) consumes these through the
+scan-source protocol (``as_batch()`` / ``to_relation()``); the
+optimizer consumes them through measured :class:`~repro.sql.catalog.TableStats`.
+"""
+
+from repro.data.loader import (
+    HAVE_PYARROW,
+    load_csv,
+    load_dataset_into,
+    load_directory,
+    load_file,
+    load_parquet,
+    write_csv,
+)
+from repro.data.provision import dataset_from_spec
+from repro.data.tables import ColumnTable, Dataset
+
+__all__ = [
+    "ColumnTable",
+    "Dataset",
+    "HAVE_PYARROW",
+    "dataset_from_spec",
+    "load_csv",
+    "load_dataset_into",
+    "load_directory",
+    "load_file",
+    "load_parquet",
+    "write_csv",
+]

@@ -1,0 +1,160 @@
+"""Load CSV/Parquet files into :class:`~repro.data.tables.ColumnTable`.
+
+CSV loading is stdlib-only (:mod:`csv`) with per-column type inference:
+a column whose non-empty cells all parse as ``int`` becomes an int
+column, else all-``float`` becomes float, else the cells stay strings.
+Empty cells load as SQL ``NULL``.  Inference is two-pass over the
+buffered cells, so a column that starts numeric but contains one
+string stays a string column throughout — no mixed lanes.
+
+Parquet loading needs :mod:`pyarrow`, which this environment may not
+ship; the import is gated and the error says exactly what is missing
+rather than failing on an unrelated ``AttributeError`` later.
+
+``load_directory`` assembles a :class:`Dataset` from every recognised
+file in a directory (``<table>.csv`` / ``<table>.parquet``), and
+``load_dataset_into`` additionally registers measured statistics with a
+:class:`~repro.sql.catalog.Catalog` so cost-based planning prices real
+row counts instead of spec estimates.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.algebra.values import NULL, SqlValue
+from repro.data.tables import ColumnTable, Dataset
+from repro.sql.catalog import Catalog
+
+try:  # pragma: no cover - exercised only where pyarrow is installed
+    import pyarrow.parquet as _parquet  # type: ignore
+except ImportError:  # pragma: no cover
+    _parquet = None
+
+HAVE_PYARROW = _parquet is not None
+
+
+def _infer_column(cells: List[Optional[str]]) -> List[SqlValue]:
+    """Type a raw text column: all-int → int, all-float → float, else str."""
+    non_null = [c for c in cells if c is not None]
+    as_int: Optional[List[int]] = []
+    for cell in non_null:
+        try:
+            as_int.append(int(cell))
+        except ValueError:
+            as_int = None
+            break
+    if as_int is not None:
+        it = iter(as_int)
+        return [NULL if c is None else next(it) for c in cells]
+    as_float: Optional[List[float]] = []
+    for cell in non_null:
+        try:
+            as_float.append(float(cell))
+        except ValueError:
+            as_float = None
+            break
+    if as_float is not None:
+        it = iter(as_float)
+        return [NULL if c is None else next(it) for c in cells]
+    return [NULL if c is None else c for c in cells]
+
+
+def load_csv(path: str, name: Optional[str] = None, delimiter: str = ",") -> ColumnTable:
+    """Read a header-first CSV file into a typed :class:`ColumnTable`."""
+    table_name = name or os.path.splitext(os.path.basename(path))[0]
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"CSV file {path!r} is empty (no header row)")
+        if len(set(header)) != len(header):
+            raise ValueError(f"CSV file {path!r} has duplicate column names: {header}")
+        raw: List[List[Optional[str]]] = [[] for _ in header]
+        for line_no, record in enumerate(reader, start=2):
+            if len(record) != len(header):
+                raise ValueError(
+                    f"CSV file {path!r} line {line_no}: expected {len(header)} "
+                    f"fields, got {len(record)}"
+                )
+            for column, cell in zip(raw, record):
+                column.append(cell if cell != "" else None)
+    columns = {attr: _infer_column(cells) for attr, cells in zip(header, raw)}
+    return ColumnTable(table_name, columns)
+
+
+def write_csv(table: ColumnTable, path: str, delimiter: str = ",") -> None:
+    """Write a :class:`ColumnTable` as a header-first CSV (NULL → empty)."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.attributes)
+        value_lists = [table.column(attr) for attr in table.attributes]
+        for record in zip(*value_lists):
+            writer.writerow(["" if v is NULL else v for v in record])
+
+
+def load_parquet(path: str, name: Optional[str] = None) -> ColumnTable:
+    """Read a Parquet file into a :class:`ColumnTable` (requires pyarrow)."""
+    if _parquet is None:
+        raise RuntimeError(
+            "Parquet loading requires the optional 'pyarrow' dependency, "
+            "which is not installed; convert the file to CSV and use "
+            "load_csv, or install pyarrow."
+        )
+    table_name = name or os.path.splitext(os.path.basename(path))[0]
+    arrow = _parquet.read_table(path)
+    columns: Dict[str, List[SqlValue]] = {}
+    for field_name in arrow.schema.names:
+        values = arrow.column(field_name).to_pylist()
+        columns[field_name] = [NULL if v is None else v for v in values]
+    return ColumnTable(table_name, columns)
+
+
+_LOADERS: Tuple[Tuple[str, object], ...] = (
+    (".csv", load_csv),
+    (".parquet", load_parquet),
+)
+
+
+def load_file(path: str, name: Optional[str] = None) -> ColumnTable:
+    """Dispatch on extension: ``.csv`` or ``.parquet``."""
+    for suffix, loader in _LOADERS:
+        if path.endswith(suffix):
+            return loader(path, name)
+    raise ValueError(
+        f"unsupported data file {path!r} (expected one of: "
+        f"{', '.join(s for s, _ in _LOADERS)})"
+    )
+
+
+def load_directory(directory: str, name: Optional[str] = None) -> Dataset:
+    """Every ``<table>.csv`` / ``<table>.parquet`` in *directory* → Dataset."""
+    tables: Dict[str, ColumnTable] = {}
+    for entry in sorted(os.listdir(directory)):
+        path = os.path.join(directory, entry)
+        if not os.path.isfile(path):
+            continue
+        if not any(entry.endswith(suffix) for suffix, _ in _LOADERS):
+            continue
+        table = load_file(path)
+        if table.name in tables:
+            raise ValueError(f"duplicate table {table.name!r} in {directory!r}")
+        tables[table.name] = table
+    if not tables:
+        raise ValueError(f"no .csv or .parquet files found in {directory!r}")
+    return Dataset(tables, name=name or os.path.basename(os.path.normpath(directory)))
+
+
+def load_dataset_into(
+    catalog: Catalog,
+    directory: str,
+    name: Optional[str] = None,
+    keys: Optional[Mapping[str, Sequence]] = None,
+) -> Dataset:
+    """Load a directory and register measured stats with *catalog*."""
+    dataset = load_directory(directory, name=name)
+    dataset.register_stats(catalog, keys={k.lower(): tuple(v) for k, v in (keys or {}).items()})
+    return dataset

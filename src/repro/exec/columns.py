@@ -1,0 +1,177 @@
+"""Column batches: the unit of work of the columnar executor.
+
+A :class:`Column` is one attribute's values for a batch of rows, stored
+as a plain python list with the :data:`~repro.algebra.values.NULL`
+sentinel in place.  Numeric columns can additionally expose *lanes* — a
+``float64`` data array plus a boolean validity mask — which is what the
+vectorized expression evaluator computes on.  Either representation can
+be derived from the other lazily, so operators hand columns around
+without caring which side materialised first.
+
+A :class:`Batch` is an ordered schema over columns of equal length —
+the columnar analogue of :class:`~repro.algebra.relation.Relation`, with
+conversions both ways at the executor boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.algebra.relation import Relation
+from repro.algebra.rows import Row
+from repro.algebra.values import NULL, SqlValue
+
+
+class Column:
+    """One attribute's values; list-of-values and/or float64 lanes."""
+
+    __slots__ = ("_values", "_lanes", "_length")
+
+    def __init__(self, values: Optional[List[SqlValue]] = None, lanes=None):
+        if values is None and lanes is None:
+            raise ValueError("a column needs values or lanes")
+        self._values = values
+        #: (data float64 array, valid bool array) | None (not computed) |
+        #: False (computed: column is not numeric)
+        self._lanes = lanes
+        self._length = len(values) if values is not None else int(lanes[0].shape[0])
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def values(self) -> List[SqlValue]:
+        """The python value list (materialised from lanes on demand)."""
+        if self._values is None:
+            data, valid = self._lanes
+            out = data.tolist()
+            if not bool(valid.all()):
+                for i in (~valid).nonzero()[0].tolist():
+                    out[i] = NULL
+            self._values = out
+        return self._values
+
+    def lanes(self, xp):
+        """``(data, valid)`` float64/bool lanes, or None if non-numeric.
+
+        *xp* is the numpy module (the caller already checked the backend
+        seam).  The numeric check and conversion run once per column.
+        """
+        if self._lanes is None:
+            values = self._values
+            valid = [True] * len(values)
+            data = [0.0] * len(values)
+            ok = True
+            for i, value in enumerate(values):
+                if value is NULL:
+                    valid[i] = False
+                elif isinstance(value, (int, float)):  # bool included
+                    data[i] = value
+                else:
+                    ok = False
+                    break
+            if ok:
+                self._lanes = (
+                    xp.asarray(data, dtype=xp.float64),
+                    xp.asarray(valid, dtype=bool),
+                )
+            else:
+                self._lanes = False
+        return self._lanes if self._lanes is not False else None
+
+    def take(self, indices: Iterable[int]) -> "Column":
+        """Gather by row index (no bounds padding — see ``take_padded``)."""
+        values = self.values
+        return Column([values[i] for i in indices])
+
+    def take_padded(self, indices: Iterable[int], pad: SqlValue) -> "Column":
+        """Gather by row index; index ``-1`` yields *pad* (outerjoin fill)."""
+        values = self.values
+        return Column([pad if i < 0 else values[i] for i in indices])
+
+
+def const_column(value: SqlValue, length: int) -> Column:
+    return Column([value] * length)
+
+
+class Batch:
+    """An ordered schema over equal-length columns."""
+
+    __slots__ = ("attributes", "columns", "length")
+
+    def __init__(self, attributes: Sequence[str], columns: Dict[str, Column], length: int):
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        self.columns = columns
+        self.length = length
+
+    # -- conversions --------------------------------------------------------
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "Batch":
+        columns = {
+            attr: Column([row[attr] for row in relation.rows])
+            for attr in relation.attributes
+        }
+        return cls(relation.attributes, columns, len(relation.rows))
+
+    @classmethod
+    def from_source(cls, source) -> "Batch":
+        """Adapt a scan source: a Relation or anything with ``as_batch()``."""
+        if isinstance(source, Relation):
+            return cls.from_relation(source)
+        as_batch = getattr(source, "as_batch", None)
+        if as_batch is not None:
+            return as_batch()
+        raise TypeError(f"cannot scan {type(source).__name__} as a column batch")
+
+    def to_relation(self) -> Relation:
+        value_lists = [self.columns[attr].values for attr in self.attributes]
+        rows = [
+            Row(dict(zip(self.attributes, values)))
+            for values in zip(*value_lists)
+        ] if self.attributes else [Row() for _ in range(self.length)]
+        return Relation(self.attributes, rows)
+
+    # -- structural operators ------------------------------------------------
+    def column(self, attr: str) -> Column:
+        return self.columns[attr]
+
+    def take(self, indices: List[int]) -> "Batch":
+        columns = {attr: col.take(indices) for attr, col in self.columns.items()}
+        return Batch(self.attributes, columns, len(indices))
+
+    def head(self, count: int) -> "Batch":
+        if count >= self.length:
+            return self
+        columns = {
+            attr: Column(col.values[:count]) for attr, col in self.columns.items()
+        }
+        return Batch(self.attributes, columns, count)
+
+    def project(self, attrs: Sequence[str]) -> "Batch":
+        attrs = tuple(attrs)
+        return Batch(attrs, {a: self.columns[a] for a in attrs}, self.length)
+
+    def extended(self, new_columns: Sequence[Tuple[str, Column]]) -> "Batch":
+        overlap = [name for name, _ in new_columns if name in self.columns]
+        if overlap:
+            raise ValueError(f"map would overwrite existing attributes: {set(overlap)}")
+        columns = dict(self.columns)
+        for name, col in new_columns:
+            columns[name] = col
+        attrs = self.attributes + tuple(name for name, _ in new_columns)
+        return Batch(attrs, columns, self.length)
+
+    @classmethod
+    def concat_schemas(cls, left: "Batch", right: "Batch") -> "Batch":
+        """Horizontal concatenation of two equal-length disjoint batches."""
+        overlap = set(left.attributes) & set(right.attributes)
+        if overlap:
+            raise ValueError(f"cannot concatenate batches with overlapping attributes: {overlap}")
+        if left.length != right.length:
+            raise ValueError("horizontal concat requires equal lengths")
+        columns = dict(left.columns)
+        columns.update(right.columns)
+        return cls(left.attributes + right.attributes, columns, left.length)
+
+    def __repr__(self) -> str:
+        return f"Batch({list(self.attributes)}, {self.length} rows)"

@@ -75,6 +75,61 @@ class RecostError(Exception):
     """
 
 
+#: selectivity floor shared with the SQL binder's derivation.
+MIN_SELECTIVITY = 1e-12
+
+
+def _distinct_maps(old_relations, new_relations):
+    """Per-attribute distinct counts before and after the refresh."""
+    old: dict = {}
+    new: dict = {}
+    for rel_old, rel_new in zip(old_relations, new_relations):
+        for attr in rel_old.attributes:
+            old[attr] = rel_old.distinct_count(attr)
+            new[attr] = rel_new.distinct_count(attr)
+    return old, new
+
+
+def _rescaled_selectivity(
+    selectivity: float, predicate, old_distinct, new_distinct
+) -> float:
+    """*selectivity* with its equi-conjunct factors re-derived.
+
+    The binder prices ``a = b`` at ``1/max(d(a), d(b))`` and ``a = c``
+    at ``1/d(a)``; under drifted statistics each such factor scales by
+    ``old/new`` of the relevant distinct count.  Conjuncts this shape
+    analysis does not recognise keep their old contribution, and
+    unchanged distinct counts contribute a ratio of exactly 1.0 — so a
+    refresh under identical statistics reproduces the old selectivity
+    bit-for-bit.
+    """
+    from repro.algebra.expressions import Attr, BinOp
+
+    from repro.exec.physical import flatten_conjuncts
+
+    result = selectivity
+    for conjunct in flatten_conjuncts(predicate):
+        if not (isinstance(conjunct, BinOp) and conjunct.op == "="):
+            continue
+        left, right = conjunct.left, conjunct.right
+        if isinstance(left, Attr) and isinstance(right, Attr):
+            names = [left.name, right.name]
+            if any(n not in old_distinct for n in names):
+                continue
+            old = max(old_distinct[n] for n in names)
+            new = max(new_distinct[n] for n in names)
+        elif isinstance(left, Attr) or isinstance(right, Attr):
+            name = left.name if isinstance(left, Attr) else right.name
+            if name not in old_distinct:
+                continue
+            old, new = old_distinct[name], new_distinct[name]
+        else:
+            continue
+        if new > 0 and old != new:
+            result *= old / new
+    return min(1.0, max(MIN_SELECTIVITY, result))
+
+
 def refresh_query_stats(query: Query, catalog) -> Query:
     """*query* rebuilt with relation statistics refreshed from *catalog*.
 
@@ -82,13 +137,15 @@ def refresh_query_stats(query: Query, catalog) -> Query:
     cardinality and per-attribute distinct counts are re-read from its
     :attr:`~repro.query.spec.RelationInfo.source_table` (qualified
     ``alias.column`` attributes map onto the catalog's bare column
-    names).  Keys, predicates and **derived selectivities are preserved**
-    — selectivities are recomputed only by re-binding the SQL text (the
-    servers' revalidation path); this helper is the programmatic-session
-    path where the query was hand-built against the same catalog.
-    Relations whose table is gone (or whose columns no longer line up)
-    keep their old statistics — schema changes are the wholesale
-    invalidation channel's job, not drift's.
+    names), and derived **selectivities are re-scaled** to the new
+    distinct counts (each recognised equality factor by its
+    ``old/new`` distinct ratio — see :func:`_rescaled_selectivity`), so
+    hand-built sessions see drift-corrected join estimates after a
+    :meth:`~repro.sql.catalog.Catalog.update_stats` just like re-bound
+    SQL does.  A refresh under unchanged statistics reproduces the old
+    query bit-for-bit.  Relations whose table is gone (or whose columns
+    no longer line up) keep their old statistics — schema changes are
+    the wholesale invalidation channel's job, not drift's.
     """
     refreshed = []
     for rel in query.relations:
@@ -109,13 +166,30 @@ def refresh_query_stats(query: Query, catalog) -> Query:
         refreshed.append(
             replace(rel, cardinality=stats.cardinality, distinct=distinct)
         )
+    old_distinct, new_distinct = _distinct_maps(query.relations, refreshed)
+    edges = [
+        replace(
+            edge,
+            selectivity=_rescaled_selectivity(
+                edge.selectivity, edge.predicate, old_distinct, new_distinct
+            ),
+        )
+        for edge in query.edges
+    ]
+    local_predicates = {
+        vertex: (
+            predicate,
+            _rescaled_selectivity(selectivity, predicate, old_distinct, new_distinct),
+        )
+        for vertex, (predicate, selectivity) in query.local_predicates.items()
+    }
     return Query(
         relations=refreshed,
-        edges=query.edges,
+        edges=edges,
         tree=query.tree,
         group_by=query.group_by,
         aggregates=query.aggregates,
-        local_predicates=query.local_predicates,
+        local_predicates=local_predicates,
     )
 
 

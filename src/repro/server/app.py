@@ -5,6 +5,7 @@ JSON over HTTP, stdlib only::
     POST /optimize   {"sql": ..., "strategy"?, "factor"?, "cost_model"?, "include_plan"?}
     POST /batch      {"queries": [...], ..., "include_plans"?}
     POST /explain    {"sql": ..., ...}
+    POST /execute    {"sql": ..., "executor"?, "limit"?, ...}
     POST /stats_update {"table": ..., "cardinality_factor" | "cardinality"}
     GET  /stats
     GET  /healthz
@@ -41,7 +42,9 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 
 #: the routable paths; anything else is metered under one "<other>"
 #: bucket so arbitrary client paths cannot grow the metrics dict.
-KNOWN_PATHS = ("/optimize", "/batch", "/explain", "/stats", "/stats_update", "/healthz")
+KNOWN_PATHS = (
+    "/optimize", "/batch", "/explain", "/execute", "/stats", "/stats_update", "/healthz",
+)
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
@@ -127,7 +130,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 return service.healthz_body()
             if path == "/stats":
                 return 200, service.stats_body()
-            if path in ("/optimize", "/batch", "/explain"):
+            if path in ("/optimize", "/batch", "/explain", "/execute"):
                 raise RequestError(405, "method_not_allowed", f"POST {path} (not GET)")
             raise RequestError(404, "not_found", f"unknown path {path!r}")
         if method == "POST":
@@ -140,6 +143,11 @@ class _RequestHandler(BaseHTTPRequestHandler):
             if path == "/explain":
                 with service.admit():
                     return 200, service.explain_body(self._parse_json(raw))
+            if path == "/execute":
+                # Execution is CPU-bound in the request thread, so it
+                # takes an admission slot like optimization does.
+                with service.admit():
+                    return 200, service.execute_body(self._parse_json(raw))
             if path == "/stats_update":
                 # Control-plane: applies a catalog delta without taking an
                 # admission slot — drift must land even under 429 pressure.

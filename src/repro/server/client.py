@@ -182,6 +182,11 @@ class ServerClient:
         """``POST /explain``: plan and render one statement."""
         return self._request("POST", "/explain", {"sql": sql, **knobs})
 
+    def execute(self, sql: str, **knobs) -> dict:
+        """``POST /execute``: plan one statement and run it against the
+        server's dataset (knobs: executor, limit, strategy, ...)."""
+        return self._request("POST", "/execute", {"sql": sql, **knobs})
+
     def stats(self) -> dict:
         return self._request("GET", "/stats")
 

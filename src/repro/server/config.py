@@ -44,6 +44,12 @@ class ServerConfig:
     re-enumeration, how many background revalidation threads drain the
     stale backlog, and (optionally) the log10 band width for banded
     cache keys so nearby statistics snapshots share entries.
+
+    ``dataset`` enables ``POST /execute``: a
+    :func:`~repro.data.provision.dataset_from_spec` spec
+    (``tpch-sf0.01`` or a directory of data files) loaded at boot and
+    executed against; ``default_executor`` is the backend used when a
+    request names none (``"columnar"`` — the serving-oriented one).
     """
 
     host: str = "127.0.0.1"
@@ -62,6 +68,8 @@ class ServerConfig:
     recost_bound: float = 2.0
     revalidate_workers: int = 1
     snapshot_band_width: Optional[float] = None
+    dataset: Optional[str] = None
+    default_executor: str = "columnar"
 
     def __post_init__(self) -> None:
         if not (0 <= self.port <= 65535):
@@ -88,6 +96,17 @@ class ServerConfig:
             raise ValueError(
                 f"revalidate_workers must be >= 1, got {self.revalidate_workers}"
             )
+        from repro.exec import EXECUTORS
+
+        if self.default_executor not in EXECUTORS:
+            raise ValueError(
+                f"default_executor must be one of {', '.join(EXECUTORS)}, "
+                f"got {self.default_executor!r}"
+            )
+        if self.dataset is not None:
+            from repro.data.provision import validate_dataset_spec
+
+            validate_dataset_spec(self.dataset)
         # Validate the optimizer-facing fields eagerly, like everything else.
         self.optimizer_config()
 

@@ -57,6 +57,10 @@ class ServerMetrics:
         self._replanned = 0
         self._by_strategy: Counter = Counter()
         self._by_engine: Counter = Counter()
+        self._executions: Counter = Counter()
+        self._execution_rows = 0
+        self._execution_seconds = 0.0
+        self._execution_latencies: Deque[float] = deque(maxlen=WINDOW)
 
     # -- recording -----------------------------------------------------------
     def record_request(self, endpoint: str, status: int, elapsed_seconds: float) -> None:
@@ -96,6 +100,19 @@ class ServerMetrics:
                 self._cache_hits += 1
             else:
                 self._cache_misses += 1
+
+    def record_execution(self, executor: str, seconds: float, rows: int) -> None:
+        """One plan executed end-to-end (``POST /execute``).
+
+        *seconds* is the pure execution runtime (plan already in hand),
+        kept in its own latency window so ``/stats`` reports per-query
+        execution percentiles separately from HTTP request latency.
+        """
+        with self._lock:
+            self._executions[executor] += 1
+            self._execution_rows += rows
+            self._execution_seconds += seconds
+            self._execution_latencies.append(seconds * 1000.0)
 
     def record_failure(self) -> None:
         """One query whose optimizer run errored (batch item or single)."""
@@ -137,6 +154,8 @@ class ServerMetrics:
                     "mean_ms": sum(window) / len(window) if window else None,
                 }
             served = self._cache_hits + self._cache_misses
+            execution_window = list(self._execution_latencies)
+            executed = sum(self._executions.values())
             return {
                 "uptime_seconds": time.monotonic() - self._started,
                 "requests": endpoints,
@@ -152,5 +171,19 @@ class ServerMetrics:
                     "replanned": self._replanned,
                     "by_strategy": dict(self._by_strategy),
                     "by_engine": dict(self._by_engine),
+                },
+                "executions": {
+                    "count": executed,
+                    "by_executor": dict(self._executions),
+                    "rows_returned": self._execution_rows,
+                    "seconds_total": self._execution_seconds,
+                    "p50_ms": percentile(execution_window, 0.50),
+                    "p95_ms": percentile(execution_window, 0.95),
+                    "p99_ms": percentile(execution_window, 0.99),
+                    "mean_ms": (
+                        sum(execution_window) / len(execution_window)
+                        if execution_window
+                        else None
+                    ),
                 },
             }

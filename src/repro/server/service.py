@@ -41,6 +41,10 @@ from repro.service.fingerprint import cache_key, cardinality_snapshot
 from repro.service.rebind import query_binding, rebind_result
 from repro.service.revalidate import StaleRevalidator
 
+#: rows returned by /execute when the request does not name a limit
+#: (an explicit ``"limit": null`` lifts the cap entirely).
+DEFAULT_EXECUTE_LIMIT = 1000
+
 
 def effective_engine(result: OptimizationResult) -> str:
     """The driver code path that actually produced *result*.
@@ -80,11 +84,20 @@ class PlanService:
 
     def __init__(self, config: ServerConfig, session: Optional[PlannerSession] = None):
         self.config = config
+        self.dataset = None
+        if config.dataset is not None:
+            # Boot-time provisioning: a bad spec fails construction, not
+            # the first /execute request.
+            from repro.data.provision import dataset_from_spec
+
+            self.dataset = dataset_from_spec(config.dataset)
         self.session = (
             session
             if session is not None
             else PlannerSession.tpch(
-                scale_factor=config.scale_factor, config=config.optimizer_config()
+                scale_factor=config.scale_factor,
+                config=config.optimizer_config(),
+                database=self.dataset,
             )
         )
         self.metrics = ServerMetrics()
@@ -410,6 +423,97 @@ class PlanService:
             "cache_hit": result.cache_hit,
             "degraded": result.degraded,
             "explain": render_plan(result.plan.node),
+        }
+
+    def _resolve_executor(self, body: dict) -> str:
+        from repro.exec import EXECUTORS
+
+        executor = body.get("executor", self.config.default_executor)
+        if executor not in EXECUTORS:
+            raise RequestError(
+                400,
+                "bad_executor",
+                f"unknown executor {executor!r} (one of: {', '.join(EXECUTORS)})",
+            )
+        return executor
+
+    def _resolve_limit(self, body: dict) -> Optional[int]:
+        """The row limit for one /execute: explicit, or the default cap.
+
+        ``"limit": null`` means unlimited; an absent limit defaults to
+        :data:`DEFAULT_EXECUTE_LIMIT` so an unbounded join cannot melt
+        the JSON serialiser by accident.
+        """
+        if "limit" not in body:
+            return DEFAULT_EXECUTE_LIMIT
+        limit = body["limit"]
+        if limit is None:
+            return None
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 0:
+            raise RequestError(400, "bad_request", "'limit' must be an integer >= 0 or null")
+        return limit
+
+    def execute_body(self, body: dict) -> dict:
+        """``POST /execute`` — optimize one statement, then run the plan.
+
+        Requires a dataset (``ServerConfig(dataset=...)`` / the
+        ``--dataset`` flag) — without one the endpoint answers 409.  The
+        body takes the /optimize fields plus ``executor`` (backend
+        choice, default the config's) and ``limit`` (row cap; ``null``
+        for unlimited, absent for the default cap).  The response
+        carries the rows columnar-style (``columns`` + row arrays) with
+        the pure execution runtime, which also feeds the ``executions``
+        block of ``GET /stats``.
+        """
+        if self.dataset is None:
+            raise RequestError(
+                409,
+                "no_dataset",
+                "no dataset loaded — start the server with a dataset "
+                "(e.g. --dataset tpch-sf0.01) to execute plans",
+            )
+        from repro.algebra.values import NULL
+        from repro.exec import run_plan
+
+        executor = self._resolve_executor(body)
+        limit = self._resolve_limit(body)
+        config = self._derive_config(body)
+        started = time.perf_counter()
+        deadline_at = time.monotonic() + self.config.request_timeout_seconds
+        result = self._optimize_one(body.get("sql"), config, deadline_at)
+        query = self._parse(body.get("sql"))
+        try:
+            database = self.dataset.database_for(query)
+        except KeyError as exc:
+            raise RequestError(
+                404, "unknown_table", f"dataset has no table for {exc.args[0]!r}"
+            ) from exc
+        run_started = time.perf_counter()
+        try:
+            relation = run_plan(result.plan.node, database, executor=executor, limit=limit)
+        except Exception as exc:  # noqa: BLE001 - per-request isolation
+            self.metrics.record_failure()
+            raise RequestError(
+                500, "execution_error", f"{type(exc).__name__}: {exc}"
+            ) from exc
+        execution_seconds = time.perf_counter() - run_started
+        self.metrics.record_execution(executor, execution_seconds, len(relation))
+        columns = list(relation.attributes)
+        return {
+            "strategy": result.strategy,
+            "cost": result.cost,
+            "cache_hit": result.cache_hit,
+            "degraded": result.degraded,
+            "executor": executor,
+            "limit": limit,
+            "columns": columns,
+            "rows": [
+                [None if row[column] is NULL else row[column] for column in columns]
+                for row in relation
+            ],
+            "row_count": len(relation),
+            "execution_seconds": execution_seconds,
+            "server_seconds": time.perf_counter() - started,
         }
 
     def batch_body(self, body: dict) -> dict:

@@ -140,6 +140,10 @@ class _Entry:
     #: the stored query object — transient revalidation context, NOT
     #: persisted in snapshots (it can hold resolver caches).
     query: Optional[object] = None
+    #: lifetime hit count; :meth:`PlanCache.claim_stale` drains the
+    #: hottest entries first so revalidation capacity goes where the
+    #: serving traffic is.
+    hits: int = 0
 
 
 @dataclass(frozen=True)
@@ -197,6 +201,7 @@ class PlanCache:
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            entry.hits += 1
             return entry.result, entry.binding
 
     def serve(self, key: PlanCacheKey, query) -> Optional["OptimizationResult"]:
@@ -238,6 +243,7 @@ class PlanCache:
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            entry.hits += 1
             if (
                 entry.state == FRESH
                 and exact_snapshot is not None
@@ -444,17 +450,28 @@ class PlanCache:
     def claim_stale(self, limit: Optional[int] = None) -> Tuple["StaleClaim", ...]:
         """Atomically claim up to *limit* stale entries for revalidation.
 
-        Each claimed entry transitions ``stale → revalidating`` (so two
-        revalidator threads never double-plan one entry) and is returned
-        as a :class:`StaleClaim` carrying everything a revalidator needs.
+        Stale entries are claimed **hottest first** — most lifetime hits,
+        ties broken by LRU insertion order — so a bounded revalidation
+        budget refreshes the plans the serving traffic actually depends
+        on before the long tail.  Each claimed entry
+        transitions ``stale → revalidating`` (so two revalidator threads
+        never double-plan one entry) and is returned as a
+        :class:`StaleClaim` carrying everything a revalidator needs.
         Claims for entries evicted mid-revalidation simply no-op at
         :meth:`refresh` time.
         """
         with self._lock:
+            stale = [
+                (entry.hits, key, entry)
+                for key, entry in self._entries.items()
+                if entry.state == STALE
+            ]
+            # Hits descending; the stable sort keeps LRU order for ties.
+            stale.sort(key=lambda item: -item[0])
+            if limit is not None:
+                stale = stale[:limit]
             claims = []
-            for key, entry in self._entries.items():
-                if entry.state != STALE:
-                    continue
+            for _, key, entry in stale:
                 entry.state = REVALIDATING
                 claims.append(
                     StaleClaim(
@@ -466,8 +483,6 @@ class PlanCache:
                         binding=entry.binding,
                     )
                 )
-                if limit is not None and len(claims) >= limit:
-                    break
             return tuple(claims)
 
     def refresh(

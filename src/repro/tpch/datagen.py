@@ -10,10 +10,12 @@ keys — deterministically from a seed.
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional
+import zlib
+from typing import Dict, List, Mapping, Optional
 
 from repro.algebra.relation import Relation
 from repro.algebra.rows import Row
+from repro.tpch.schema import TABLES
 from repro.tpch.stats import ORDERDATE_DAYS, SHIPDATE_DAYS
 
 #: micro-scale row counts (large enough for joins to hit *and* miss)
@@ -46,20 +48,26 @@ def micro_table(table: str, alias: Optional[str] = None, seed: int = 0) -> Relat
     return Relation(attributes, rows)
 
 
-def _row(table: str, i: int, rng: random.Random) -> Dict[str, object]:
+def _row(
+    table: str,
+    i: int,
+    rng: random.Random,
+    counts: Mapping[str, int] = MICRO_ROWS,
+) -> Dict[str, object]:
+    """Row *i* of *table*; foreign-key ranges come from *counts*."""
     if table == "region":
         return {"r_regionkey": i, "r_name": _REGION_NAMES[i % len(_REGION_NAMES)]}
     if table == "nation":
         return {
             "n_nationkey": i,
             "n_name": f"NATION#{i}",
-            "n_regionkey": rng.randrange(MICRO_ROWS["region"]),
+            "n_regionkey": rng.randrange(counts["region"]),
         }
     if table == "supplier":
         return {
             "s_suppkey": i,
             "s_name": f"Supplier#{i}",
-            "s_nationkey": rng.randrange(MICRO_ROWS["nation"]),
+            "s_nationkey": rng.randrange(counts["nation"]),
             "s_acctbal": rng.randint(-100, 1000),
         }
     if table == "customer":
@@ -67,7 +75,7 @@ def _row(table: str, i: int, rng: random.Random) -> Dict[str, object]:
             "c_custkey": i,
             "c_name": f"Customer#{i}",
             "c_address": f"Addr#{i}",
-            "c_nationkey": rng.randrange(MICRO_ROWS["nation"]),
+            "c_nationkey": rng.randrange(counts["nation"]),
             "c_phone": f"13-{i:03d}",
             "c_acctbal": rng.randint(-100, 1000),
             "c_mktsegment": _SEGMENTS[rng.randrange(len(_SEGMENTS))],
@@ -83,15 +91,15 @@ def _row(table: str, i: int, rng: random.Random) -> Dict[str, object]:
     if table == "partsupp":
         return {
             # (partkey, suppkey) pairs stay unique: the primary key holds.
-            "ps_partkey": i % MICRO_ROWS["part"],
-            "ps_suppkey": i // MICRO_ROWS["part"],
+            "ps_partkey": i % counts["part"],
+            "ps_suppkey": i // counts["part"],
             "ps_availqty": rng.randint(0, 999),
             "ps_supplycost": rng.randint(1, 100),
         }
     if table == "orders":
         return {
             "o_orderkey": i,
-            "o_custkey": rng.randrange(MICRO_ROWS["customer"] + 4),  # some dangle
+            "o_custkey": rng.randrange(counts["customer"] + 4),  # some dangle
             "o_orderstatus": rng.choice(["O", "F", "P"]),
             "o_totalprice": rng.randint(100, 10_000),
             "o_orderdate": rng.randrange(ORDERDATE_DAYS),
@@ -99,9 +107,9 @@ def _row(table: str, i: int, rng: random.Random) -> Dict[str, object]:
         }
     if table == "lineitem":
         return {
-            "l_orderkey": rng.randrange(MICRO_ROWS["orders"] + 4),  # some dangle
-            "l_partkey": rng.randrange(MICRO_ROWS["part"]),
-            "l_suppkey": rng.randrange(MICRO_ROWS["supplier"] + 2),
+            "l_orderkey": rng.randrange(counts["orders"] + 4),  # some dangle
+            "l_partkey": rng.randrange(counts["part"]),
+            "l_suppkey": rng.randrange(counts["supplier"] + 2),
             "l_linenumber": i,
             "l_quantity": rng.randint(1, 50),
             "l_extendedprice": rng.randint(100, 5_000),
@@ -110,3 +118,48 @@ def _row(table: str, i: int, rng: random.Random) -> Dict[str, object]:
             "l_shipdate": rng.randrange(SHIPDATE_DAYS),
         }
     raise KeyError(f"unknown TPC-H table {table!r}")
+
+
+# ---------------------------------------------------------------------------
+# scaled generation (SF 0.01 – 1) into columnar tables
+# ---------------------------------------------------------------------------
+
+def scaled_counts(scale_factor: float) -> Dict[str, int]:
+    """TPC-H row counts at *scale_factor* (region/nation do not scale)."""
+    if not 0 < scale_factor <= 1:
+        raise ValueError(f"scale_factor must be in (0, 1], got {scale_factor}")
+    return {
+        name: max(1, int(round(spec.cardinality(scale_factor))))
+        for name, spec in TABLES.items()
+    }
+
+
+def scaled_table(table: str, scale_factor: float, seed: int = 0):
+    """One TPC-H table at *scale_factor* as a bare-column ``ColumnTable``.
+
+    Unlike :func:`micro_table`, the rng seed is derived from a stable
+    CRC of the table name, so the data is identical across processes
+    (benchmark baselines stay comparable between runs).
+    """
+    from repro.data.tables import ColumnTable
+
+    counts = scaled_counts(scale_factor)
+    rng = random.Random((zlib.crc32(table.encode()) ^ seed) & 0xFFFFFFFF)
+    columns: Dict[str, List[object]] = {col: [] for col in TABLES[table].columns}
+    for i in range(counts[table]):
+        for key, value in _row(table, i, rng, counts).items():
+            columns[key].append(value)
+    return ColumnTable(table, columns)
+
+
+def scaled_dataset(scale_factor: float, seed: int = 0):
+    """All eight TPC-H tables at *scale_factor* as a ``Dataset``."""
+    from repro.data.tables import Dataset
+
+    tables = {name: scaled_table(name, scale_factor, seed) for name in TABLES}
+    return Dataset(tables, name=f"tpch-sf{scale_factor:g}")
+
+
+def table_keys() -> Dict[str, tuple]:
+    """Primary keys per table, as frozensets for ``TableStats.keys``."""
+    return {name: (frozenset(spec.primary_key),) for name, spec in TABLES.items()}

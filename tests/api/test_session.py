@@ -49,6 +49,37 @@ class TestSessionPipeline:
         with pytest.raises(ValueError, match="no database"):
             handle.execute()
 
+    def test_execute_picks_the_backend(self, session):
+        statement = session.sql(SQL)
+        handle = statement.optimize()
+        database = micro_database(statement.query)
+        reference = handle.execute(database, executor="interpreter")
+        assert handle.execute(database, executor="columnar") == reference
+
+    def test_execute_limit_truncates(self, session):
+        statement = session.sql(SQL)
+        handle = statement.optimize()
+        database = micro_database(statement.query)
+        assert len(handle.execute(database, limit=2)) == 2
+        assert len(handle.execute(database, limit=0)) == 0
+
+    def test_execute_unknown_backend_raises(self, session):
+        statement = session.sql(SQL)
+        handle = statement.optimize()
+        with pytest.raises(ValueError, match="unknown executor"):
+            handle.execute(micro_database(statement.query), executor="gpu")
+
+    def test_session_dataset_resolves_per_query(self):
+        # A Dataset as the session database: PlanHandle.execute binds
+        # only the query's relations, through both backends.
+        from repro.tpch.datagen import scaled_dataset
+
+        session = PlannerSession.tpch(database=scaled_dataset(0.001))
+        reference = session.execute(SQL, executor="interpreter")
+        columnar = session.execute(SQL, executor="columnar")
+        assert columnar == reference
+        assert len(reference) > 0
+
     def test_one_shot_optimize_accepts_sql(self, session):
         handle = session.optimize(SQL)
         assert handle.strategy == "ea-prune"

@@ -1,0 +1,82 @@
+"""``POST /execute`` on the async tier: shard-routed execution.
+
+One worker shard provisions ``tpch-sf0.001`` at boot; the front routes
+``/execute`` by the SQL's structural fingerprint exactly like
+``/optimize``, so the executing shard is the one whose cache shard owns
+the plan.
+"""
+
+import pytest
+
+from repro.asyncserver import AsyncPlanServer, AsyncServerConfig
+from repro.server import ServerClient, ServerError
+
+SQL = (
+    "SELECT ns.n_name, count(*) AS cnt FROM nation ns "
+    "JOIN supplier s ON ns.n_nationkey = s.s_nationkey GROUP BY ns.n_name"
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = AsyncServerConfig(
+        port=0, shards=1, cache_capacity=64, dataset="tpch-sf0.001"
+    )
+    with AsyncPlanServer(config) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server):
+    with ServerClient(port=server.port) as c:
+        yield c
+
+
+class TestAsyncExecute:
+    def test_round_trip_reports_shard(self, client):
+        body = client.execute(SQL, limit=None)
+        assert body["executor"] == "columnar"
+        assert body["shard"] == 0
+        assert body["row_count"] == len(body["rows"]) > 0
+
+    def test_backends_agree_through_the_frame_protocol(self, client):
+        columnar = client.execute(SQL, limit=None)
+        interpreter = client.execute(SQL, executor="interpreter", limit=None)
+        assert sorted(map(tuple, columnar["rows"])) == sorted(
+            map(tuple, interpreter["rows"])
+        )
+
+    def test_limit_truncates(self, client):
+        body = client.execute(SQL, limit=1)
+        assert body["row_count"] == 1
+
+    def test_bad_executor_is_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.execute(SQL, executor="gpu")
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_executor"
+
+    def test_stats_merge_shard_executions(self, client):
+        client.execute(SQL)
+        stats = client.stats()
+        executions = stats["executions"]
+        assert executions["count"] >= 1
+        assert executions["by_executor"].get("columnar", 0) >= 1
+        assert executions["rows_returned"] >= 1
+        # The per-shard detail carries each worker's own counters.
+        assert stats["shard_detail"][0]["executions"]["count"] >= 1
+
+
+class TestAsyncExecuteWithoutDataset:
+    def test_409_when_no_dataset_loaded(self):
+        config = AsyncServerConfig(port=0, shards=1, cache_capacity=8)
+        with AsyncPlanServer(config) as server:
+            with ServerClient(port=server.port) as client:
+                with pytest.raises(ServerError) as excinfo:
+                    client.execute(SQL)
+                assert excinfo.value.status == 409
+                assert excinfo.value.code == "no_dataset"
+
+    def test_bad_spec_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="dataset spec"):
+            AsyncServerConfig(dataset="nonsense-spec")

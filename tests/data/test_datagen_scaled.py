@@ -1,0 +1,80 @@
+"""Scaled TPC-H generation: determinism, keys, FK plausibility, scaling."""
+
+import pytest
+
+from repro.tpch.datagen import (
+    MICRO_ROWS,
+    micro_table,
+    scaled_counts,
+    scaled_dataset,
+    scaled_table,
+    table_keys,
+)
+from repro.tpch.schema import TABLES
+
+
+def test_scaled_counts_sf1_match_schema():
+    counts = scaled_counts(1.0)
+    for name, spec in TABLES.items():
+        assert counts[name] == int(spec.cardinality(1.0))
+
+
+def test_scaled_counts_fixed_tables_do_not_scale():
+    counts = scaled_counts(0.01)
+    assert counts["region"] == 5
+    assert counts["nation"] == 25
+    assert counts["supplier"] == 100
+
+
+def test_scaled_counts_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        scaled_counts(0.0)
+    with pytest.raises(ValueError):
+        scaled_counts(2.0)
+
+
+def test_scaled_table_deterministic_across_calls():
+    a = scaled_table("orders", 0.01)
+    b = scaled_table("orders", 0.01)
+    assert a.attributes == b.attributes
+    for attr in a.attributes:
+        assert a.column(attr) == b.column(attr)
+    c = scaled_table("orders", 0.01, seed=1)
+    assert c.column("o_custkey") != a.column("o_custkey")
+
+
+def test_scaled_table_primary_keys_unique():
+    for name in ("nation", "supplier", "customer", "orders", "partsupp"):
+        table = scaled_table(name, 0.01)
+        pk = TABLES[name].primary_key
+        keys = list(zip(*(table.column(col) for col in pk)))
+        assert len(keys) == len(set(keys)), f"{name} primary key collides"
+
+
+def test_scaled_foreign_keys_mostly_resolve():
+    counts = scaled_counts(0.01)
+    lineitem = scaled_table("lineitem", 0.01)
+    # l_partkey never dangles; l_orderkey may (generator leaves some dangling
+    # on purpose) but must stay within the +4 slack window.
+    assert all(0 <= v < counts["part"] for v in lineitem.column("l_partkey"))
+    assert all(0 <= v < counts["orders"] + 4 for v in lineitem.column("l_orderkey"))
+
+
+def test_scaled_dataset_shape():
+    dataset = scaled_dataset(0.01)
+    assert sorted(dataset.tables) == sorted(TABLES)
+    assert len(dataset.table("lineitem")) == scaled_counts(0.01)["lineitem"]
+
+
+def test_micro_table_unchanged_by_counts_parameter():
+    # The counts parameter must not perturb the micro generator's output
+    # (same rng call sequence with the MICRO_ROWS default).
+    table = micro_table("orders")
+    assert len(table.rows) == MICRO_ROWS["orders"]
+    assert all(0 <= row["orders.o_custkey"] < MICRO_ROWS["customer"] + 4 for row in table.rows)
+
+
+def test_table_keys_cover_all_tables():
+    keys = table_keys()
+    assert set(keys) == set(TABLES)
+    assert keys["partsupp"] == (frozenset({"ps_partkey", "ps_suppkey"}),)

@@ -1,0 +1,109 @@
+"""CSV/Parquet loader units: inference, NULLs, round-trips, gating."""
+
+import os
+
+import pytest
+
+from repro.algebra.values import NULL
+from repro.data import (
+    HAVE_PYARROW,
+    load_csv,
+    load_dataset_into,
+    load_directory,
+    load_file,
+    load_parquet,
+    write_csv,
+)
+from repro.data.tables import ColumnTable
+from repro.sql.catalog import Catalog
+
+
+def write(tmp_path, name, text):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return str(path)
+
+
+def test_type_inference_and_nulls(tmp_path):
+    path = write(tmp_path, "t.csv", "a,b,c,d\n1,1.5,x,\n,2.5,,7\n3,,y,8\n")
+    table = load_csv(path)
+    assert table.name == "t"
+    assert table.column("a") == [1, NULL, 3]
+    assert table.column("b") == [1.5, 2.5, NULL]
+    assert table.column("c") == ["x", NULL, "y"]
+    assert table.column("d") == [NULL, 7, 8]
+
+
+def test_one_string_cell_keeps_column_textual(tmp_path):
+    path = write(tmp_path, "t.csv", "a\n1\n2\noops\n")
+    assert load_csv(path).column("a") == ["1", "2", "oops"]
+
+
+def test_int_column_with_float_cell_becomes_float(tmp_path):
+    path = write(tmp_path, "t.csv", "a\n1\n2.5\n")
+    assert load_csv(path).column("a") == [1.0, 2.5]
+
+
+def test_empty_file_rejected(tmp_path):
+    path = write(tmp_path, "t.csv", "")
+    with pytest.raises(ValueError, match="empty"):
+        load_csv(path)
+
+
+def test_duplicate_header_rejected(tmp_path):
+    path = write(tmp_path, "t.csv", "a,a\n1,2\n")
+    with pytest.raises(ValueError, match="duplicate"):
+        load_csv(path)
+
+
+def test_ragged_record_rejected(tmp_path):
+    path = write(tmp_path, "t.csv", "a,b\n1,2\n3\n")
+    with pytest.raises(ValueError, match="line 3"):
+        load_csv(path)
+
+
+def test_csv_roundtrip(tmp_path):
+    table = ColumnTable("t", {"x": [1, NULL, 3], "y": ["a", "b", NULL]})
+    path = str(tmp_path / "t.csv")
+    write_csv(table, path)
+    assert load_csv(path).to_relation() == table.to_relation()
+
+
+def test_load_file_dispatch(tmp_path):
+    path = write(tmp_path, "t.csv", "a\n1\n")
+    assert load_file(path).column("a") == [1]
+    with pytest.raises(ValueError, match="unsupported"):
+        load_file(str(tmp_path / "t.json"))
+
+
+def test_load_directory(tmp_path):
+    write(tmp_path, "one.csv", "a\n1\n")
+    write(tmp_path, "two.csv", "b\n2\n")
+    (tmp_path / "ignored.txt").write_text("x")
+    dataset = load_directory(str(tmp_path))
+    assert sorted(dataset.tables) == ["one", "two"]
+    assert dataset.name == os.path.basename(str(tmp_path))
+
+
+def test_load_directory_empty(tmp_path):
+    with pytest.raises(ValueError, match="no .csv"):
+        load_directory(str(tmp_path))
+
+
+def test_load_dataset_into_registers_measured_stats(tmp_path):
+    write(tmp_path, "t.csv", "a,b\n1,x\n1,y\n2,z\n")
+    catalog = Catalog()
+    dataset = load_dataset_into(
+        catalog, str(tmp_path), keys={"t": (frozenset({"a", "b"}),)}
+    )
+    assert "t" in dataset
+    stats = catalog.lookup("t")
+    assert stats.cardinality == 3.0
+    assert stats.distinct["a"] == 2.0
+    assert stats.keys == (frozenset({"a", "b"}),)
+
+
+@pytest.mark.skipif(HAVE_PYARROW, reason="pyarrow installed: gate inactive")
+def test_parquet_gated_without_pyarrow():
+    with pytest.raises(RuntimeError, match="pyarrow"):
+        load_parquet("anything.parquet")

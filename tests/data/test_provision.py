@@ -1,0 +1,42 @@
+"""Dataset spec resolution: ``tpch-sf<scale>`` and directory forms."""
+
+import pytest
+
+from repro.data import dataset_from_spec, write_csv
+from repro.data.provision import validate_dataset_spec
+from repro.tpch.datagen import scaled_dataset
+
+
+class TestValidate:
+    def test_tpch_spec_normalises(self):
+        assert validate_dataset_spec("  TPCH-SF0.01 ") == "TPCH-SF0.01"
+
+    @pytest.mark.parametrize("bad", ["", "   ", "nonsense", "tpch-sf", "tpch-sfx"])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            validate_dataset_spec(bad)
+
+    @pytest.mark.parametrize("scale", ["0", "1.5", "2"])
+    def test_out_of_range_scale_rejected(self, scale):
+        with pytest.raises(ValueError, match="scale"):
+            validate_dataset_spec(f"tpch-sf{scale}")
+
+    def test_missing_directory_rejected(self):
+        with pytest.raises(ValueError, match="unknown dataset spec"):
+            validate_dataset_spec("/no/such/directory")
+
+
+class TestResolve:
+    def test_tpch_spec_matches_direct_generation(self):
+        provisioned = dataset_from_spec("tpch-sf0.001")
+        direct = scaled_dataset(0.001)
+        assert provisioned.table("nation").to_relation() == direct.table(
+            "nation"
+        ).to_relation()
+
+    def test_directory_spec_loads_files(self, tmp_path):
+        table = scaled_dataset(0.001).table("region")
+        write_csv(table, str(tmp_path / "region.csv"))
+        dataset = dataset_from_spec(str(tmp_path))
+        assert "region" in dataset
+        assert dataset.table("region").length == table.length

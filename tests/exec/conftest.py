@@ -1,0 +1,15 @@
+import pytest
+
+from repro.exec.arrays import FORCE_FALLBACK_ENV, HAVE_NUMPY
+
+
+@pytest.fixture(params=["numpy", "fallback"])
+def backend(request, monkeypatch):
+    """Run the test under both columnar array backends."""
+    if request.param == "fallback":
+        monkeypatch.setenv(FORCE_FALLBACK_ENV, "1")
+    else:
+        if not HAVE_NUMPY:
+            pytest.skip("numpy not installed")
+        monkeypatch.delenv(FORCE_FALLBACK_ENV, raising=False)
+    return request.param

@@ -1,0 +1,91 @@
+"""Differential gate: the columnar executor is row-set identical to the
+interpreter on random SQL workloads and every TPC-H query, under both
+array backends and for every optimizer strategy's plan shape."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+# The backend fixture only toggles an env var read per run_plan call, so
+# not resetting it between generated inputs is safe.
+FIXTURE_OK = dict(
+    deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture]
+)
+
+from repro.exec import run_plan
+from repro.optimizer import optimize
+from repro.query.canonical import canonical_plan
+from repro.tpch.datagen import scaled_dataset
+from repro.tpch.queries import TPCH_QUERIES, micro_database
+from repro.workload import WorkloadConfig, generate_database, generate_query
+
+STRATEGIES = ["ea-prune", "dphyp", "h1"]
+
+
+@settings(max_examples=20, **FIXTURE_OK)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_random_workloads_row_set_identical(backend, seed):
+    rng = random.Random(seed)
+    query = generate_query(rng.randint(2, 5), rng)
+    database = generate_database(query, rng)
+    plans = [canonical_plan(query)] + [
+        optimize(query, s).plan.node for s in STRATEGIES[:2]
+    ]
+    for plan in plans:
+        interpreter = run_plan(plan, database, executor="interpreter")
+        columnar = run_plan(plan, database, executor="columnar")
+        assert columnar == interpreter, f"diverged on seed {seed}"
+
+
+@settings(max_examples=10, **FIXTURE_OK)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_outer_join_heavy_workloads(backend, seed):
+    from repro.rewrites.pushdown import OpKind
+
+    rng = random.Random(seed)
+    config = WorkloadConfig(
+        operator_weights={
+            OpKind.INNER: 0.2,
+            OpKind.LEFT_OUTER: 0.3,
+            OpKind.FULL_OUTER: 0.3,
+            OpKind.LEFT_SEMI: 0.1,
+            OpKind.LEFT_ANTI: 0.1,
+        }
+    )
+    query = generate_query(rng.randint(2, 5), rng, config)
+    database = generate_database(query, rng)
+    plan = canonical_plan(query)
+    assert run_plan(plan, database, executor="columnar") == run_plan(
+        plan, database, executor="interpreter"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(TPCH_QUERIES))
+def test_tpch_micro_all_strategies(backend, name):
+    query = TPCH_QUERIES[name](1.0)
+    database = micro_database(query)
+    expected = run_plan(canonical_plan(query), database, executor="interpreter")
+    for strategy in STRATEGIES:
+        plan = optimize(query, strategy).plan.node
+        assert run_plan(plan, database, executor="columnar") == expected, (
+            f"{name} diverged under {strategy}"
+        )
+
+
+def test_tpch_scaled_numpy_matches_fallback(monkeypatch):
+    """Cross-backend check at a scale the interpreter cannot reach."""
+    from repro.exec.arrays import FORCE_FALLBACK_ENV, HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        pytest.skip("numpy not installed")
+    dataset = scaled_dataset(0.01)
+    query = TPCH_QUERIES["Q3"](0.01)
+    database = dataset.database_for(query)
+    plan = optimize(query, "ea-prune").plan.node
+    monkeypatch.delenv(FORCE_FALLBACK_ENV, raising=False)
+    accelerated = run_plan(plan, database, executor="columnar")
+    monkeypatch.setenv(FORCE_FALLBACK_ENV, "1")
+    fallback = run_plan(plan, database, executor="columnar")
+    assert accelerated == fallback
+    assert len(accelerated.rows) > 0

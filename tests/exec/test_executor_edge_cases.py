@@ -1,0 +1,244 @@
+"""Satellite: executor-equivalence edge cases.
+
+NULL join keys under semi/anti/outer joins, predicates evaluating to
+UNKNOWN, empty inputs, and duplicate-heavy group-bys — each asserted
+both against the interpreter (row-set equality) and against the SQL
+semantics directly, under both array backends.
+"""
+
+import pytest
+
+from repro.aggregates.calls import avg, count, count_star, sum_
+from repro.aggregates.vector import AggItem, AggVector
+from repro.algebra.expressions import Attr, BinOp, Const, IsNull, Logical, Not
+from repro.algebra.relation import Relation
+from repro.algebra.values import NULL
+from repro.exec import run_plan
+from repro.plans.nodes import GroupByNode, JoinNode, ScanNode, SelectNode
+from repro.rewrites.pushdown import OpKind
+
+SCAN_L = ScanNode("L", ("l.k",))
+SCAN_R = ScanNode("R", ("r.k",))
+KEY_EQ = BinOp("=", Attr("l.k"), Attr("r.k"))
+
+ALL_JOIN_KINDS = [
+    OpKind.INNER,
+    OpKind.LEFT_OUTER,
+    OpKind.FULL_OUTER,
+    OpKind.LEFT_SEMI,
+    OpKind.LEFT_ANTI,
+]
+
+
+def both(plan, database):
+    columnar = run_plan(plan, database, executor="columnar")
+    interpreter = run_plan(plan, database, executor="interpreter")
+    assert columnar == interpreter
+    return columnar
+
+
+# ---------------------------------------------------------------------------
+# NULL join keys
+# ---------------------------------------------------------------------------
+
+NULL_L = Relation.from_tuples(("l.k",), [(1,), (NULL,), (2,), (NULL,)])
+NULL_R = Relation.from_tuples(("r.k",), [(NULL,), (1,), (3,)])
+NULL_DB = {"L": NULL_L, "R": NULL_R}
+
+
+def test_null_keys_never_match_inner(backend):
+    result = both(JoinNode(OpKind.INNER, KEY_EQ, SCAN_L, SCAN_R), NULL_DB)
+    # Only 1=1 matches; NULL=NULL is UNKNOWN, not TRUE.
+    assert [(r["l.k"], r["r.k"]) for r in result.rows] == [(1, 1)]
+
+
+def test_null_keys_semi_join(backend):
+    result = both(JoinNode(OpKind.LEFT_SEMI, KEY_EQ, SCAN_L, SCAN_R), NULL_DB)
+    assert [r["l.k"] for r in result.rows] == [1]
+
+
+def test_null_keys_anti_join_keeps_null_rows(backend):
+    # NOT EXISTS semantics: a NULL-keyed left row has no match, so it stays.
+    result = both(JoinNode(OpKind.LEFT_ANTI, KEY_EQ, SCAN_L, SCAN_R), NULL_DB)
+    assert [r["l.k"] for r in result.rows] == [NULL, 2, NULL]
+
+
+def test_null_keys_left_outer_pads_null_rows(backend):
+    result = both(JoinNode(OpKind.LEFT_OUTER, KEY_EQ, SCAN_L, SCAN_R), NULL_DB)
+    assert [(r["l.k"], r["r.k"]) for r in result.rows] == [
+        (1, 1),
+        (NULL, NULL),
+        (2, NULL),
+        (NULL, NULL),
+    ]
+
+
+def test_null_keys_full_outer_emits_both_sides(backend):
+    result = both(JoinNode(OpKind.FULL_OUTER, KEY_EQ, SCAN_L, SCAN_R), NULL_DB)
+    # 4 left rows (one matched) + 2 unmatched right rows appended at the end.
+    assert len(result.rows) == 6
+    assert [(r["l.k"], r["r.k"]) for r in result.rows[-2:]] == [(NULL, NULL), (NULL, 3)]
+
+
+def test_null_in_multi_key_conjunction(backend):
+    left = Relation.from_tuples(("l.a", "l.b"), [(1, 1), (1, NULL), (NULL, 2)])
+    right = Relation.from_tuples(("r.a", "r.b"), [(1, 1), (1, 2), (NULL, 2)])
+    pred = Logical(
+        "and",
+        (BinOp("=", Attr("l.a"), Attr("r.a")), BinOp("=", Attr("l.b"), Attr("r.b"))),
+    )
+    plan = JoinNode(
+        OpKind.INNER,
+        pred,
+        ScanNode("L", ("l.a", "l.b")),
+        ScanNode("R", ("r.a", "r.b")),
+    )
+    result = both(plan, {"L": left, "R": right})
+    assert [(r["l.a"], r["l.b"]) for r in result.rows] == [(1, 1)]
+
+
+# ---------------------------------------------------------------------------
+# UNKNOWN three-valued logic
+# ---------------------------------------------------------------------------
+
+def test_unknown_is_not_false_for_not(backend):
+    # NOT (NULL > 0) is UNKNOWN, not TRUE: the row must NOT pass.
+    t = Relation.from_tuples(("t.x",), [(NULL,), (-1,), (5,)])
+    plan = SelectNode(Not(BinOp(">", Attr("t.x"), Const(0))), ScanNode("T", ("t.x",)))
+    result = both(plan, {"T": t})
+    assert [r["t.x"] for r in result.rows] == [-1]
+
+
+def test_kleene_or_rescues_unknown(backend):
+    # UNKNOWN OR TRUE = TRUE: rows with NULL x but matching y still pass.
+    t = Relation.from_tuples(("t.x", "t.y"), [(NULL, 1), (NULL, 0), (3, 0)])
+    pred = Logical("or", (BinOp(">", Attr("t.x"), Const(0)), BinOp("=", Attr("t.y"), Const(1))))
+    plan = SelectNode(pred, ScanNode("T", ("t.x", "t.y")))
+    result = both(plan, {"T": t})
+    assert [(r["t.x"], r["t.y"]) for r in result.rows] == [(NULL, 1), (3, 0)]
+
+
+def test_kleene_and_unknown_poisons_true(backend):
+    t = Relation.from_tuples(("t.x", "t.y"), [(NULL, 1), (2, 1)])
+    pred = Logical("and", (BinOp(">", Attr("t.x"), Const(0)), BinOp("=", Attr("t.y"), Const(1))))
+    plan = SelectNode(pred, ScanNode("T", ("t.x", "t.y")))
+    result = both(plan, {"T": t})
+    assert [r["t.x"] for r in result.rows] == [2]
+
+
+def test_is_null_is_two_valued(backend):
+    t = Relation.from_tuples(("t.x",), [(NULL,), (0,), (1,)])
+    plan = SelectNode(IsNull(Attr("t.x")), ScanNode("T", ("t.x",)))
+    assert len(both(plan, {"T": t}).rows) == 1
+    plan = SelectNode(Not(IsNull(Attr("t.x"))), ScanNode("T", ("t.x",)))
+    assert len(both(plan, {"T": t}).rows) == 2
+
+
+def test_unknown_residual_on_hash_join(backend):
+    # Hash keys match but the residual is UNKNOWN: the pair must drop.
+    left = Relation.from_tuples(("l.k", "l.v"), [(1, NULL), (1, 5)])
+    right = Relation.from_tuples(("r.k",), [(1,)])
+    pred = Logical("and", (KEY_EQ, BinOp(">", Attr("l.v"), Const(0))))
+    plan = JoinNode(OpKind.INNER, pred, ScanNode("L", ("l.k", "l.v")), SCAN_R)
+    result = both(plan, {"L": left, "R": right})
+    assert [r["l.v"] for r in result.rows] == [5]
+
+
+# ---------------------------------------------------------------------------
+# empty inputs
+# ---------------------------------------------------------------------------
+
+EMPTY_L = Relation(("l.k",))
+EMPTY_R = Relation(("r.k",))
+SOME_L = Relation.from_tuples(("l.k",), [(1,), (2,)])
+SOME_R = Relation.from_tuples(("r.k",), [(2,), (3,)])
+
+
+@pytest.mark.parametrize("kind", ALL_JOIN_KINDS)
+def test_empty_left_input(backend, kind):
+    plan = JoinNode(kind, KEY_EQ, SCAN_L, SCAN_R)
+    result = both(plan, {"L": EMPTY_L, "R": SOME_R})
+    if kind is OpKind.FULL_OUTER:
+        assert len(result.rows) == 2  # every right row padded
+    else:
+        assert result.rows == []
+
+
+@pytest.mark.parametrize("kind", ALL_JOIN_KINDS)
+def test_empty_right_input(backend, kind):
+    plan = JoinNode(kind, KEY_EQ, SCAN_L, SCAN_R)
+    result = both(plan, {"L": SOME_L, "R": EMPTY_R})
+    if kind in (OpKind.LEFT_OUTER, OpKind.FULL_OUTER, OpKind.LEFT_ANTI):
+        assert len(result.rows) == 2
+    else:
+        assert result.rows == []
+
+
+@pytest.mark.parametrize("kind", ALL_JOIN_KINDS)
+def test_both_inputs_empty(backend, kind):
+    plan = JoinNode(kind, KEY_EQ, SCAN_L, SCAN_R)
+    assert both(plan, {"L": EMPTY_L, "R": EMPTY_R}).rows == []
+
+
+def test_empty_groupjoin_left_side(backend):
+    vector = AggVector([AggItem("cnt", count_star())])
+    plan = JoinNode(OpKind.GROUPJOIN, KEY_EQ, SCAN_L, SCAN_R, groupjoin_vector=vector)
+    assert both(plan, {"L": EMPTY_L, "R": SOME_R}).rows == []
+
+
+def test_group_by_empty_input(backend):
+    vector = AggVector([AggItem("s", sum_(Attr("l.k")))])
+    plan = GroupByNode(("l.k",), vector, SCAN_L)
+    assert both(plan, {"L": EMPTY_L}).rows == []
+
+
+def test_filter_on_empty_input(backend):
+    plan = SelectNode(BinOp(">", Attr("l.k"), Const(0)), SCAN_L)
+    assert both(plan, {"L": EMPTY_L}).rows == []
+
+
+# ---------------------------------------------------------------------------
+# duplicate-heavy group-by
+# ---------------------------------------------------------------------------
+
+def test_duplicate_heavy_group_by(backend):
+    # 200 rows over 3 group keys, duplicated values, NULL keys and values.
+    tuples = []
+    for i in range(200):
+        key = (i * 7) % 3 if i % 11 else NULL
+        value = (i % 5) or NULL
+        tuples.append((key, value))
+    t = Relation.from_tuples(("t.g", "t.x"), tuples)
+    vector = AggVector(
+        [
+            AggItem("n", count_star()),
+            AggItem("nx", count(Attr("t.x"))),
+            AggItem("dx", count(Attr("t.x"), distinct=True)),
+            AggItem("s", sum_(Attr("t.x"))),
+            AggItem("sd", sum_(Attr("t.x"), distinct=True)),
+            AggItem("m", avg(Attr("t.x"))),
+        ]
+    )
+    plan = GroupByNode(("t.g",), vector, ScanNode("T", ("t.g", "t.x")))
+    result = both(plan, {"T": t})
+    assert sum(row["n"] for row in result.rows) == 200
+    # NULL group keys collapse into one group.
+    assert sum(1 for row in result.rows if row["t.g"] is NULL) == 1
+
+
+def test_group_key_numeric_unification(backend):
+    # 1 and 1.0 are the same group (group_key), in both backends.
+    t = Relation.from_tuples(("t.g", "t.x"), [(1, 10), (1.0, 20), (2, 30)])
+    vector = AggVector([AggItem("s", sum_(Attr("t.x")))])
+    plan = GroupByNode(("t.g",), vector, ScanNode("T", ("t.g", "t.x")))
+    result = both(plan, {"T": t})
+    assert len(result.rows) == 2
+    assert sorted(row["s"] for row in result.rows) == [30, 30]
+
+
+def test_join_key_numeric_unification(backend):
+    # A float 2.0 key hash-matches an int 2 key, as SQL equality demands.
+    left = Relation.from_tuples(("l.k",), [(2.0,), (3,)])
+    right = Relation.from_tuples(("r.k",), [(2,), (3.5,)])
+    result = both(JoinNode(OpKind.INNER, KEY_EQ, SCAN_L, SCAN_R), {"L": left, "R": right})
+    assert [(r["l.k"], r["r.k"]) for r in result.rows] == [(2.0, 2)]

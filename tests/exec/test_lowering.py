@@ -1,0 +1,119 @@
+"""Lowering units: conjunct flattening, equi-key extraction, plan shapes."""
+
+import pytest
+
+from repro.algebra.expressions import Attr, BinOp, Const, Logical, conjunction
+from repro.exec.physical import (
+    PhysFilter,
+    PhysGroupAgg,
+    PhysHashJoin,
+    PhysMap,
+    PhysNLJoin,
+    PhysProject,
+    PhysScan,
+    flatten_conjuncts,
+    lower,
+    render_physical,
+    split_equi_keys,
+)
+from repro.plans.nodes import JoinNode, ProjectNode, ScanNode, SelectNode
+from repro.rewrites.pushdown import OpKind
+
+
+def eq(a, b):
+    return BinOp("=", Attr(a), Attr(b))
+
+
+def test_flatten_conjuncts_unnests_ands():
+    pred = Logical("and", (eq("a", "b"), Logical("and", (eq("c", "d"), eq("e", "f")))))
+    assert len(flatten_conjuncts(pred)) == 3
+
+
+def test_flatten_conjuncts_keeps_or_opaque():
+    pred = Logical("or", (eq("a", "b"), eq("c", "d")))
+    assert flatten_conjuncts(pred) == [pred]
+
+
+def test_split_equi_keys_both_orientations():
+    # a=x written left-of-right, y=b written right-of-left: both qualify.
+    pred = conjunction([eq("l.a", "r.x"), eq("r.y", "l.b")])
+    lk, rk, residual = split_equi_keys(pred, ("l.a", "l.b"), ("r.x", "r.y"))
+    assert lk == ("l.a", "l.b")
+    assert rk == ("r.x", "r.y")
+    assert residual is None
+
+
+def test_split_equi_keys_collects_residual():
+    ineq = BinOp("<", Attr("l.a"), Attr("r.x"))
+    const_eq = BinOp("=", Attr("l.a"), Const(3))
+    pred = conjunction([eq("l.a", "r.x"), ineq, const_eq])
+    lk, rk, residual = split_equi_keys(pred, ("l.a",), ("r.x",))
+    assert lk == ("l.a",)
+    assert rk == ("r.x",)
+    # Both non-equi conjuncts survive, re-ANDed.
+    assert set(flatten_conjuncts(residual)) == {ineq, const_eq}
+
+
+def test_split_equi_keys_same_side_equality_is_residual():
+    pred = eq("l.a", "l.b")  # both attrs on the left input
+    lk, rk, residual = split_equi_keys(pred, ("l.a", "l.b"), ("r.x",))
+    assert lk == ()
+    assert residual == pred
+
+
+def scan(name, attrs):
+    return ScanNode(name, tuple(attrs))
+
+
+def test_lower_equi_join_becomes_hash_join():
+    plan = JoinNode(OpKind.INNER, eq("l.a", "r.x"), scan("L", ["l.a"]), scan("R", ["r.x"]))
+    phys = lower(plan)
+    assert isinstance(phys, PhysHashJoin)
+    assert phys.left_keys == ("l.a",)
+    assert phys.residual is None
+    assert phys.attributes == plan.attributes
+
+
+def test_lower_theta_join_becomes_nested_loop():
+    pred = BinOp("<", Attr("l.a"), Attr("r.x"))
+    plan = JoinNode(OpKind.INNER, pred, scan("L", ["l.a"]), scan("R", ["r.x"]))
+    phys = lower(plan)
+    assert isinstance(phys, PhysNLJoin)
+    assert phys.predicate is pred
+
+
+def test_lower_preserves_outer_join_defaults_and_kind():
+    plan = JoinNode(
+        OpKind.LEFT_OUTER,
+        eq("l.a", "r.x"),
+        scan("L", ["l.a"]),
+        scan("R", ["r.x"]),
+        right_defaults=(("r.x", 0),),
+    )
+    phys = lower(plan)
+    assert isinstance(phys, PhysHashJoin)
+    assert phys.op is OpKind.LEFT_OUTER
+    assert phys.right_defaults == (("r.x", 0),)
+
+
+def test_lower_select_project_shapes():
+    pred = BinOp(">", Attr("l.a"), Const(1))
+    plan = ProjectNode(("l.a",), SelectNode(pred, scan("L", ["l.a", "l.b"])))
+    phys = lower(plan)
+    assert isinstance(phys, PhysProject)
+    assert isinstance(phys.child, PhysFilter)
+    assert isinstance(phys.child.child, PhysScan)
+    assert phys.attributes == ("l.a",)
+
+
+def test_lower_rejects_unknown_node():
+    with pytest.raises(TypeError):
+        lower(object())
+
+
+def test_render_physical_tree():
+    plan = JoinNode(OpKind.INNER, eq("l.a", "r.x"), scan("L", ["l.a"]), scan("R", ["r.x"]))
+    text = render_physical(lower(plan))
+    assert "hash-join[l.a=r.x]" in text
+    assert "scan(L)" in text
+    assert "scan(R)" in text

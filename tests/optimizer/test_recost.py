@@ -126,6 +126,59 @@ class TestRefreshQueryStats:
         assert [rel.cardinality for rel in refreshed.relations] == [
             rel.cardinality for rel in query.relations
         ]
+        assert [edge.selectivity for edge in refreshed.edges] == [
+            edge.selectivity for edge in query.edges
+        ]
+
+    def test_refresh_rederives_edge_selectivities(self):
+        # Drift regression: a stale hand-built query refreshed against a
+        # drifted catalog must converge to the selectivities a full SQL
+        # re-bind would derive — not keep the frozen originals.
+        catalog = self.drifted_catalog(4.0)
+        stale = fresh_query(SQLS[1])
+        rebound = fresh_query(SQLS[1], catalog)
+        refreshed = refresh_query_stats(stale, catalog)
+        assert any(
+            old.selectivity != new.selectivity
+            for old, new in zip(stale.edges, refreshed.edges)
+        ), "drift must move at least one selectivity"
+        for new, expected in zip(refreshed.edges, rebound.edges):
+            assert new.selectivity == pytest.approx(expected.selectivity)
+
+    def test_refresh_rederives_local_predicate_selectivities(self):
+        sql = (
+            "SELECT count(*) AS cnt FROM supplier s, nation n "
+            "WHERE s.s_nationkey = n.n_nationkey AND s.s_acctbal = 100"
+        )
+        catalog = self.drifted_catalog(4.0)
+        stale = fresh_query(sql)
+        rebound = fresh_query(sql, catalog)
+        refreshed = refresh_query_stats(stale, catalog)
+        assert refreshed.local_predicates.keys() == rebound.local_predicates.keys()
+        changed = False
+        for vertex, (_, selectivity) in refreshed.local_predicates.items():
+            expected = rebound.local_predicates[vertex][1]
+            assert selectivity == pytest.approx(expected)
+            changed = changed or selectivity != stale.local_predicates[vertex][1]
+        assert changed
+
+    def test_refresh_unchanged_stats_is_bit_for_bit(self):
+        # The stale-while-revalidate invariant: refreshing under identical
+        # statistics must not perturb a single float, so the subsequent
+        # replay reproduces the cached cost exactly.
+        catalog = Catalog.from_tpch()
+        query = fresh_query(SQLS[2], catalog)
+        refreshed = refresh_query_stats(query, catalog)
+        assert [e.selectivity for e in refreshed.edges] == [
+            e.selectivity for e in query.edges
+        ]
+        result = optimize(query)
+        assert recost(refreshed, result.plan.node).cost == result.cost
+
+    def test_drifted_selectivity_changes_replayed_cost(self):
+        result = optimize(fresh_query(SQLS[1]))
+        refreshed = refresh_query_stats(fresh_query(SQLS[1]), self.drifted_catalog(4.0))
+        assert recost(refreshed, result.plan.node).cost != result.cost
 
 
 class TestEvaluateStale:

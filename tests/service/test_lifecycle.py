@@ -110,6 +110,40 @@ class TestStateTransitions:
         # The third is still stale and claimable.
         assert len(cache.claim_stale()) == 1
 
+    def test_claim_stale_drains_hottest_first(self):
+        # Skewed traffic: q2 is hammered, q0 touched once, q1 never.
+        # A bounded claim must hand the revalidator q2 before the rest.
+        cache = PlanCache(capacity=8)
+        for i in range(3):
+            cache.put(key(f"q{i}"), Plan(f"p{i}"), relations=["orders"], sql=f"sql{i}")
+        for _ in range(10):
+            cache.get(key("q2"))
+        cache.get(key("q0"))
+        cache.mark_stale("orders")
+        (hottest,) = cache.claim_stale(limit=1)
+        assert hottest.sql == "sql2"
+        remaining = cache.claim_stale()
+        assert [claim.sql for claim in remaining] == ["sql0", "sql1"]
+
+    def test_claim_stale_ties_keep_insertion_order(self):
+        cache = PlanCache(capacity=8)
+        for i in range(3):
+            cache.put(key(f"q{i}"), Plan(f"p{i}"), relations=["orders"], sql=f"sql{i}")
+        cache.mark_stale("orders")
+        claims = cache.claim_stale()
+        assert [claim.sql for claim in claims] == ["sql0", "sql1", "sql2"]
+
+    def test_serve_entry_counts_hits_for_claim_priority(self):
+        # The lifecycle-aware serving path feeds the same priority.
+        cache = PlanCache(capacity=8)
+        cache.put(key("cold"), Plan("c"), relations=["orders"], sql="cold")
+        cache.put(key("hot"), Plan("h"), relations=["orders"], sql="hot")
+        for _ in range(5):
+            cache.serve_entry(key("hot"), query=None)
+        cache.mark_stale("orders")
+        claims = cache.claim_stale()
+        assert [claim.sql for claim in claims] == ["hot", "cold"]
+
     def test_refresh_returns_to_fresh(self):
         cache = PlanCache(capacity=4)
         cache.put(key("q"), Plan("old"), relations=["orders"])
